@@ -1,0 +1,127 @@
+//! Criterion ablations for design choices called out in DESIGN.md §5:
+//!
+//! * sparse Fisher–Yates barrel sampling vs materialising the full range
+//!   (why Conficker-scale pools are cheap to sample);
+//! * log-space Stirling triangles vs naive f64 recurrences (why Theorem 1
+//!   stays finite — the naive row overflows, so we measure fill cost at a
+//!   row the naive version can still represent);
+//! * compressed coverage buckets vs a per-domain sum in the Coverage
+//!   estimator's rate equation.
+
+use botmeter_stats::StirlingTable;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+
+fn bench_sampling_strategies(c: &mut Criterion) {
+    const N: usize = 50_000;
+    const K: usize = 500;
+    let mut group = c.benchmark_group("ablation_sampling");
+
+    group.bench_function("sparse_fisher_yates", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        b.iter(|| {
+            // The implementation used by `draw_barrel(Sampling, ..)`.
+            let mut swapped: HashMap<usize, usize> = HashMap::with_capacity(K * 2);
+            let mut out = Vec::with_capacity(K);
+            for i in 0..K {
+                let j = rng.gen_range(i..N);
+                let value_j = *swapped.get(&j).unwrap_or(&j);
+                let value_i = *swapped.get(&i).unwrap_or(&i);
+                out.push(value_j);
+                swapped.insert(j, value_i);
+                swapped.insert(i, value_j);
+            }
+            out.len()
+        })
+    });
+
+    group.bench_function("materialize_and_shuffle", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        b.iter(|| {
+            // The rejected alternative: allocate all 50k indices per bot.
+            let mut all: Vec<usize> = (0..N).collect();
+            let (sample, _) = all.partial_shuffle(&mut rng, K);
+            sample.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_stirling_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_stirling");
+    group.bench_function("log_space_row_200", |b| {
+        b.iter(|| {
+            let mut t = StirlingTable::new();
+            t.ln_stirling2(200, 100)
+        })
+    });
+    group.bench_function("naive_f64_row_200", |b| {
+        b.iter(|| {
+            // Linear-space recurrence: works at n=200 only because f64
+            // holds ~1e308; by n≈750 it is inf and Theorem 1 breaks.
+            let mut prev = vec![0.0f64; 201];
+            prev[0] = 1.0;
+            let mut cur = vec![0.0f64; 201];
+            for n in 1..=200usize {
+                cur[0] = 0.0;
+                for m in 1..=n {
+                    cur[m] = m as f64 * prev[m] + prev[m - 1];
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+            prev[100]
+        })
+    });
+    group.finish();
+}
+
+fn bench_coverage_compression(c: &mut Criterion) {
+    // E[O|N] evaluation: per-domain loop vs (cover, multiplicity) buckets.
+    const POOL: usize = 10_000;
+    const THETA_Q: usize = 500;
+    let covers: Vec<usize> = (0..POOL).map(|i| (i % 2000 + 1).min(THETA_Q)).collect();
+    let mut buckets: HashMap<usize, usize> = HashMap::new();
+    for &cv in &covers {
+        *buckets.entry(cv).or_insert(0) += 1;
+    }
+    let buckets: Vec<(usize, usize)> = buckets.into_iter().collect();
+
+    let eval_per_domain = |n: f64| -> f64 {
+        covers
+            .iter()
+            .map(|&cv| {
+                let rate = n * cv as f64 / POOL as f64;
+                rate / (1.0 + rate / 12.0)
+            })
+            .sum()
+    };
+    let eval_buckets = |n: f64| -> f64 {
+        buckets
+            .iter()
+            .map(|&(cv, mult)| {
+                let rate = n * cv as f64 / POOL as f64;
+                mult as f64 * rate / (1.0 + rate / 12.0)
+            })
+            .sum()
+    };
+
+    let mut group = c.benchmark_group("ablation_coverage_eval");
+    group.bench_function("per_domain_80_bisections", |b| {
+        b.iter(|| (0..80).map(|i| eval_per_domain(i as f64 + 1.0)).sum::<f64>())
+    });
+    group.bench_function("bucketed_80_bisections", |b| {
+        b.iter(|| (0..80).map(|i| eval_buckets(i as f64 + 1.0)).sum::<f64>())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling_strategies,
+    bench_stirling_fill,
+    bench_coverage_compression
+);
+criterion_main!(benches);

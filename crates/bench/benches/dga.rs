@@ -1,0 +1,45 @@
+//! Criterion benchmarks: DGA pool generation and barrel drawing.
+
+use botmeter_dga::{draw_barrel, BarrelClass, DgaFamily};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_pool_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_generation");
+    group.sample_size(10);
+    for family in [
+        DgaFamily::murofet(),
+        DgaFamily::new_goz(),
+        DgaFamily::conficker_c(),
+    ] {
+        let size = family.params().pool_size() as u64;
+        group.throughput(Throughput::Elements(size));
+        group.bench_with_input(
+            BenchmarkId::new("pool_for_epoch", family.name()),
+            &family,
+            |b, f| b.iter(|| f.pool_for_epoch(std::hint::black_box(3)).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_barrels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrel_draw");
+    let cases = [
+        ("uniform_800", BarrelClass::Uniform, 800usize, 798usize),
+        ("sampling_50k", BarrelClass::Sampling, 50_000, 500),
+        ("randomcut_10k", BarrelClass::RandomCut, 10_000, 500),
+        ("permutation_2k", BarrelClass::Permutation, 2_048, 2_046),
+    ];
+    for (name, class, pool, theta_q) in cases {
+        group.bench_function(name, |b| {
+            let mut rng = ChaCha12Rng::seed_from_u64(7);
+            b.iter(|| draw_barrel(class, pool, theta_q, &mut rng).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_generation, bench_barrels);
+criterion_main!(benches);

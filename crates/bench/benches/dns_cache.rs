@@ -1,0 +1,111 @@
+//! Criterion benchmarks: DNS substrate throughput (cache operations and
+//! full hierarchical trace filtering).
+
+use botmeter_dga::DgaFamily;
+use botmeter_dns::{
+    Answer, ClientId, DnsCache, DomainName, RawLookup, SimDuration, SimInstant, StaticAuthority,
+    Topology, TtlPolicy,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn domains(n: usize) -> Vec<DomainName> {
+    (0..n)
+        .map(|i| format!("bench{i:06}.example").parse().expect("valid"))
+        .collect()
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let names = domains(10_000);
+    let ttl = TtlPolicy::paper_default();
+
+    let mut group = c.benchmark_group("dns_cache");
+    group.throughput(Throughput::Elements(names.len() as u64));
+    group.bench_function("store_10k", |b| {
+        b.iter(|| {
+            let mut cache = DnsCache::new();
+            for (i, d) in names.iter().enumerate() {
+                cache.store(
+                    SimInstant::from_millis(i as u64),
+                    d.clone(),
+                    Answer::NxDomain,
+                    &ttl,
+                );
+            }
+            cache.len()
+        })
+    });
+    group.bench_function("lookup_hit_10k", |b| {
+        let mut cache = DnsCache::new();
+        for d in &names {
+            cache.store(SimInstant::ZERO, d.clone(), Answer::NxDomain, &ttl);
+        }
+        b.iter(|| {
+            let mut hits = 0;
+            for d in &names {
+                if cache.lookup(SimInstant::from_millis(1), d).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("lookup_miss_10k", |b| {
+        let mut cache = DnsCache::new();
+        b.iter(|| {
+            let mut misses = 0;
+            for d in &names {
+                if cache.lookup(SimInstant::ZERO, d).is_none() {
+                    misses += 1;
+                }
+            }
+            misses
+        })
+    });
+    group.finish();
+}
+
+fn bench_topology_filtering(c: &mut Criterion) {
+    // A realistic mixed trace: one epoch of a 64-bot newGoZ infection.
+    let family = DgaFamily::new_goz();
+    let authority = family.authority_for_epochs(2);
+    let pool = family.pool_for_epoch(0);
+    let raws: Vec<RawLookup> = (0..50_000usize)
+        .map(|i| {
+            RawLookup::new(
+                SimInstant::from_millis(i as u64 * 50),
+                ClientId((i % 64) as u32),
+                pool[i % pool.len()].clone(),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function("process_trace_50k", |b| {
+        b.iter(|| {
+            let mut topo = Topology::single_local(TtlPolicy::paper_default());
+            topo.process_trace(&raws, &authority).expect("routable").len()
+        })
+    });
+    group.finish();
+
+    // Static authority resolution as the baseline cost.
+    let auth = StaticAuthority::from_domains(pool.iter().take(5).cloned());
+    c.bench_function("static_authority_resolve", |b| {
+        use botmeter_dns::Authority;
+        b.iter(|| {
+            let mut positive = 0;
+            for d in pool.iter().take(1000) {
+                if auth.resolve(SimInstant::ZERO, d).is_positive() {
+                    positive += 1;
+                }
+            }
+            positive
+        })
+    });
+    let _ = SimDuration::ZERO;
+}
+
+criterion_group!(benches, bench_cache_ops, bench_topology_filtering);
+criterion_main!(benches);

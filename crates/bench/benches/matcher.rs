@@ -1,0 +1,55 @@
+//! Criterion benchmarks: D3 matching throughput (the matcher scans every
+//! border-visible lookup, so per-lookup cost bounds deployability).
+
+use botmeter_dga::DgaFamily;
+use botmeter_dns::{DomainName, ObservedLookup, ServerId, SimInstant};
+use botmeter_matcher::{match_stream, DomainMatcher, ExactMatcher, PatternMatcher};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn mixed_stream(family: &DgaFamily, n: usize) -> Vec<ObservedLookup> {
+    let pool = family.pool_for_epoch(0);
+    let benign: Vec<DomainName> = (0..1000)
+        .map(|i| format!("site{i:04}.benign.example").parse().expect("valid"))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let domain = if i % 10 == 0 {
+                pool[i % pool.len()].clone()
+            } else {
+                benign[i % benign.len()].clone()
+            };
+            ObservedLookup::new(SimInstant::from_millis(i as u64), ServerId(1), domain)
+        })
+        .collect()
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let family = DgaFamily::conficker_c(); // the largest pool: 50 000
+    let stream = mixed_stream(&family, 100_000);
+    let exact = ExactMatcher::from_family(&family, 0..1);
+    let pattern = PatternMatcher::for_family(&family);
+
+    let mut group = c.benchmark_group("match_stream_100k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("exact_50k_pool", |b| {
+        b.iter(|| match_stream(std::hint::black_box(&stream), &exact).total_matched())
+    });
+    group.bench_function("pattern", |b| {
+        b.iter(|| match_stream(std::hint::black_box(&stream), &pattern).total_matched())
+    });
+    group.finish();
+
+    // Single-domain probes for per-call cost.
+    let hit = family.pool_for_epoch(0)[0].clone();
+    let miss: DomainName = "www.benign.example".parse().expect("valid");
+    c.bench_function("exact_matches_hit", |b| {
+        b.iter(|| exact.matches(std::hint::black_box(&hit)))
+    });
+    c.bench_function("pattern_matches_miss", |b| {
+        b.iter(|| pattern.matches(std::hint::black_box(&miss)))
+    });
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates Table II: average estimation errors on the enterprise
+//! trace (shares the Fig. 7 computation).
+//!
+//! Usage: `table2 [--quick] [--days N] [--seed S]`.
+
+use botmeter_bench::fig7::{render_table2, run};
+use botmeter_sim::EnterpriseSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut days: Option<u64> = None;
+    let mut seed = 0x0000_F167_u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--days" => {
+                i += 1;
+                days = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--days needs a number"),
+                );
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: table2 [--quick] [--days N] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut spec = if quick {
+        EnterpriseSpec::quick(seed)
+    } else {
+        EnterpriseSpec::paper_scale(seed)
+    };
+    if let Some(d) = days {
+        spec = spec.with_days(d);
+    }
+
+    let result = run(&spec);
+    print!("{}", render_table2(&result));
+}

@@ -1,0 +1,27 @@
+//! The BotMeter experiment harness: regenerates every table and figure of
+//! the paper's evaluation (§V).
+//!
+//! Each binary target reproduces one artifact:
+//!
+//! | binary     | artifact | what it prints |
+//! |------------|----------|----------------|
+//! | `table1`   | Table I  | the DGA-specific parameter settings |
+//! | `taxonomy` | Fig. 3   | the pool × barrel grid with known families |
+//! | `fig6`     | Fig. 6(a–e) | ARE quartiles per estimator per sweep point |
+//! | `fig7`     | Fig. 7   | daily ground-truth vs estimated populations |
+//! | `table2`   | Table II | mean ± std ARE per estimator per DGA |
+//!
+//! The library half hosts the sweep machinery ([`sweep`]), the plain-text
+//! renderers ([`render`]) and the experiment definitions themselves
+//! ([`fig6`], [`fig7`]), so integration tests can run scaled-down versions
+//! of every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation_accuracy;
+pub mod evasion_study;
+pub mod fig6;
+pub mod fig7;
+pub mod render;
+pub mod sweep;

@@ -1,0 +1,277 @@
+//! The Bernoulli estimator `MB` — §IV-D.
+
+use crate::config::EstimationContext;
+use crate::estimator::Estimator;
+use crate::segments::extract_segments;
+use crate::theorem1::expected_bots_for_segment;
+use botmeter_dns::ObservedLookup;
+use botmeter_stats::StirlingTable;
+use std::collections::{BTreeSet, HashMap};
+
+/// `MB`: the estimator for randomcut-barrel DGAs (`AR`, e.g. newGoZ).
+///
+/// `AR` imposes a global circular order on the pool; each bot queries `θq`
+/// consecutive positions from a random start, stopping early at an arc
+/// boundary (a registered C2 domain). The distinct NXDs observed during an
+/// epoch therefore form *segments* whose lengths and endpoints encode the
+/// bot count: `MB` extracts the segments
+/// ([`extract_segments`](crate::extract_segments)), applies Theorem 1 to
+/// each ([`expected_bots_for_segment`](crate::expected_bots_for_segment))
+/// and sums.
+///
+/// Because it consumes only the *set* of queried NXDs, `MB` is immune to
+/// negative-cache masking, timestamp granularity and activation-rate
+/// dynamics — but directly exposed to D3 detection-window misses, exactly
+/// the trade-off Fig. 6 reports.
+///
+/// The per-segment posterior needs a prior start density `ρ = N/P` (see
+/// [`crate::expected_bots_for_segment`]); since `N` is what we are
+/// estimating, the estimator runs a short fixpoint: start from the
+/// deterministic lower bound `Σ ⌈l/θq⌉`, estimate, feed the estimate back
+/// as the prior, repeat. The map is a contraction (the spans cover less
+/// than the full circle), so a handful of iterations converge.
+///
+/// See the faithfulness note on [`crate::expected_bots_for_segment`]: the
+/// printed Theorem 1 needed reconstruction, and
+/// [`CoverageEstimator`](crate::CoverageEstimator) serves as the
+/// independently-derived cross-check for this taxonomy cell.
+///
+/// # Detection-window handling
+///
+/// By default the estimator is *window-aware*: positions outside the D3
+/// detection window are treated as unobservable and spliced out of the
+/// circle (with `θq` scaled accordingly) rather than read as "not
+/// queried". The paper's MB evidently lacked this repair — its Fig. 6(e)
+/// error grows steeply with the missing rate, which is exactly what
+/// [`window_naive`](Self::window_naive) reproduces: every hidden domain
+/// shatters covered arcs into extra segments, each billed for at least one
+/// bot.
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliEstimator {
+    window_aware: bool,
+}
+
+/// Fixpoint iterations for the prior start density.
+const FIXPOINT_ITERATIONS: usize = 6;
+
+impl BernoulliEstimator {
+    /// The paper-faithful variant that ignores the detection window when
+    /// extracting segments (used by the Fig. 6(e) reproduction to show
+    /// the degradation the paper reports).
+    pub fn window_naive() -> Self {
+        BernoulliEstimator {
+            window_aware: false,
+        }
+    }
+}
+
+impl Default for BernoulliEstimator {
+    fn default() -> Self {
+        BernoulliEstimator { window_aware: true }
+    }
+}
+
+impl Estimator for BernoulliEstimator {
+    fn name(&self) -> &'static str {
+        "Bernoulli"
+    }
+
+    fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
+        if lookups.is_empty() {
+            return 0.0;
+        }
+        let family = ctx.family();
+        let epoch = ctx.epoch_of(lookups).expect("non-empty slice");
+        let pool = family.pool_for_epoch(epoch);
+        let index: HashMap<_, usize> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.clone(), i))
+            .collect();
+        let valid: Vec<usize> = family.valid_indices(epoch);
+        let valid_set: BTreeSet<usize> = valid.iter().copied().collect();
+
+        // Distinct observed NXD positions (valid-domain sightings carry no
+        // segment information; domains from other epochs' pools are dropped).
+        let mut nxd_positions: BTreeSet<usize> = BTreeSet::new();
+        for lookup in lookups {
+            if let Some(&i) = index.get(&lookup.domain) {
+                if !valid_set.contains(&i) {
+                    nxd_positions.insert(i);
+                }
+            }
+        }
+        if nxd_positions.is_empty() {
+            return 0.0;
+        }
+        // With an imperfect D3 detection window, positions outside the
+        // window are simply *unobservable* — treating them as "not
+        // queried" would shatter every covered arc into one fragment per
+        // known domain and overcount wildly. Instead, work on the
+        // compressed circle of detectable positions (valid domains stay as
+        // boundaries) and scale θq by the detectable fraction: a barrel of
+        // θq consecutive true positions covers ≈ θq·w/P detectable ones.
+        let (positions, valid, circle_len, theta_q) = if self.window_aware
+            && ctx.detection_window().is_some()
+        {
+            let mut compressed_of_pool: Vec<Option<usize>> = vec![None; pool.len()];
+            let mut kept = 0usize;
+            for (i, domain) in pool.iter().enumerate() {
+                if valid_set.contains(&i) || ctx.detectable(domain) {
+                    compressed_of_pool[i] = Some(kept);
+                    kept += 1;
+                }
+            }
+            let positions: Vec<usize> = nxd_positions
+                .iter()
+                .filter_map(|&i| compressed_of_pool[i])
+                .collect();
+            let valid_c: Vec<usize> = valid
+                .iter()
+                .filter_map(|&i| compressed_of_pool[i])
+                .collect();
+            let theta_q = family.params().theta_q();
+            let scaled = ((theta_q as f64) * kept as f64 / pool.len() as f64)
+                .round()
+                .max(1.0) as usize;
+            (positions, valid_c, kept, scaled)
+        } else {
+            let positions: Vec<usize> = nxd_positions.into_iter().collect();
+            (positions, valid, pool.len(), family.params().theta_q())
+        };
+        if positions.is_empty() {
+            return 0.0;
+        }
+        let segments = extract_segments(&positions, &valid, circle_len);
+
+        let pool_len = circle_len as f64;
+        let mut table = StirlingTable::new();
+
+        // Fixpoint on the prior start density ρ = N̂/P.
+        let mut estimate: f64 = segments
+            .iter()
+            .map(|s| (s.len as f64 / theta_q as f64).ceil().max(1.0))
+            .sum();
+        for _ in 0..FIXPOINT_ITERATIONS {
+            let density = (estimate / pool_len).max(1e-9);
+            estimate = segments
+                .iter()
+                .map(|s| expected_bots_for_segment(s, theta_q, density, &mut table))
+                .sum();
+        }
+        estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absolute_relative_error;
+    use botmeter_dga::DgaFamily;
+    use botmeter_dns::{ServerId, SimDuration, SimInstant, TtlPolicy};
+    use botmeter_sim::ScenarioSpec;
+
+    fn ctx(family: DgaFamily) -> EstimationContext {
+        EstimationContext::new(family, TtlPolicy::paper_default(), SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        assert_eq!(
+            BernoulliEstimator::default().estimate(&[], &ctx(DgaFamily::new_goz())),
+            0.0
+        );
+    }
+
+    #[test]
+    fn single_bot_trace_estimates_near_one() {
+        // Hand-build one bot's worth of lookups: θq consecutive NXDs that
+        // do not touch a boundary (an m-segment).
+        let family = DgaFamily::new_goz();
+        let pool = family.pool_for_epoch(0);
+        let valid: BTreeSet<usize> = family.valid_indices(0).into_iter().collect();
+        // Find a stretch of θq positions with no valid domain inside or
+        // adjacent.
+        let theta_q = family.params().theta_q();
+        let start = (0..pool.len())
+            .find(|&s| (s..=s + theta_q).all(|i| !valid.contains(&(i % pool.len()))))
+            .expect("10k pool with 5 valid domains has such a stretch");
+        let lookups: Vec<ObservedLookup> = (0..theta_q)
+            .map(|k| {
+                ObservedLookup::new(
+                    SimInstant::from_millis(1000 * k as u64),
+                    ServerId(1),
+                    pool[(start + k) % pool.len()].clone(),
+                )
+            })
+            .collect();
+        let est = BernoulliEstimator::default().estimate(&lookups, &ctx(family));
+        assert!((est - 1.0).abs() < 1e-2, "one full barrel ⇒ one bot: {est}");
+    }
+
+    #[test]
+    fn foreign_domains_are_ignored() {
+        let family = DgaFamily::new_goz();
+        let lookups = vec![ObservedLookup::new(
+            SimInstant::ZERO,
+            ServerId(1),
+            "unrelated.example".parse().unwrap(),
+        )];
+        assert_eq!(BernoulliEstimator::default().estimate(&lookups, &ctx(family)), 0.0);
+    }
+
+    #[test]
+    fn small_population_end_to_end() {
+        // In the unsaturated regime MB should land in the right ballpark.
+        let mut errors = Vec::new();
+        for seed in 0..4 {
+            let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+                .population(16)
+                .seed(seed)
+                .build()
+                .unwrap()
+                .run();
+            let c = EstimationContext::new(
+                outcome.family().clone(),
+                outcome.ttl(),
+                outcome.granularity(),
+            );
+            let est = BernoulliEstimator::default().estimate(outcome.observed(), &c);
+            errors.push(absolute_relative_error(
+                est,
+                outcome.ground_truth()[0] as f64,
+            ));
+        }
+        let mean: f64 = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean < 1.0, "mean ARE {mean} ({errors:?})");
+    }
+
+    #[test]
+    fn estimate_grows_with_population() {
+        let run = |n: u64| {
+            let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+                .population(n)
+                .seed(77)
+                .build()
+                .unwrap()
+                .run();
+            let c = EstimationContext::new(
+                outcome.family().clone(),
+                outcome.ttl(),
+                outcome.granularity(),
+            );
+            BernoulliEstimator::default().estimate(outcome.observed(), &c)
+        };
+        let small = run(8);
+        let large = run(64);
+        assert!(
+            large > small,
+            "estimate should grow with N: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn estimator_name() {
+        assert_eq!(BernoulliEstimator::default().name(), "Bernoulli");
+    }
+}

@@ -1,0 +1,472 @@
+//! The BotMeter facade: the end-to-end pipeline of Fig. 2.
+//!
+//! Tap the border stream (①), describe the targeted DGA (②), match (③–④),
+//! pick a model from the library (⑤–⑥), estimate (⑦) — and get back the
+//! *landscape*: per-local-server, per-epoch bot population estimates, ready
+//! to prioritise remediation.
+
+use crate::bernoulli::BernoulliEstimator;
+use crate::config::EstimationContext;
+use crate::coverage::CoverageEstimator;
+use crate::estimator::Estimator;
+use crate::poisson::PoissonEstimator;
+use crate::timing::TimingEstimator;
+use botmeter_dga::{BarrelClass, DgaFamily};
+use botmeter_dns::{ObservedLookup, ServerId, SimDuration, TtlPolicy};
+use botmeter_matcher::{match_stream, DomainMatcher, ExactMatcher};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Range;
+
+/// Which analytical model to run (Fig. 2, step 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ModelKind {
+    /// Pick by the family's taxonomy cell: `AU` → Poisson, `AR` →
+    /// Bernoulli, everything else → Timing.
+    #[default]
+    Auto,
+    /// Force the Timing estimator `MT`.
+    Timing,
+    /// Force the Poisson estimator `MP`.
+    Poisson,
+    /// Force the Bernoulli estimator `MB`.
+    Bernoulli,
+    /// Force the Coverage estimator `MC`.
+    Coverage,
+    /// Force the Sampling estimator `MS` (this reproduction's `AS` model).
+    Sampling,
+    /// Force the Window-Occupancy estimator `MW` (this reproduction's
+    /// `AP` model).
+    WindowOccupancy,
+    /// Force the Hybrid estimator `MH` (temporal floor + statistical
+    /// model; the paper's future-work direction #1).
+    Hybrid,
+}
+
+/// Analyst-facing configuration of a BotMeter deployment.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::{BotMeterConfig, ModelKind};
+/// use botmeter_dga::DgaFamily;
+///
+/// let config = BotMeterConfig::new(DgaFamily::new_goz())
+///     .model(ModelKind::Coverage);
+/// assert_eq!(config.family().name(), "newGoZ");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BotMeterConfig {
+    family: DgaFamily,
+    ttl: TtlPolicy,
+    granularity: SimDuration,
+    model: ModelKind,
+}
+
+impl BotMeterConfig {
+    /// A configuration targeting `family` with paper-default TTLs,
+    /// 100 ms granularity and automatic model selection.
+    pub fn new(family: DgaFamily) -> Self {
+        BotMeterConfig {
+            family,
+            ttl: TtlPolicy::paper_default(),
+            granularity: SimDuration::from_millis(100),
+            model: ModelKind::Auto,
+        }
+    }
+
+    /// Sets the network's cache TTL policy.
+    #[must_use]
+    pub fn ttl(mut self, ttl: TtlPolicy) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the trace's timestamp granularity.
+    #[must_use]
+    pub fn granularity(mut self, granularity: SimDuration) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Forces a specific analytical model.
+    #[must_use]
+    pub fn model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The targeted family.
+    pub fn family(&self) -> &DgaFamily {
+        &self.family
+    }
+}
+
+/// One cell of the landscape: the estimated population behind one local
+/// server during one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LandscapeEntry {
+    /// The forwarding (local) DNS server.
+    pub server: ServerId,
+    /// The epoch (day) of the estimate.
+    pub epoch: u64,
+    /// Estimated active-bot population.
+    pub estimate: f64,
+}
+
+/// The DGA-botnet landscape: per-server, per-epoch population estimates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Landscape {
+    entries: Vec<LandscapeEntry>,
+}
+
+impl Landscape {
+    /// All entries, ordered by (server, epoch).
+    pub fn entries(&self) -> &[LandscapeEntry] {
+        &self.entries
+    }
+
+    /// The estimate for one (server, epoch) cell, `0.0` if absent.
+    pub fn estimate(&self, server: ServerId, epoch: u64) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.server == server && e.epoch == epoch)
+            .map_or(0.0, |e| e.estimate)
+    }
+
+    /// Total estimated population across servers for one epoch.
+    pub fn total_for_epoch(&self, epoch: u64) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.epoch == epoch)
+            .map(|e| e.estimate)
+            .sum()
+    }
+
+    /// Servers ranked by their peak per-epoch estimate, worst first — the
+    /// remediation priority list the paper motivates.
+    pub fn ranked_servers(&self) -> Vec<(ServerId, f64)> {
+        let mut peaks: Vec<(ServerId, f64)> = Vec::new();
+        for e in &self.entries {
+            match peaks.iter_mut().find(|(s, _)| *s == e.server) {
+                Some((_, peak)) => *peak = peak.max(e.estimate),
+                None => peaks.push((e.server, e.estimate)),
+            }
+        }
+        peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
+        peaks
+    }
+
+    /// Number of (server, epoch) cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the landscape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges several landscapes cell-wise (estimates for the same
+    /// (server, epoch) add up) — e.g. charting multiple DGA families into
+    /// one remediation-priority view.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use botmeter_core::Landscape;
+    /// let a: Landscape = serde_json::from_str(
+    ///     r#"{"entries":[{"server":1,"epoch":0,"estimate":5.0}]}"#).unwrap();
+    /// let b: Landscape = serde_json::from_str(
+    ///     r#"{"entries":[{"server":1,"epoch":0,"estimate":7.0}]}"#).unwrap();
+    /// let merged = Landscape::merge([a, b]);
+    /// assert_eq!(merged.estimate(botmeter_dns::ServerId(1), 0), 12.0);
+    /// ```
+    pub fn merge<I: IntoIterator<Item = Landscape>>(landscapes: I) -> Landscape {
+        use std::collections::BTreeMap;
+        let mut cells: BTreeMap<(ServerId, u64), f64> = BTreeMap::new();
+        for landscape in landscapes {
+            for e in landscape.entries {
+                *cells.entry((e.server, e.epoch)).or_insert(0.0) += e.estimate;
+            }
+        }
+        Landscape {
+            entries: cells
+                .into_iter()
+                .map(|((server, epoch), estimate)| LandscapeEntry {
+                    server,
+                    epoch,
+                    estimate,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Landscape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "server      epoch   estimated bots")?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<11} {:<7} {:>10.1}",
+                e.server.to_string(),
+                e.epoch,
+                e.estimate
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The BotMeter tool (Fig. 2): matcher + model library + estimation.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::{BotMeter, BotMeterConfig};
+/// use botmeter_dga::DgaFamily;
+/// use botmeter_sim::ScenarioSpec;
+///
+/// let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+///     .population(64)
+///     .seed(4)
+///     .build()?
+///     .run();
+/// let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+/// let landscape = meter.chart(outcome.observed(), 0..1);
+/// let total = landscape.total_for_epoch(0);
+/// assert!(total > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BotMeter {
+    config: BotMeterConfig,
+    detection_window: Option<HashSet<botmeter_dns::DomainName>>,
+}
+
+impl BotMeter {
+    /// Builds the tool from a configuration.
+    pub fn new(config: BotMeterConfig) -> Self {
+        BotMeter {
+            config,
+            detection_window: None,
+        }
+    }
+
+    /// Restricts matching and estimation to an imperfect D3 detection
+    /// window (the known subset of pool domains).
+    #[must_use]
+    pub fn with_detection_window(
+        mut self,
+        known: HashSet<botmeter_dns::DomainName>,
+    ) -> Self {
+        self.detection_window = Some(known);
+        self
+    }
+
+    /// The estimator the configuration resolves to.
+    pub fn resolve_model(&self) -> Box<dyn Estimator> {
+        match self.config.model {
+            ModelKind::Timing => Box::new(TimingEstimator),
+            ModelKind::Poisson => Box::new(PoissonEstimator::new()),
+            ModelKind::Bernoulli => Box::new(BernoulliEstimator::default()),
+            ModelKind::Coverage => Box::new(CoverageEstimator),
+            ModelKind::Sampling => Box::new(crate::sampling::SamplingEstimator),
+            ModelKind::WindowOccupancy => {
+                Box::new(crate::window_occupancy::WindowOccupancyEstimator)
+            }
+            ModelKind::Hybrid => Box::new(crate::hybrid::HybridEstimator),
+            // The paper's assignment (§V-A): MP on AU, MB on AR, MT
+            // elsewhere. The AS/AP-specific extensions are opt-in.
+            ModelKind::Auto => match self.config.family.barrel_class() {
+                BarrelClass::Uniform => Box::new(PoissonEstimator::new()),
+                BarrelClass::RandomCut => Box::new(BernoulliEstimator::default()),
+                BarrelClass::Sampling | BarrelClass::Permutation => Box::new(TimingEstimator),
+            },
+        }
+    }
+
+    /// Charts the landscape: matches `observed` against the configured
+    /// family's pools over `epochs`, groups per forwarding server, slices
+    /// per epoch and estimates every cell.
+    pub fn chart(&self, observed: &[ObservedLookup], epochs: Range<u64>) -> Landscape {
+        let matcher = ExactMatcher::from_family(&self.config.family, epochs.clone());
+        let estimator = self.resolve_model();
+        let epoch_len = self.config.family.epoch_len();
+
+        let mut ctx = EstimationContext::new(
+            self.config.family.clone(),
+            self.config.ttl,
+            self.config.granularity,
+        );
+        if let Some(window) = &self.detection_window {
+            ctx = ctx.with_detection_window(window.clone());
+        }
+
+        // Matching honours the detection window: unknown domains are
+        // invisible to the analyst.
+        let window = self.detection_window.as_ref();
+        let filtered = match_stream(observed, &WindowedMatcher { inner: &matcher, window });
+
+        let mut entries = Vec::new();
+        for (server, lookups) in filtered.iter() {
+            for epoch in epochs.clone() {
+                let slice: Vec<ObservedLookup> = lookups
+                    .iter()
+                    .filter(|l| l.t.epoch_day(epoch_len) == epoch)
+                    .cloned()
+                    .collect();
+                if slice.is_empty() {
+                    continue;
+                }
+                let estimate = estimator.estimate(&slice, &ctx);
+                entries.push(LandscapeEntry {
+                    server,
+                    epoch,
+                    estimate,
+                });
+            }
+        }
+        Landscape { entries }
+    }
+}
+
+struct WindowedMatcher<'a, M> {
+    inner: &'a M,
+    window: Option<&'a HashSet<botmeter_dns::DomainName>>,
+}
+
+impl<M: DomainMatcher> DomainMatcher for WindowedMatcher<'_, M> {
+    fn matches(&self, domain: &botmeter_dns::DomainName) -> bool {
+        self.inner.matches(domain) && self.window.is_none_or(|w| w.contains(domain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botmeter_sim::ScenarioSpec;
+
+    #[test]
+    fn auto_model_selection_follows_taxonomy() {
+        let pick = |family: DgaFamily| {
+            BotMeter::new(BotMeterConfig::new(family))
+                .resolve_model()
+                .name()
+        };
+        assert_eq!(pick(DgaFamily::murofet()), "Poisson");
+        assert_eq!(pick(DgaFamily::new_goz()), "Bernoulli");
+        assert_eq!(pick(DgaFamily::conficker_c()), "Timing");
+        assert_eq!(pick(DgaFamily::necurs()), "Timing");
+    }
+
+    #[test]
+    fn forced_model_overrides_auto() {
+        let meter = BotMeter::new(
+            BotMeterConfig::new(DgaFamily::new_goz()).model(ModelKind::Coverage),
+        );
+        assert_eq!(meter.resolve_model().name(), "Coverage");
+    }
+
+    #[test]
+    fn chart_produces_per_server_entries() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .seed(8)
+            .build()
+            .unwrap()
+            .run();
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+        let landscape = meter.chart(outcome.observed(), 0..1);
+        assert!(!landscape.is_empty());
+        // The single-local topology forwards through server 1.
+        assert!(landscape.estimate(ServerId(1), 0) > 0.0);
+        assert_eq!(landscape.total_for_epoch(0), landscape.estimate(ServerId(1), 0));
+        let ranked = landscape.ranked_servers();
+        assert_eq!(ranked[0].0, ServerId(1));
+    }
+
+    #[test]
+    fn chart_empty_stream_is_empty_landscape() {
+        let meter = BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()));
+        let landscape = meter.chart(&[], 0..3);
+        assert!(landscape.is_empty());
+        assert_eq!(landscape.estimate(ServerId(1), 0), 0.0);
+        assert_eq!(landscape.total_for_epoch(1), 0.0);
+    }
+
+    #[test]
+    fn detection_window_reduces_visible_traffic() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(64)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run();
+        let family = outcome.family().clone();
+        // A window that knows nothing sees nothing.
+        let empty = BotMeter::new(BotMeterConfig::new(family.clone()))
+            .with_detection_window(HashSet::new());
+        assert!(empty.chart(outcome.observed(), 0..1).is_empty());
+        // A full window matches everything the plain meter does.
+        let full_set: HashSet<_> = family.pool_for_epoch(0).into_iter().collect();
+        let full = BotMeter::new(BotMeterConfig::new(family.clone()))
+            .with_detection_window(full_set);
+        let plain = BotMeter::new(BotMeterConfig::new(family));
+        assert_eq!(
+            full.chart(outcome.observed(), 0..1),
+            plain.chart(outcome.observed(), 0..1)
+        );
+    }
+
+    #[test]
+    fn landscape_display_renders_rows() {
+        let landscape = Landscape {
+            entries: vec![LandscapeEntry {
+                server: ServerId(2),
+                epoch: 0,
+                estimate: 12.5,
+            }],
+        };
+        let text = landscape.to_string();
+        assert!(text.contains("server-2") && text.contains("12.5"));
+    }
+
+    #[test]
+    fn merge_adds_cells_and_unions_servers() {
+        let a = Landscape {
+            entries: vec![
+                LandscapeEntry { server: ServerId(1), epoch: 0, estimate: 5.0 },
+                LandscapeEntry { server: ServerId(2), epoch: 0, estimate: 3.0 },
+            ],
+        };
+        let b = Landscape {
+            entries: vec![
+                LandscapeEntry { server: ServerId(1), epoch: 0, estimate: 7.0 },
+                LandscapeEntry { server: ServerId(1), epoch: 1, estimate: 2.0 },
+            ],
+        };
+        let merged = Landscape::merge([a, b]);
+        assert_eq!(merged.estimate(ServerId(1), 0), 12.0);
+        assert_eq!(merged.estimate(ServerId(2), 0), 3.0);
+        assert_eq!(merged.estimate(ServerId(1), 1), 2.0);
+        assert_eq!(merged.len(), 3);
+        assert!(Landscape::merge(std::iter::empty::<Landscape>()).is_empty());
+    }
+
+    #[test]
+    fn ranked_servers_orders_by_peak() {
+        let landscape = Landscape {
+            entries: vec![
+                LandscapeEntry { server: ServerId(1), epoch: 0, estimate: 5.0 },
+                LandscapeEntry { server: ServerId(2), epoch: 0, estimate: 50.0 },
+                LandscapeEntry { server: ServerId(1), epoch: 1, estimate: 80.0 },
+            ],
+        };
+        let ranked = landscape.ranked_servers();
+        assert_eq!(ranked[0], (ServerId(1), 80.0));
+        assert_eq!(ranked[1], (ServerId(2), 50.0));
+    }
+}

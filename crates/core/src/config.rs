@@ -1,0 +1,137 @@
+//! Estimation context: everything an estimator knows besides the lookups.
+
+use botmeter_dga::DgaFamily;
+use botmeter_dns::{DomainName, ObservedLookup, SimDuration, TtlPolicy};
+use std::collections::HashSet;
+
+/// The analyst-supplied knowledge an estimator runs with (Fig. 2, steps
+/// 6–7): the targeted DGA family (taxonomy cell + `θ` parameters), the
+/// network's cache TTL policy, the trace's timestamp granularity, and —
+/// optionally — the detection window of the upstream D3 algorithm.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::EstimationContext;
+/// use botmeter_dga::DgaFamily;
+/// use botmeter_dns::{SimDuration, TtlPolicy};
+///
+/// let ctx = EstimationContext::new(
+///     DgaFamily::new_goz(),
+///     TtlPolicy::paper_default(),
+///     SimDuration::from_millis(100),
+/// );
+/// assert_eq!(ctx.family().name(), "newGoZ");
+/// assert!(ctx.detection_window().is_none()); // perfect D3 by default
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimationContext {
+    family: DgaFamily,
+    ttl: TtlPolicy,
+    granularity: SimDuration,
+    detection_window: Option<HashSet<DomainName>>,
+}
+
+impl EstimationContext {
+    /// Creates a context with a perfect (full-pool) detection window.
+    pub fn new(family: DgaFamily, ttl: TtlPolicy, granularity: SimDuration) -> Self {
+        EstimationContext {
+            family,
+            ttl,
+            granularity,
+            detection_window: None,
+        }
+    }
+
+    /// Restricts the context to an imperfect D3 detection window: only
+    /// `known` domains were detectable (and therefore matched upstream).
+    #[must_use]
+    pub fn with_detection_window(mut self, known: HashSet<DomainName>) -> Self {
+        self.detection_window = Some(known);
+        self
+    }
+
+    /// The targeted DGA family.
+    pub fn family(&self) -> &DgaFamily {
+        &self.family
+    }
+
+    /// The network's cache TTL policy (`δl` for negative caching).
+    pub fn ttl(&self) -> TtlPolicy {
+        self.ttl
+    }
+
+    /// Timestamp granularity of the observed trace.
+    pub fn granularity(&self) -> SimDuration {
+        self.granularity
+    }
+
+    /// The D3 detection window, if imperfect (`None` = full pool known).
+    pub fn detection_window(&self) -> Option<&HashSet<DomainName>> {
+        self.detection_window.as_ref()
+    }
+
+    /// Whether a domain is inside the detection window (always true when
+    /// the window is perfect).
+    pub fn detectable(&self, domain: &DomainName) -> bool {
+        self.detection_window
+            .as_ref()
+            .is_none_or(|w| w.contains(domain))
+    }
+
+    /// The epoch the (single-epoch) lookup slice belongs to: the epoch of
+    /// its first lookup. `None` for an empty slice.
+    pub fn epoch_of(&self, lookups: &[ObservedLookup]) -> Option<u64> {
+        lookups
+            .first()
+            .map(|l| l.t.epoch_day(self.family.epoch_len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botmeter_dns::{ServerId, SimInstant};
+
+    #[test]
+    fn accessors_and_defaults() {
+        let ctx = EstimationContext::new(
+            DgaFamily::murofet(),
+            TtlPolicy::paper_default(),
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(ctx.ttl().negative(), SimDuration::from_hours(2));
+        assert_eq!(ctx.granularity(), SimDuration::from_millis(100));
+        assert!(ctx.detectable(&"anything.example".parse().unwrap()));
+    }
+
+    #[test]
+    fn detection_window_limits_detectable() {
+        let known: HashSet<DomainName> = ["a.example".parse().unwrap()].into_iter().collect();
+        let ctx = EstimationContext::new(
+            DgaFamily::murofet(),
+            TtlPolicy::paper_default(),
+            SimDuration::ZERO,
+        )
+        .with_detection_window(known);
+        assert!(ctx.detectable(&"a.example".parse().unwrap()));
+        assert!(!ctx.detectable(&"b.example".parse().unwrap()));
+        assert_eq!(ctx.detection_window().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn epoch_of_lookup_slices() {
+        let ctx = EstimationContext::new(
+            DgaFamily::murofet(),
+            TtlPolicy::paper_default(),
+            SimDuration::ZERO,
+        );
+        assert_eq!(ctx.epoch_of(&[]), None);
+        let lookup = ObservedLookup::new(
+            SimInstant::ZERO + SimDuration::from_hours(30),
+            ServerId(1),
+            "a.example".parse().unwrap(),
+        );
+        assert_eq!(ctx.epoch_of(&[lookup]), Some(1));
+    }
+}

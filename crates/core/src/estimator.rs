@@ -1,0 +1,43 @@
+//! The estimator interface.
+
+use crate::config::EstimationContext;
+use botmeter_dns::ObservedLookup;
+
+/// A bot-population estimator (one entry of the paper's "analytical model
+/// library", Fig. 2 step 5).
+///
+/// # Contract
+///
+/// `lookups` are the *matched* lookups forwarded by **one** local server
+/// during **one** epoch, in arrival order (the shape
+/// [`botmeter_matcher::match_stream`] produces after per-epoch slicing).
+/// Implementations return the estimated number of bots active behind that
+/// server during the epoch; an empty slice estimates `0.0`.
+///
+/// Multi-epoch observation windows are handled by the caller: estimate each
+/// epoch separately and average, as the paper does for Fig. 6(b).
+pub trait Estimator {
+    /// A short display name (`"Timing"`, `"Poisson"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the bot population behind the lookups' forwarding server.
+    fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64;
+}
+
+impl<E: Estimator + ?Sized> Estimator for &E {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
+        (**self).estimate(lookups, ctx)
+    }
+}
+
+impl<E: Estimator + ?Sized> Estimator for Box<E> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
+        (**self).estimate(lookups, ctx)
+    }
+}

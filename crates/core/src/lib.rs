@@ -1,0 +1,81 @@
+//! The BotMeter estimator library — the paper's primary contribution (§IV).
+//!
+//! Given the cache-filtered DNS lookups observable at a border vantage
+//! point (already matched to a target DGA by
+//! [`botmeter_matcher`]), the estimators infer how many bots produced them:
+//!
+//! * [`TimingEstimator`] (`MT`, Algorithm 1) — attributes lookups to bots
+//!   by temporal traits: no bot queries the same NXD twice per epoch, an
+//!   activation lasts at most `θq·δi`, and fixed-interval DGAs emit lookups
+//!   on a `δi` lattice. Applicable to every DGA model.
+//! * [`PoissonEstimator`] (`MP`, Eq. 1) — for uniform-barrel DGAs (`AU`),
+//!   whose identical barrels make concurrent bots invisible behind negative
+//!   caching: models activations as a Poisson process, estimates the rate
+//!   from the gaps between cache-TTL windows, and corrects for the masked
+//!   activations: `E(N) = n + n²·δl / Σ Δi`.
+//! * [`BernoulliEstimator`] (`MB`, Theorem 1) — for randomcut-barrel DGAs
+//!   (`AR`): reads the *segments* of consecutive NXDs bots carved out of
+//!   the circular pool and computes the expected number of bots needed to
+//!   cover each segment.
+//! * [`CoverageEstimator`] (`MC`) — this reproduction's extension for `AR`
+//!   (DESIGN.md §3, substitution 3): inverts the closed-form expected
+//!   distinct-NXD count `E[C|N] = Σ_d 1−(1−p_d)^N`, which shares `MB`'s
+//!   qualitative strengths and serves as its cross-check.
+//!
+//! The [`BotMeter`] facade wires the full Fig. 2 pipeline — match, group
+//! per forwarding server, estimate — and produces the per-server
+//! [`Landscape`] that gives the tool its name.
+//!
+//! # Example
+//!
+//! ```
+//! use botmeter_core::{absolute_relative_error, EstimationContext, Estimator,
+//!                     PoissonEstimator};
+//! use botmeter_dga::DgaFamily;
+//! use botmeter_sim::ScenarioSpec;
+//!
+//! // Simulate one day of a Murofet (AU) infection...
+//! let outcome = ScenarioSpec::builder(DgaFamily::murofet())
+//!     .population(64)
+//!     .seed(3)
+//!     .build()?
+//!     .run();
+//! // ...and recover the population from the cache-filtered stream alone.
+//! let ctx = EstimationContext::new(
+//!     outcome.family().clone(), outcome.ttl(), outcome.granularity());
+//! let est = PoissonEstimator::new().estimate(outcome.observed(), &ctx);
+//! let are = absolute_relative_error(est, outcome.ground_truth()[0] as f64);
+//! assert!(are < 0.6, "ARE {are}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bernoulli;
+mod botmeter;
+mod config;
+mod coverage;
+mod estimator;
+mod hybrid;
+mod metrics;
+mod poisson;
+mod sampling;
+mod segments;
+mod theorem1;
+mod timing;
+mod window_occupancy;
+
+pub use bernoulli::BernoulliEstimator;
+pub use botmeter::{BotMeter, BotMeterConfig, Landscape, LandscapeEntry, ModelKind};
+pub use config::EstimationContext;
+pub use coverage::CoverageEstimator;
+pub use estimator::Estimator;
+pub use hybrid::{HybridBernoulli, HybridEstimator};
+pub use metrics::{absolute_relative_error, mean_absolute_relative_error};
+pub use poisson::PoissonEstimator;
+pub use sampling::SamplingEstimator;
+pub use segments::{extract_segments, Segment, SegmentKind};
+pub use theorem1::expected_bots_for_segment;
+pub use timing::TimingEstimator;
+pub use window_occupancy::WindowOccupancyEstimator;

@@ -1,0 +1,86 @@
+//! Evaluation metrics: the paper's absolute relative error (Eq. 4).
+
+/// Absolute relative error, `|estimated − actual| / actual` (Eq. 4).
+///
+/// When `actual` is zero the metric is undefined; this returns `0.0` if the
+/// estimate is also zero (a perfect call on a quiet day) and `f64::INFINITY`
+/// otherwise, so aggregation code can filter or clamp explicitly.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::absolute_relative_error;
+/// assert_eq!(absolute_relative_error(90.0, 100.0), 0.1);
+/// assert_eq!(absolute_relative_error(0.0, 0.0), 0.0);
+/// assert!(absolute_relative_error(1.0, 0.0).is_infinite());
+/// ```
+pub fn absolute_relative_error(estimated: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if estimated == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimated - actual).abs() / actual
+    }
+}
+
+/// Mean ARE over paired `(estimated, actual)` samples, skipping pairs with
+/// `actual == 0` (the paper's Table II averages over active days only).
+///
+/// Returns `None` if no pair was usable.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::mean_absolute_relative_error;
+/// let m = mean_absolute_relative_error(&[(90.0, 100.0), (12.0, 10.0), (5.0, 0.0)]);
+/// // (0.1 + 0.2) / 2; the zero-actual pair is skipped.
+/// assert!((m.unwrap() - 0.15).abs() < 1e-12);
+/// ```
+pub fn mean_absolute_relative_error(pairs: &[(f64, f64)]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &(est, actual) in pairs {
+        if actual != 0.0 {
+            sum += absolute_relative_error(est, actual);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn are_symmetric_magnitude() {
+        assert_eq!(absolute_relative_error(110.0, 100.0), 0.1);
+        assert_eq!(absolute_relative_error(90.0, 100.0), 0.1);
+    }
+
+    #[test]
+    fn are_perfect_is_zero() {
+        assert_eq!(absolute_relative_error(64.0, 64.0), 0.0);
+    }
+
+    #[test]
+    fn are_can_exceed_one() {
+        // The paper reports MT errors above 4 on Qakbot.
+        assert_eq!(absolute_relative_error(50.0, 10.0), 4.0);
+    }
+
+    #[test]
+    fn mean_are_skips_zero_actuals() {
+        assert_eq!(mean_absolute_relative_error(&[(5.0, 0.0)]), None);
+        assert_eq!(mean_absolute_relative_error(&[]), None);
+        let m = mean_absolute_relative_error(&[(8.0, 10.0), (0.0, 0.0)]);
+        assert_eq!(m, Some(0.2));
+    }
+}

@@ -1,0 +1,430 @@
+//! Theorem 1 of the paper: the expected number of bots required to cover
+//! one segment.
+//!
+//! For a segment of length `l`, let `l̃` range over the possible *start
+//! spans* (the stretch of positions bot starting points occupy):
+//! `l̃ = l − θq + 1` exactly for an m-segment (every covering bot ran its
+//! full barrel), and `l − θq + 1 ..= l` for a b-segment (the last bot may
+//! have stopped early at the boundary). The paper's Theorem 1 combines
+//! three ingredients for `n` bots whose starts land on those `l̃`
+//! positions:
+//!
+//! 1. an **occupancy probability** — how likely the `n` starts occupy
+//!    exactly `m` distinct positions *including both endpoints* of the
+//!    span: `C(l̃−2, m−2) · m! · S(n, m) / l̃ⁿ` (Stirling numbers of the
+//!    second kind count the surjections);
+//! 2. a **gap constraint** `g(l̃, m)` — the probability that `m` occupied
+//!    positions with fixed endpoints leave no internal gap larger than
+//!    `θq` (inclusion–exclusion over compositions; printed as Eq. after
+//!    Theorem 1 and implemented verbatim);
+//! 3. a **prior over `n`** from the §V-A activation model: bot starts are
+//!    uniform on the circle of `P` positions and arrive as a Poisson
+//!    process, so the number of starts falling in a span of `l̃` positions
+//!    is Poisson with mean `μ = ρ·l̃`, where `ρ` is the start density
+//!    (bots per pool position).
+//!
+//! The posterior `p(n, l̃) ∝ Poisson(n; ρ·l̃) · Σ_m occupancy·g` yields the
+//! segment's expected bot count; b-segments marginalise over `l̃`.
+//!
+//! **Faithfulness note** (DESIGN.md §3, substitution 3): the paper prints
+//! the occupancy factor as `f(l̃,n,m) = m!/l̃ⁿ·C(l̃,m)·(S(n,m) −
+//! l̃·S(n−1,m))`, but that expression telescopes to zero when summed over
+//! `n` (via the Stirling generating function `Σ_n S(n,m)·xⁿ`), so it
+//! cannot be the intended mass function — the proof lives in a technical
+//! report whose link is dead. We therefore reconstruct the estimator from
+//! the same model with the exact occupancy probability (1.) and the
+//! process prior (3.); the `g` term matches the paper verbatim. The
+//! [`CoverageEstimator`](crate::CoverageEstimator) provides an
+//! independently-derived cross-check for the same taxonomy cell.
+
+use crate::segments::{Segment, SegmentKind};
+use botmeter_stats::{ln_binomial, ln_factorial, LogSumAcc, StirlingTable};
+
+/// Hard cap on the per-segment bot count considered by the posterior sum.
+const MAX_BOTS_PER_SEGMENT: u64 = 2_000;
+
+/// Relative tail-mass threshold for truncating the `n` sum.
+const TAIL_EPSILON: f64 = 1e-9;
+
+/// Maximum number of span values `l̃` evaluated per b-segment. The
+/// marginal varies smoothly in `l̃`, so a uniform sub-grid of the span
+/// range changes the averaged expectation negligibly while bounding the
+/// per-segment cost (a fully-covered newGoZ arc has ~θq candidate spans).
+const MAX_SPAN_SAMPLES: usize = 48;
+
+/// Expected number of bots required to cover `segment` (Theorem 1).
+///
+/// `theta_q` is the family's barrel size; `start_density` is the prior
+/// expected number of bot starts per pool position (`ρ = N/P`), typically
+/// supplied by [`BernoulliEstimator`](crate::BernoulliEstimator)'s
+/// fixpoint loop. Returns at least `1.0` for any non-empty segment
+/// (someone must have produced it).
+///
+/// # Panics
+///
+/// Panics if `theta_q == 0`, the segment has zero length, or
+/// `start_density` is not finite and positive.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::{expected_bots_for_segment, Segment, SegmentKind};
+/// use botmeter_stats::StirlingTable;
+///
+/// let mut table = StirlingTable::new();
+/// // An m-segment of exactly θq positions is one bot's work (up to the
+/// // tiny prior probability of a second bot on the same start).
+/// let seg = Segment { start: 0, len: 500, kind: SegmentKind::Middle };
+/// let e = expected_bots_for_segment(&seg, 500, 1e-3, &mut table);
+/// assert!((e - 1.0).abs() < 1e-2);
+/// ```
+pub fn expected_bots_for_segment(
+    segment: &Segment,
+    theta_q: usize,
+    start_density: f64,
+    table: &mut StirlingTable,
+) -> f64 {
+    assert!(theta_q > 0, "theta_q must be positive");
+    assert!(
+        start_density.is_finite() && start_density > 0.0,
+        "start density must be finite and positive"
+    );
+    let l = segment.len;
+    assert!(l > 0, "segment length must be positive");
+
+    let ll = l.saturating_sub(theta_q - 1).max(1);
+    let lu = match segment.kind {
+        SegmentKind::Middle => ll,
+        SegmentKind::Boundary => l,
+    };
+
+    // Uniform sub-grid over the span range (all values when the range is
+    // small; see MAX_SPAN_SAMPLES).
+    let range = lu - ll + 1;
+    let samples = range.min(MAX_SPAN_SAMPLES);
+    let span_values = (0..samples).map(|k| {
+        if samples == 1 {
+            ll
+        } else {
+            ll + k * (range - 1) / (samples - 1)
+        }
+    });
+
+    // Marginalise over l̃: weight each span's conditional mean by its
+    // total posterior mass.
+    let mut weighted_mean = 0.0f64;
+    let mut total_weight = 0.0f64;
+    for l_tilde in span_values {
+        let (mass, mean) = span_posterior(l_tilde, theta_q, start_density, table);
+        if mass > 0.0 {
+            weighted_mean += mass * mean;
+            total_weight += mass;
+        }
+    }
+
+    if total_weight <= 0.0 {
+        // No span admits any configuration (possible for fragmented
+        // segments under aggressive detection-window loss). Fall back to
+        // the deterministic lower bound: ceil(l / θq) bots.
+        return (l as f64 / theta_q as f64).ceil().max(1.0);
+    }
+    weighted_mean / total_weight
+}
+
+/// Total (relative) posterior mass and conditional mean of `n` for one
+/// span `l̃`. Masses across spans share a common normalisation so they can
+/// be compared directly.
+fn span_posterior(
+    l_tilde: usize,
+    theta_q: usize,
+    start_density: f64,
+    table: &mut StirlingTable,
+) -> (f64, f64) {
+    let mu = start_density * l_tilde as f64;
+    let ln_mu = mu.ln();
+    // Work relative to e^{−μ}·μ (the n = 1 prior weight) so magnitudes
+    // stay comparable across spans; the common e^{−μ} factor differs per
+    // span and matters, so keep it.
+    let mut total = 0.0f64;
+    let mut expectation = 0.0f64;
+    let mut best = 0.0f64;
+    let mut since_peak = 0u32;
+    for n in 1..=MAX_BOTS_PER_SEGMENT {
+        let ln_prior = -mu + n as f64 * ln_mu - ln_factorial(n);
+        let config = config_probability(l_tilde, n, theta_q, table);
+        let mass = if config > 0.0 {
+            (ln_prior + config.ln()).exp()
+        } else {
+            0.0
+        };
+        total += mass;
+        expectation += n as f64 * mass;
+        if mass > best {
+            best = mass;
+            since_peak = 0;
+        } else {
+            since_peak += 1;
+        }
+        if best > 0.0 && mass < best * TAIL_EPSILON && since_peak > 3 {
+            break;
+        }
+        if n >= 64 && total == 0.0 {
+            break;
+        }
+    }
+    if total > 0.0 {
+        (total, expectation / total)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// `P(config | n starts uniform on the span)`: both span endpoints
+/// occupied and every internal gap at most `θq`.
+fn config_probability(
+    l_tilde: usize,
+    n: u64,
+    theta_q: usize,
+    table: &mut StirlingTable,
+) -> f64 {
+    if l_tilde == 1 {
+        return 1.0; // all starts on the single position
+    }
+    if n < 2 {
+        return 0.0; // two distinct endpoints need two bots
+    }
+    let ln_l = (l_tilde as f64).ln();
+    let m_max = (n as usize).min(l_tilde);
+    let mut acc = LogSumAcc::new();
+    for m in 2..=m_max {
+        let g = g_gap_probability(l_tilde, m, theta_q);
+        if g <= 0.0 {
+            continue;
+        }
+        // P(occupy exactly these m positions incl. endpoints)
+        //   = C(l̃−2, m−2) · m! · S(n, m) / l̃ⁿ.
+        let ln_occ = ln_binomial((l_tilde - 2) as u64, (m - 2) as u64)
+            + ln_factorial(m as u64)
+            + table.ln_stirling2(n, m as u64)
+            - n as f64 * ln_l;
+        acc.add(ln_occ + g.ln());
+    }
+    let v = acc.value();
+    if v == f64::NEG_INFINITY {
+        0.0
+    } else {
+        v.exp().min(1.0)
+    }
+}
+
+/// `g(l̃, m)`: probability that `m` occupied positions with both endpoints
+/// of the `l̃` span fixed have every internal gap ≤ `θq` (inclusion–
+/// exclusion over compositions; printed verbatim in the paper).
+fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize) -> f64 {
+    if m == 1 {
+        return if l_tilde == 1 { 1.0 } else { 0.0 };
+    }
+    if m > l_tilde {
+        return 0.0;
+    }
+    // With m−1 gaps of at most θq each, a span longer than (m−1)·θq + 1
+    // is impossible.
+    if l_tilde > (m - 1) * theta_q + 1 {
+        return 0.0;
+    }
+    let denom = ln_binomial((l_tilde - 2) as u64, (m - 2) as u64);
+    if denom == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    // Signed log-space accumulation of the alternating sum.
+    let mut positive = 0.0f64;
+    let mut negative = 0.0f64;
+    for k in 0..m {
+        let reach = l_tilde as i64 - (k * theta_q) as i64 - 2;
+        if reach < (m as i64 - 2) {
+            break; // all further terms vanish
+        }
+        let ln_term = ln_binomial((m - 1) as u64, k as u64)
+            + ln_binomial(reach as u64, (m - 2) as u64)
+            - denom;
+        let term = ln_term.exp();
+        if k % 2 == 0 {
+            positive += term;
+        } else {
+            negative += term;
+        }
+    }
+    (positive - negative).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DENSITY: f64 = 1e-3; // sparse prior: ~N=10 on a 10k circle
+
+    fn m_seg(len: usize) -> Segment {
+        Segment {
+            start: 0,
+            len,
+            kind: SegmentKind::Middle,
+        }
+    }
+
+    fn b_seg(len: usize) -> Segment {
+        Segment {
+            start: 0,
+            len,
+            kind: SegmentKind::Boundary,
+        }
+    }
+
+    #[test]
+    fn lone_theta_q_m_segment_is_one_bot() {
+        let mut t = StirlingTable::new();
+        let e = expected_bots_for_segment(&m_seg(500), 500, DENSITY, &mut t);
+        assert!((e - 1.0).abs() < 1e-2, "{e}");
+    }
+
+    #[test]
+    fn theta_q_plus_one_m_segment_is_about_two_bots() {
+        // Span l̃ = 2 with both endpoints occupied: the parsimonious
+        // explanation under a sparse prior is exactly two bots.
+        let mut t = StirlingTable::new();
+        let e = expected_bots_for_segment(&m_seg(501), 500, DENSITY, &mut t);
+        assert!((e - 2.0).abs() < 0.05, "{e}");
+    }
+
+    #[test]
+    fn longer_segments_need_more_bots() {
+        let mut t = StirlingTable::new();
+        let e1 = expected_bots_for_segment(&m_seg(100), 100, DENSITY, &mut t);
+        let e2 = expected_bots_for_segment(&m_seg(150), 100, DENSITY, &mut t);
+        let e3 = expected_bots_for_segment(&m_seg(250), 100, DENSITY, &mut t);
+        assert!(e1 < e2 && e2 < e3, "monotone growth: {e1} {e2} {e3}");
+        // A 250-position m-segment needs at least 2 (and likely ~3) bots:
+        // a single barrel covers 100 positions.
+        assert!(e3 >= 2.0, "{e3}");
+    }
+
+    #[test]
+    fn short_b_segment_is_about_one_bot() {
+        // A b-segment much shorter than θq under a sparse prior: one bot
+        // that hit the boundary quickly.
+        let mut t = StirlingTable::new();
+        let e = expected_bots_for_segment(&b_seg(10), 500, DENSITY, &mut t);
+        assert!((1.0..2.0).contains(&e), "{e}");
+    }
+
+    #[test]
+    fn denser_prior_raises_saturated_estimates() {
+        // Once a long b-segment saturates, the prior carries the signal:
+        // doubling the density should raise the expectation.
+        let mut t = StirlingTable::new();
+        let sparse = expected_bots_for_segment(&b_seg(2000), 500, 64.0 / 10_000.0, &mut t);
+        let dense = expected_bots_for_segment(&b_seg(2000), 500, 256.0 / 10_000.0, &mut t);
+        assert!(
+            dense > sparse * 1.5,
+            "prior should drive saturated arcs: {sparse} vs {dense}"
+        );
+    }
+
+    #[test]
+    fn g_function_hand_cases() {
+        // Span 3, 2 points, θq = 2 → the single gap of 2 is allowed.
+        assert!((g_gap_probability(3, 2, 2) - 1.0).abs() < 1e-12);
+        // θq = 1 forbids the gap of 2.
+        assert_eq!(g_gap_probability(3, 2, 1), 0.0);
+        // Full occupancy always satisfies the gap bound.
+        assert!((g_gap_probability(5, 5, 1) - 1.0).abs() < 1e-12);
+        // m = 1 only coherent with a single position.
+        assert_eq!(g_gap_probability(1, 1, 10), 1.0);
+        assert_eq!(g_gap_probability(7, 1, 10), 0.0);
+    }
+
+    #[test]
+    fn g_is_a_probability() {
+        for l in 2..60usize {
+            for m in 2..=l.min(20) {
+                for tq in [1usize, 3, 7, 50] {
+                    let v = g_gap_probability(l, m, tq);
+                    assert!((0.0..=1.0).contains(&v), "g({l},{m},{tq}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn g_monotone_in_theta_q() {
+        // Loosening the gap bound can only admit more configurations.
+        for l in [10usize, 25, 40] {
+            for m in [3usize, 5, 8] {
+                let a = g_gap_probability(l, m, 3);
+                let b = g_gap_probability(l, m, 6);
+                let c = g_gap_probability(l, m, 100);
+                assert!(a <= b + 1e-12 && b <= c + 1e-12, "l={l} m={m}: {a} {b} {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_probability_bounds_and_cases() {
+        let mut t = StirlingTable::new();
+        // Single position: certain.
+        assert_eq!(config_probability(1, 5, 10, &mut t), 1.0);
+        // Two endpoints, one bot: impossible.
+        assert_eq!(config_probability(5, 1, 10, &mut t), 0.0);
+        // Two positions, n bots: both occupied with prob 1 − 2^{1−n}.
+        for n in 2..8u64 {
+            let want = 1.0 - 2f64.powi(1 - n as i32);
+            let got = config_probability(2, n, 10, &mut t);
+            assert!((got - want).abs() < 1e-9, "n={n}: {got} vs {want}");
+        }
+        // Always a probability.
+        for l in 2..30usize {
+            for n in 2..30u64 {
+                let v = config_probability(l, n, 7, &mut t);
+                assert!((0.0..=1.0).contains(&v), "P({l},{n}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_m_segment_estimates_one_bot() {
+        // An m-segment shorter than θq arises only when the detection
+        // window hides domains; its start span collapses to one position,
+        // so it reads as a single bot (plus negligible prior mass).
+        let mut t = StirlingTable::new();
+        let e = expected_bots_for_segment(&m_seg(3), 500, DENSITY, &mut t);
+        assert!((e - 1.0).abs() < 1e-2, "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta_q must be positive")]
+    fn zero_theta_q_panics() {
+        let mut t = StirlingTable::new();
+        expected_bots_for_segment(&m_seg(3), 0, DENSITY, &mut t);
+    }
+
+    #[test]
+    #[should_panic(expected = "start density must be finite and positive")]
+    fn bad_density_panics() {
+        let mut t = StirlingTable::new();
+        expected_bots_for_segment(&m_seg(3), 5, 0.0, &mut t);
+    }
+
+    #[test]
+    fn large_boundary_segment_is_tractable_and_sane() {
+        // Realistic newGoZ shape: arc ~2000, θq = 500, fully covered arc,
+        // prior from a 64-bot infection.
+        let mut t = StirlingTable::new();
+        let start = std::time::Instant::now();
+        let e = expected_bots_for_segment(&b_seg(2000), 500, 64.0 / 10_000.0, &mut t);
+        assert!((3.0..=64.0).contains(&e), "2000-long b-segment: {e}");
+        assert!(
+            start.elapsed().as_secs() < 10,
+            "tractability bound blown: {:?}",
+            start.elapsed()
+        );
+    }
+}

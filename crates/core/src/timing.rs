@@ -1,0 +1,223 @@
+//! The Timing estimator `MT` — Algorithm 1 of the paper.
+
+use crate::config::EstimationContext;
+use crate::estimator::Estimator;
+use botmeter_dns::{DomainName, ObservedLookup, SimInstant};
+use std::collections::HashSet;
+
+/// `MT`: attributes lookups to distinct bots using three temporal
+/// heuristics (Algorithm 1):
+///
+/// 1. a bot never queries the same NXD twice within an epoch, so a lookup
+///    for a domain an entry already holds cannot be "absorbed" by it;
+/// 2. an activation lasts at most `θq·δi`, so entries older than that
+///    cannot absorb new lookups;
+/// 3. fixed-interval DGAs emit lookups on a `δi` lattice: a lookup whose
+///    gap to the entry's start is not a multiple of `δi` belongs to a
+///    different bot. (Skipped when the family has no fixed interval —
+///    Ramnit/Qakbot's `δi = none` — which is exactly why `MT` collapses on
+///    them in Table II.)
+///
+/// Each unabsorbed lookup opens a new entry; the final entry count is the
+/// population estimate.
+///
+/// `MT` is the only estimator applicable to *every* taxonomy cell, but it
+/// inherits all the weaknesses the paper demonstrates: caching masks whole
+/// bots (fatal for `AU`), and coarse timestamp granularity destroys
+/// heuristic 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingEstimator;
+
+impl Estimator for TimingEstimator {
+    fn name(&self) -> &'static str {
+        "Timing"
+    }
+
+    fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
+        let params = ctx.family().params();
+        let delta_i = params.timing().fixed_interval();
+        let max_duration = params.max_activation_duration();
+
+        struct Entry {
+            t_star: SimInstant,
+            domains: HashSet<DomainName>,
+        }
+        let mut entries: Vec<Entry> = Vec::new();
+
+        for lookup in lookups {
+            let mut absorbed = false;
+            for entry in &mut entries {
+                // Heuristic #1: same domain ⇒ different bot.
+                if entry.domains.contains(&lookup.domain) {
+                    continue;
+                }
+                // Heuristic #2: entry's activation already over.
+                if entry.t_star + max_duration <= lookup.t {
+                    continue;
+                }
+                // Heuristic #3: off the δi lattice ⇒ different bot.
+                if let Some(di) = delta_i {
+                    let gap = lookup.t.saturating_since(entry.t_star).as_millis();
+                    if gap % di.as_millis() != 0 {
+                        continue;
+                    }
+                }
+                entry.domains.insert(lookup.domain.clone());
+                absorbed = true;
+                break;
+            }
+            if !absorbed {
+                let mut domains = HashSet::new();
+                domains.insert(lookup.domain.clone());
+                entries.push(Entry {
+                    t_star: lookup.t,
+                    domains,
+                });
+            }
+        }
+        entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botmeter_dga::{BarrelClass, DgaFamily, DgaParams, QueryTiming};
+    use botmeter_dns::{ServerId, SimDuration, TtlPolicy};
+
+    fn ctx_for(family: DgaFamily) -> EstimationContext {
+        EstimationContext::new(family, TtlPolicy::paper_default(), SimDuration::ZERO)
+    }
+
+    fn test_family(theta_q: usize, delta_i_ms: u64) -> DgaFamily {
+        DgaFamily::builder(
+            "mt-test",
+            DgaParams::new(
+                99,
+                1,
+                theta_q,
+                QueryTiming::Fixed(SimDuration::from_millis(delta_i_ms)),
+            )
+            .unwrap(),
+        )
+        .barrel(BarrelClass::RandomCut)
+        .build()
+        .unwrap()
+    }
+
+    fn obs(ms: u64, name: &str) -> ObservedLookup {
+        ObservedLookup::new(
+            SimInstant::from_millis(ms),
+            ServerId(1),
+            name.parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let ctx = ctx_for(test_family(10, 500));
+        assert_eq!(TimingEstimator.estimate(&[], &ctx), 0.0);
+    }
+
+    #[test]
+    fn single_bot_train_is_one_entry() {
+        // One bot: lookups every 500 ms, distinct domains.
+        let ctx = ctx_for(test_family(10, 500));
+        let stream: Vec<_> = (0..5)
+            .map(|k| obs(k * 500, &format!("d{k}.example")))
+            .collect();
+        assert_eq!(TimingEstimator.estimate(&stream, &ctx), 1.0);
+    }
+
+    #[test]
+    fn heuristic1_same_domain_splits_bots() {
+        // Two lookups of the SAME domain on the lattice: must be two bots.
+        let ctx = ctx_for(test_family(10, 500));
+        let stream = vec![obs(0, "same.example"), obs(500, "same.example")];
+        assert_eq!(TimingEstimator.estimate(&stream, &ctx), 2.0);
+    }
+
+    #[test]
+    fn heuristic2_stale_entry_cannot_absorb() {
+        // θq·δi = 10 × 500 ms = 5 s. A lookup 6 s later is a new bot even
+        // though it sits on the lattice.
+        let ctx = ctx_for(test_family(10, 500));
+        let stream = vec![obs(0, "a.example"), obs(6000, "b.example")];
+        assert_eq!(TimingEstimator.estimate(&stream, &ctx), 2.0);
+    }
+
+    #[test]
+    fn heuristic3_off_lattice_splits_bots() {
+        // Gap of 750 ms is not a multiple of δi = 500 ms (paper's example).
+        let ctx = ctx_for(test_family(10, 500));
+        let stream = vec![obs(0, "a.example"), obs(750, "b.example")];
+        assert_eq!(TimingEstimator.estimate(&stream, &ctx), 2.0);
+        // ...while 1000 ms is absorbed.
+        let stream = vec![obs(0, "a.example"), obs(1000, "b.example")];
+        assert_eq!(TimingEstimator.estimate(&stream, &ctx), 1.0);
+    }
+
+    #[test]
+    fn no_fixed_interval_skips_heuristic3() {
+        let family = DgaFamily::builder(
+            "irregular",
+            DgaParams::new(
+                99,
+                1,
+                10,
+                QueryTiming::Irregular {
+                    min: SimDuration::from_millis(100),
+                    max: SimDuration::from_secs(2),
+                },
+            )
+            .unwrap(),
+        )
+        .barrel(BarrelClass::RandomCut)
+        .build()
+        .unwrap();
+        let ctx = ctx_for(family);
+        // Off-lattice gap, distinct domains, within duration: absorbed,
+        // because heuristic #3 cannot run.
+        let stream = vec![obs(0, "a.example"), obs(750, "b.example")];
+        assert_eq!(TimingEstimator.estimate(&stream, &ctx), 1.0);
+    }
+
+    #[test]
+    fn two_interleaved_bots_with_offset_phase() {
+        // Bot A at 0, 500, 1000...; bot B at 250, 750...: B's phase is off
+        // A's lattice, so MT separates them.
+        let ctx = ctx_for(test_family(10, 500));
+        let stream = vec![
+            obs(0, "a1.example"),
+            obs(250, "b1.example"),
+            obs(500, "a2.example"),
+            obs(750, "b2.example"),
+        ];
+        assert_eq!(TimingEstimator.estimate(&stream, &ctx), 2.0);
+    }
+
+    #[test]
+    fn estimator_name() {
+        assert_eq!(TimingEstimator.name(), "Timing");
+    }
+
+    #[test]
+    fn end_to_end_on_randomcut_simulation() {
+        use botmeter_sim::ScenarioSpec;
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .seed(5)
+            .build()
+            .unwrap()
+            .run();
+        let ctx = EstimationContext::new(
+            outcome.family().clone(),
+            outcome.ttl(),
+            outcome.granularity(),
+        );
+        let est = TimingEstimator.estimate(outcome.observed(), &ctx);
+        let actual = outcome.ground_truth()[0] as f64;
+        let are = crate::absolute_relative_error(est, actual);
+        assert!(are < 0.5, "MT on AR should be decent: est {est} vs {actual}");
+    }
+}

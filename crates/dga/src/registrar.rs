@@ -1,0 +1,176 @@
+//! The registrar oracle: which DGA domains actually resolve on which day.
+//!
+//! In the paper's model the botmaster registers `θ∃` domains from each
+//! epoch's pool; every other pool domain — and every domain outside the
+//! pool — is NXDOMAIN. [`EpochAuthority`] precomputes the valid sets for a
+//! range of epochs and implements [`botmeter_dns::Authority`], so it can be
+//! plugged straight into the DNS topology.
+
+use crate::family::DgaFamily;
+use botmeter_dns::{Answer, Authority, DomainName, SimDuration, SimInstant};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// A time-varying authority answering for one DGA family's C2 rotations
+/// over a precomputed range of epochs.
+///
+/// Outside the precomputed range everything is NXDOMAIN (a conservative
+/// default: an unregistered future).
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dga::DgaFamily;
+/// use botmeter_dns::{Authority, SimInstant};
+///
+/// let family = DgaFamily::murofet();
+/// let auth = family.authority_for_epochs(2);
+/// let c2 = &family.valid_domains(0)[0];
+/// assert!(auth.resolve(SimInstant::ZERO, c2).is_positive());
+/// // The same domain is NOT registered on day 1 (fresh pool).
+/// let day1 = SimInstant::ZERO + family.epoch_len();
+/// assert!(!auth.resolve(day1, c2).is_positive());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochAuthority {
+    epoch_len: SimDuration,
+    valid_by_epoch: Vec<HashSet<DomainName>>,
+    c2_address: Ipv4Addr,
+}
+
+impl EpochAuthority {
+    /// Precomputes valid sets for `family` over epochs `0..num_epochs`.
+    pub fn build(family: &DgaFamily, num_epochs: u64) -> Self {
+        let valid_by_epoch = (0..num_epochs)
+            .map(|e| family.valid_domains(e).into_iter().collect())
+            .collect();
+        EpochAuthority {
+            epoch_len: family.epoch_len(),
+            valid_by_epoch,
+            c2_address: Ipv4Addr::new(203, 0, 113, 66),
+        }
+    }
+
+    /// Merges several per-family authorities with the same epoch length
+    /// (the enterprise scenario runs three infections at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch lengths disagree or `sources` is empty.
+    pub fn merge(sources: &[EpochAuthority]) -> Self {
+        assert!(!sources.is_empty(), "cannot merge zero authorities");
+        let epoch_len = sources[0].epoch_len;
+        assert!(
+            sources.iter().all(|s| s.epoch_len == epoch_len),
+            "epoch lengths must agree"
+        );
+        let max_epochs = sources
+            .iter()
+            .map(|s| s.valid_by_epoch.len())
+            .max()
+            .unwrap_or(0);
+        let mut valid_by_epoch = vec![HashSet::new(); max_epochs];
+        for s in sources {
+            for (e, set) in s.valid_by_epoch.iter().enumerate() {
+                valid_by_epoch[e].extend(set.iter().cloned());
+            }
+        }
+        EpochAuthority {
+            epoch_len,
+            valid_by_epoch,
+            c2_address: sources[0].c2_address,
+        }
+    }
+
+    /// Number of precomputed epochs.
+    pub fn num_epochs(&self) -> u64 {
+        self.valid_by_epoch.len() as u64
+    }
+
+    /// The valid (registered) domains of one epoch, if precomputed.
+    pub fn valid_domains(&self, epoch: u64) -> Option<&HashSet<DomainName>> {
+        self.valid_by_epoch.get(epoch as usize)
+    }
+}
+
+impl Authority for EpochAuthority {
+    fn resolve(&self, t: SimInstant, domain: &DomainName) -> Answer {
+        let epoch = t.epoch_day(self.epoch_len) as usize;
+        match self.valid_by_epoch.get(epoch) {
+            Some(set) if set.contains(domain) => Answer::Address(self.c2_address),
+            _ => Answer::NxDomain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_only_registered_epoch_domains() {
+        let f = DgaFamily::new_goz();
+        let auth = f.authority_for_epochs(3);
+        assert_eq!(auth.num_epochs(), 3);
+        for epoch in 0..3u64 {
+            let t = SimInstant::ZERO + f.epoch_len() * epoch + SimDuration::from_hours(1);
+            let valid = f.valid_domains(epoch);
+            for d in &valid {
+                assert!(auth.resolve(t, d).is_positive(), "epoch {epoch}: {d}");
+            }
+            // A non-registered pool domain is NXD.
+            let pool = f.pool_for_epoch(epoch);
+            let nx = pool
+                .iter()
+                .find(|d| !valid.contains(d))
+                .expect("pool has NXDs");
+            assert!(!auth.resolve(t, nx).is_positive());
+        }
+    }
+
+    #[test]
+    fn outside_precomputed_range_is_nx() {
+        let f = DgaFamily::murofet();
+        let auth = f.authority_for_epochs(1);
+        let far_future = SimInstant::ZERO + SimDuration::from_days(100);
+        let c2 = &f.valid_domains(0)[0];
+        assert!(!auth.resolve(far_future, c2).is_positive());
+    }
+
+    #[test]
+    fn foreign_domains_are_nx() {
+        let f = DgaFamily::murofet();
+        let auth = f.authority_for_epochs(1);
+        let foreign: DomainName = "www.benign.example".parse().unwrap();
+        assert!(!auth.resolve(SimInstant::ZERO, &foreign).is_positive());
+    }
+
+    #[test]
+    fn merge_unions_valid_sets() {
+        let a = DgaFamily::murofet().authority_for_epochs(2);
+        let b = DgaFamily::new_goz().authority_for_epochs(3);
+        let merged = EpochAuthority::merge(&[a.clone(), b.clone()]);
+        assert_eq!(merged.num_epochs(), 3);
+        let t = SimInstant::ZERO;
+        for d in a.valid_domains(0).unwrap() {
+            assert!(merged.resolve(t, d).is_positive());
+        }
+        for d in b.valid_domains(0).unwrap() {
+            assert!(merged.resolve(t, d).is_positive());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge zero")]
+    fn merge_empty_panics() {
+        EpochAuthority::merge(&[]);
+    }
+
+    #[test]
+    fn valid_domains_accessor() {
+        let f = DgaFamily::conficker_c();
+        let auth = f.authority_for_epochs(1);
+        assert_eq!(auth.valid_domains(0).unwrap().len(), 5);
+        assert!(auth.valid_domains(9).is_none());
+    }
+}

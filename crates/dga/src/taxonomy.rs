@@ -1,0 +1,198 @@
+//! The two-axis DGA taxonomy of §III and Fig. 3.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the query pool evolves over time (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolClass {
+    /// The whole pool is replaced every epoch (Murofet, Srizbi, Conficker,
+    /// GameoverZeus, ...).
+    DrainReplenish,
+    /// A window of per-day batches slides forward; new batches replace
+    /// expired ones (Ranbyus, PushDo).
+    SlidingWindow,
+    /// Several interleaved DGA instances, one useful and the rest noise
+    /// (Pykspa).
+    MultipleMixture,
+}
+
+/// How a bot selects its query barrel from the pool (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BarrelClass {
+    /// Query the entire pool in generation order (`AU`).
+    Uniform,
+    /// Query a random subset of the pool (`AS`, Conficker.C).
+    Sampling,
+    /// Query `θq` consecutive domains from a random starting point on the
+    /// pool's global order (`AR`, newGoZ).
+    RandomCut,
+    /// Query the whole pool in a random permutation order (`AP`, Necurs).
+    Permutation,
+}
+
+impl PoolClass {
+    /// All pool classes in the figure's left-to-right order.
+    pub const ALL: [PoolClass; 3] = [
+        PoolClass::DrainReplenish,
+        PoolClass::SlidingWindow,
+        PoolClass::MultipleMixture,
+    ];
+}
+
+impl BarrelClass {
+    /// All barrel classes in the figure's bottom-to-top order
+    /// (determinism → randomness).
+    pub const ALL: [BarrelClass; 4] = [
+        BarrelClass::Uniform,
+        BarrelClass::RandomCut,
+        BarrelClass::Permutation,
+        BarrelClass::Sampling,
+    ];
+
+    /// The paper's shorthand for the drain-and-replenish instantiation of
+    /// this barrel class: `AU`, `AS`, `AR`, `AP`.
+    pub fn shorthand(&self) -> &'static str {
+        match self {
+            BarrelClass::Uniform => "AU",
+            BarrelClass::Sampling => "AS",
+            BarrelClass::RandomCut => "AR",
+            BarrelClass::Permutation => "AP",
+        }
+    }
+}
+
+impl fmt::Display for PoolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PoolClass::DrainReplenish => "drain-and-replenish",
+            PoolClass::SlidingWindow => "sliding-window",
+            PoolClass::MultipleMixture => "multiple-mixture",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for BarrelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BarrelClass::Uniform => "uniform",
+            BarrelClass::Sampling => "sampling",
+            BarrelClass::RandomCut => "randomcut",
+            BarrelClass::Permutation => "permutation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One cell of the Fig. 3 grid with its known in-the-wild representatives
+/// (an empty list is the figure's "?": not yet spotted in the wild).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonomyCell {
+    /// The pool-model axis value.
+    pub pool: PoolClass,
+    /// The barrel-model axis value.
+    pub barrel: BarrelClass,
+    /// Known DGA families occupying this cell.
+    pub families: Vec<String>,
+}
+
+/// The full Fig. 3 grid: every pool × barrel combination with the families
+/// the paper (and our presets) place in it.
+///
+/// # Example
+///
+/// ```
+/// let grid = botmeter_dga::known_families();
+/// assert_eq!(grid.len(), 12); // 3 pool classes × 4 barrel classes
+/// let goz = grid.iter()
+///     .find(|c| c.families.iter().any(|f| f == "newGoZ"))
+///     .expect("newGoZ is in the grid");
+/// assert_eq!(goz.barrel, botmeter_dga::BarrelClass::RandomCut);
+/// ```
+pub fn known_families() -> Vec<TaxonomyCell> {
+    let mut grid = Vec::with_capacity(12);
+    for &barrel in &BarrelClass::ALL {
+        for &pool in &PoolClass::ALL {
+            let families: Vec<&str> = match (pool, barrel) {
+                (PoolClass::DrainReplenish, BarrelClass::Uniform) => {
+                    vec!["Murofet", "Srizbi", "Torpig", "Ramnit", "Qakbot", "Suppobox"]
+                }
+                (PoolClass::SlidingWindow, BarrelClass::Uniform) => vec!["Ranbyus", "PushDo"],
+                (PoolClass::DrainReplenish, BarrelClass::Sampling) => vec!["Conficker.C"],
+                (PoolClass::MultipleMixture, BarrelClass::Sampling) => vec!["Pykspa"],
+                (PoolClass::DrainReplenish, BarrelClass::RandomCut) => vec!["newGoZ"],
+                (PoolClass::DrainReplenish, BarrelClass::Permutation) => vec!["Necurs"],
+                _ => vec![],
+            };
+            grid.push(TaxonomyCell {
+                pool,
+                barrel,
+                families: families.into_iter().map(str::to_owned).collect(),
+            });
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_complete_and_unique() {
+        let grid = known_families();
+        assert_eq!(grid.len(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for cell in &grid {
+            assert!(seen.insert((cell.pool, cell.barrel)), "duplicate cell");
+        }
+    }
+
+    #[test]
+    fn paper_placements() {
+        let grid = known_families();
+        let find = |name: &str| {
+            grid.iter()
+                .find(|c| c.families.iter().any(|f| f == name))
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(find("Murofet").barrel, BarrelClass::Uniform);
+        assert_eq!(find("Murofet").pool, PoolClass::DrainReplenish);
+        assert_eq!(find("Conficker.C").barrel, BarrelClass::Sampling);
+        assert_eq!(find("newGoZ").barrel, BarrelClass::RandomCut);
+        assert_eq!(find("Necurs").barrel, BarrelClass::Permutation);
+        assert_eq!(find("Ranbyus").pool, PoolClass::SlidingWindow);
+        assert_eq!(find("PushDo").pool, PoolClass::SlidingWindow);
+        assert_eq!(find("Pykspa").pool, PoolClass::MultipleMixture);
+    }
+
+    #[test]
+    fn unspotted_cells_exist() {
+        // Fig. 3 marks several combinations "?" — never seen in the wild.
+        let empty = known_families().iter().filter(|c| c.families.is_empty()).count();
+        assert_eq!(empty, 6);
+    }
+
+    #[test]
+    fn shorthand_labels() {
+        assert_eq!(BarrelClass::Uniform.shorthand(), "AU");
+        assert_eq!(BarrelClass::Sampling.shorthand(), "AS");
+        assert_eq!(BarrelClass::RandomCut.shorthand(), "AR");
+        assert_eq!(BarrelClass::Permutation.shorthand(), "AP");
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(PoolClass::DrainReplenish.to_string(), "drain-and-replenish");
+        assert_eq!(BarrelClass::RandomCut.to_string(), "randomcut");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cell = &known_families()[0];
+        let json = serde_json::to_string(cell).unwrap();
+        let back: TaxonomyCell = serde_json::from_str(&json).unwrap();
+        assert_eq!(*cell, back);
+    }
+}

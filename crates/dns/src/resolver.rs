@@ -1,0 +1,139 @@
+//! A single caching-forwarding DNS resolver node.
+
+use crate::authority::{Answer, Authority};
+use crate::cache::{CacheStats, DnsCache};
+use crate::name::DomainName;
+use crate::record::ServerId;
+use crate::time::SimInstant;
+use crate::ttl::TtlPolicy;
+
+/// One caching-forwarding DNS server (a "local DNS server" in Fig. 1 of the
+/// paper).
+///
+/// Given a lookup, the resolver first consults its cache; only on a miss
+/// does it "forward" the query — here modelled as asking an [`Authority`]
+/// directly — and then caches the response under the configured
+/// [`TtlPolicy`].
+///
+/// For multi-level hierarchies, use [`Topology`](crate::Topology), which
+/// chains per-node caches; `LocalResolver` is the single-node building block
+/// and is convenient in unit tests and microbenchmarks.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{LocalResolver, ServerId, SimInstant, StaticAuthority, TtlPolicy};
+/// let mut r = LocalResolver::new(ServerId(1), TtlPolicy::paper_default());
+/// let auth = StaticAuthority::empty();
+/// let d = "nx.example".parse()?;
+/// let (_, forwarded) = r.process(SimInstant::ZERO, &d, &auth);
+/// assert!(forwarded, "first lookup always forwarded");
+/// let (_, forwarded) = r.process(SimInstant::from_millis(1), &d, &auth);
+/// assert!(!forwarded, "second lookup absorbed by negative cache");
+/// # Ok::<(), botmeter_dns::ParseDomainError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalResolver {
+    id: ServerId,
+    cache: DnsCache,
+    ttl: TtlPolicy,
+}
+
+impl LocalResolver {
+    /// Creates a resolver with an empty cache.
+    pub fn new(id: ServerId, ttl: TtlPolicy) -> Self {
+        LocalResolver {
+            id,
+            cache: DnsCache::new(),
+            ttl,
+        }
+    }
+
+    /// This resolver's identifier.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The TTL policy in force.
+    pub fn ttl(&self) -> TtlPolicy {
+        self.ttl
+    }
+
+    /// Handles one client lookup at time `t`.
+    ///
+    /// Returns the answer and whether the lookup was **forwarded** (i.e.
+    /// missed the cache and would be visible one level up).
+    pub fn process<A: Authority>(
+        &mut self,
+        t: SimInstant,
+        domain: &DomainName,
+        authority: A,
+    ) -> (Answer, bool) {
+        if let Some(hit) = self.cache.lookup(t, domain) {
+            return (hit.answer, false);
+        }
+        let answer = authority.resolve(t, domain);
+        self.cache.store(t, domain.clone(), answer, &self.ttl);
+        (answer, true)
+    }
+
+    /// Cache statistics accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of live-or-stale entries in the cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Clears the cache (epoch reset in tests).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::StaticAuthority;
+    use crate::time::SimDuration;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn forwards_on_miss_absorbs_on_hit() {
+        let mut r = LocalResolver::new(ServerId(3), TtlPolicy::paper_default());
+        let auth = StaticAuthority::from_domains([d("c2.example")]);
+        let t = SimInstant::ZERO;
+
+        let (a1, f1) = r.process(t, &d("c2.example"), &auth);
+        assert!(a1.is_positive() && f1);
+        let (a2, f2) = r.process(t + SimDuration::from_hours(5), &d("c2.example"), &auth);
+        assert!(a2.is_positive() && !f2, "positive cache lives a day");
+
+        let (a3, f3) = r.process(t, &d("nx.example"), &auth);
+        assert!(!a3.is_positive() && f3);
+        let (_, f4) = r.process(t + SimDuration::from_hours(1), &d("nx.example"), &auth);
+        assert!(!f4, "negative cache lives two hours");
+        let (_, f5) = r.process(t + SimDuration::from_hours(3), &d("nx.example"), &auth);
+        assert!(f5, "negative entry expired, forwarded again");
+    }
+
+    #[test]
+    fn id_and_stats_accessors() {
+        let mut r = LocalResolver::new(ServerId(7), TtlPolicy::paper_default());
+        assert_eq!(r.id(), ServerId(7));
+        let auth = StaticAuthority::empty();
+        r.process(SimInstant::ZERO, &d("a.example"), &auth);
+        r.process(SimInstant::from_millis(5), &d("a.example"), &auth);
+        let s = r.cache_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(r.cache_len(), 1);
+        r.clear_cache();
+        assert_eq!(r.cache_len(), 0);
+    }
+}

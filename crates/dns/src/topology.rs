@@ -1,0 +1,465 @@
+//! Hierarchical DNS topologies: a tree of caching resolvers with the border
+//! server as vantage point (Fig. 1 of the paper).
+//!
+//! A lookup issued by a client walks up from its local resolver towards the
+//! border. Any non-expired cache entry along the way absorbs it (it becomes
+//! invisible). If it reaches the border, it is recorded as an
+//! [`ObservedLookup`] attributed to the *last forwarding server* — exactly
+//! the `⟨t, s, d⟩` tuple BotMeter consumes — and the authoritative answer is
+//! then cached at every node along the path.
+
+use crate::authority::{Answer, Authority};
+use crate::cache::{CacheStats, DnsCache};
+use crate::name::DomainName;
+use crate::record::{ClientId, ObservedLookup, RawLookup, ServerId};
+use crate::time::SimInstant;
+use crate::ttl::TtlPolicy;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of the border (root) server in every topology.
+const BORDER: ServerId = ServerId(0);
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<ServerId>,
+    cache: DnsCache,
+}
+
+/// Errors from topology construction or client routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Referenced a server id that does not exist.
+    UnknownServer(ServerId),
+    /// Tried to attach clients to (or parent a node under) the border in an
+    /// unsupported way.
+    BorderNotALeaf,
+    /// A lookup arrived from a client with no assigned resolver and no
+    /// default leaf is configured.
+    UnroutedClient(ClientId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            TopologyError::BorderNotALeaf => {
+                write!(f, "the border server cannot serve clients directly")
+            }
+            TopologyError::UnroutedClient(c) => {
+                write!(f, "no resolver assigned for {c} and no default leaf set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Builder for [`Topology`]. The border server (id 0) always exists.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{TopologyBuilder, TtlPolicy};
+/// let mut b = TopologyBuilder::new(TtlPolicy::paper_default());
+/// let site_a = b.add_resolver_under_border();
+/// let site_b = b.add_resolver_under_border();
+/// let floor = b.add_resolver(site_a)?; // a second caching level
+/// let mut topo = b.build();
+/// topo.set_default_leaf(site_b)?;
+/// assert_eq!(topo.local_servers().len(), 3);
+/// # let _ = floor;
+/// # Ok::<(), botmeter_dns::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    ttl: TtlPolicy,
+    nodes: Vec<Node>,
+}
+
+impl TopologyBuilder {
+    /// Starts a topology containing only the border server.
+    pub fn new(ttl: TtlPolicy) -> Self {
+        TopologyBuilder {
+            ttl,
+            nodes: vec![Node {
+                parent: None,
+                cache: DnsCache::new(),
+            }],
+        }
+    }
+
+    /// Adds a resolver forwarding directly to the border; returns its id.
+    pub fn add_resolver_under_border(&mut self) -> ServerId {
+        self.add_resolver(BORDER).expect("border always exists")
+    }
+
+    /// Adds a resolver forwarding to `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownServer`] if `parent` was never
+    /// created.
+    pub fn add_resolver(&mut self, parent: ServerId) -> Result<ServerId, TopologyError> {
+        if parent.0 as usize >= self.nodes.len() {
+            return Err(TopologyError::UnknownServer(parent));
+        }
+        let id = ServerId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            parent: Some(parent),
+            cache: DnsCache::new(),
+        });
+        Ok(id)
+    }
+
+    /// Finalises the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            ttl: self.ttl,
+            nodes: self.nodes,
+            client_map: HashMap::new(),
+            default_leaf: None,
+        }
+    }
+}
+
+/// A tree of caching resolvers rooted at the border vantage point.
+///
+/// See the crate-level documentation for the forwarding model.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{
+///     ClientId, RawLookup, SimInstant, StaticAuthority, Topology, TtlPolicy,
+/// };
+/// let mut topo = Topology::single_local(TtlPolicy::paper_default());
+/// let auth = StaticAuthority::empty();
+/// let raw = RawLookup::new(SimInstant::ZERO, ClientId(1), "nx.example".parse()?);
+///
+/// // First lookup reaches the border ...
+/// assert!(topo.process(&raw, &auth)?.is_some());
+/// // ... an identical one a moment later is absorbed by the local cache.
+/// let raw2 = RawLookup::new(SimInstant::from_millis(10), ClientId(2), "nx.example".parse()?);
+/// assert!(topo.process(&raw2, &auth)?.is_none());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    ttl: TtlPolicy,
+    nodes: Vec<Node>,
+    client_map: HashMap<ClientId, ServerId>,
+    default_leaf: Option<ServerId>,
+}
+
+impl Topology {
+    /// The simplest topology in the paper's evaluation: one local resolver
+    /// under the border, serving every client by default.
+    pub fn single_local(ttl: TtlPolicy) -> Topology {
+        let mut b = TopologyBuilder::new(ttl);
+        let local = b.add_resolver_under_border();
+        let mut t = b.build();
+        t.set_default_leaf(local).expect("local resolver exists");
+        t
+    }
+
+    /// A one-level topology with `n` local resolvers under the border
+    /// (clients must be assigned, or a default leaf set, before processing).
+    pub fn star(ttl: TtlPolicy, n: usize) -> Topology {
+        let mut b = TopologyBuilder::new(ttl);
+        for _ in 0..n {
+            b.add_resolver_under_border();
+        }
+        b.build()
+    }
+
+    /// The border server's id (always `ServerId(0)`).
+    pub fn border(&self) -> ServerId {
+        BORDER
+    }
+
+    /// Ids of all non-border resolvers.
+    pub fn local_servers(&self) -> Vec<ServerId> {
+        (1..self.nodes.len() as u32).map(ServerId).collect()
+    }
+
+    /// Routes every client without an explicit assignment to `leaf`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownServer`] for a nonexistent id,
+    /// [`TopologyError::BorderNotALeaf`] for the border.
+    pub fn set_default_leaf(&mut self, leaf: ServerId) -> Result<(), TopologyError> {
+        self.check_leaf(leaf)?;
+        self.default_leaf = Some(leaf);
+        Ok(())
+    }
+
+    /// Assigns one client to a specific local resolver.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`set_default_leaf`](Self::set_default_leaf).
+    pub fn assign_client(&mut self, client: ClientId, leaf: ServerId) -> Result<(), TopologyError> {
+        self.check_leaf(leaf)?;
+        self.client_map.insert(client, leaf);
+        Ok(())
+    }
+
+    fn check_leaf(&self, leaf: ServerId) -> Result<(), TopologyError> {
+        if leaf == BORDER {
+            return Err(TopologyError::BorderNotALeaf);
+        }
+        if leaf.0 as usize >= self.nodes.len() {
+            return Err(TopologyError::UnknownServer(leaf));
+        }
+        Ok(())
+    }
+
+    /// The resolver a client's lookups enter at.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnroutedClient`] if the client has no assignment
+    /// and no default leaf is set.
+    pub fn route(&self, client: ClientId) -> Result<ServerId, TopologyError> {
+        self.client_map
+            .get(&client)
+            .copied()
+            .or(self.default_leaf)
+            .ok_or(TopologyError::UnroutedClient(client))
+    }
+
+    /// Processes one raw lookup through the hierarchy.
+    ///
+    /// Returns `Ok(Some(observed))` if the lookup reached the border (and is
+    /// therefore visible to BotMeter), `Ok(None)` if some cache absorbed it.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnroutedClient`] if the client cannot be routed.
+    pub fn process<A: Authority>(
+        &mut self,
+        raw: &RawLookup,
+        authority: A,
+    ) -> Result<Option<ObservedLookup>, TopologyError> {
+        let entry = self.route(raw.client)?;
+        let t = raw.t;
+
+        // Walk up, collecting the path of caches below the border.
+        let mut path: Vec<ServerId> = Vec::with_capacity(4);
+        let mut current = entry;
+        loop {
+            if let Some(hit) = self.nodes[current.0 as usize].cache.lookup(t, &raw.domain) {
+                let _ = hit;
+                return Ok(None); // absorbed below the vantage point
+            }
+            path.push(current);
+            match self.nodes[current.0 as usize].parent {
+                Some(parent) if parent == BORDER => break,
+                Some(parent) => current = parent,
+                None => break, // entry somehow was the border: defensive
+            }
+        }
+
+        let forwarder = *path.last().expect("path has at least the entry node");
+        let observed = ObservedLookup::new(t, forwarder, raw.domain.clone());
+
+        // Resolve at/above the border (the border's own cache does not
+        // affect visibility, only upstream traffic, which we don't model).
+        let answer = self.resolve_at_border(t, &raw.domain, authority);
+
+        // The response propagates back down; every node on the path caches it.
+        for node in path {
+            self.nodes[node.0 as usize]
+                .cache
+                .store(t, raw.domain.clone(), answer, &self.ttl);
+        }
+        Ok(Some(observed))
+    }
+
+    fn resolve_at_border<A: Authority>(
+        &mut self,
+        t: SimInstant,
+        domain: &DomainName,
+        authority: A,
+    ) -> Answer {
+        let border = &mut self.nodes[BORDER.0 as usize];
+        if let Some(hit) = border.cache.lookup(t, domain) {
+            return hit.answer;
+        }
+        let answer = authority.resolve(t, domain);
+        border.cache.store(t, domain.clone(), answer, &self.ttl);
+        answer
+    }
+
+    /// Runs a whole raw trace (assumed time-ordered) through the hierarchy
+    /// and returns the border-visible sub-trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unroutable client.
+    pub fn process_trace<A: Authority + Copy>(
+        &mut self,
+        raws: &[RawLookup],
+        authority: A,
+    ) -> Result<Vec<ObservedLookup>, TopologyError> {
+        let mut out = Vec::new();
+        for raw in raws {
+            if let Some(obs) = self.process(raw, authority)? {
+                out.push(obs);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cache statistics of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn cache_stats(&self, server: ServerId) -> CacheStats {
+        self.nodes[server.0 as usize].cache.stats()
+    }
+
+    /// Clears every cache in the hierarchy.
+    pub fn clear_caches(&mut self) {
+        for node in &mut self.nodes {
+            node.cache.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::StaticAuthority;
+    use crate::time::SimDuration;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn raw(ms: u64, client: u32, name: &str) -> RawLookup {
+        RawLookup::new(SimInstant::from_millis(ms), ClientId(client), d(name))
+    }
+
+    #[test]
+    fn single_local_filters_duplicates() {
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let auth = StaticAuthority::empty();
+        let first = topo.process(&raw(0, 1, "nx.example"), &auth).unwrap();
+        assert!(first.is_some());
+        assert_eq!(first.unwrap().server, ServerId(1));
+        // Different client, same domain, within negative TTL: absorbed.
+        assert!(topo.process(&raw(1000, 2, "nx.example"), &auth).unwrap().is_none());
+        // After negative TTL expiry: visible again.
+        let later = 2 * 3_600_000 + 1;
+        assert!(topo.process(&raw(later, 3, "nx.example"), &auth).unwrap().is_some());
+    }
+
+    #[test]
+    fn star_attributes_forwarding_server() {
+        let mut topo = Topology::star(TtlPolicy::paper_default(), 2);
+        let servers = topo.local_servers();
+        topo.assign_client(ClientId(1), servers[0]).unwrap();
+        topo.assign_client(ClientId(2), servers[1]).unwrap();
+        let auth = StaticAuthority::empty();
+
+        let a = topo.process(&raw(0, 1, "nx.example"), &auth).unwrap().unwrap();
+        assert_eq!(a.server, servers[0]);
+        // Same domain via the *other* resolver: its own cache is cold, so it
+        // still reaches the border and is attributed to server 2.
+        let b = topo.process(&raw(5, 2, "nx.example"), &auth).unwrap().unwrap();
+        assert_eq!(b.server, servers[1]);
+    }
+
+    #[test]
+    fn two_level_hierarchy_masks_at_middle() {
+        let mut b = TopologyBuilder::new(TtlPolicy::paper_default());
+        let site = b.add_resolver_under_border();
+        let floor1 = b.add_resolver(site).unwrap();
+        let floor2 = b.add_resolver(site).unwrap();
+        let mut topo = b.build();
+        topo.assign_client(ClientId(1), floor1).unwrap();
+        topo.assign_client(ClientId(2), floor2).unwrap();
+        let auth = StaticAuthority::empty();
+
+        // Client 1's lookup reaches the border, attributed to `site`
+        // (the last forwarder below the border).
+        let obs = topo.process(&raw(0, 1, "nx.example"), &auth).unwrap().unwrap();
+        assert_eq!(obs.server, site);
+
+        // Client 2 goes through floor2 (cold) but hits site's warm cache:
+        // absorbed in the middle of the hierarchy.
+        assert!(topo.process(&raw(10, 2, "nx.example"), &auth).unwrap().is_none());
+        // floor2 cached nothing (the lookup never got answered through it?
+        // No: absorption means site's cached answer is served; floor2 does
+        // not learn it in our model). A repeat via floor2 is absorbed again
+        // at site.
+        assert!(topo.process(&raw(20, 2, "nx.example"), &auth).unwrap().is_none());
+    }
+
+    #[test]
+    fn routing_errors() {
+        let mut topo = Topology::star(TtlPolicy::paper_default(), 1);
+        let auth = StaticAuthority::empty();
+        let err = topo.process(&raw(0, 9, "nx.example"), &auth).unwrap_err();
+        assert_eq!(err, TopologyError::UnroutedClient(ClientId(9)));
+        assert_eq!(
+            topo.assign_client(ClientId(1), ServerId(0)),
+            Err(TopologyError::BorderNotALeaf)
+        );
+        assert_eq!(
+            topo.assign_client(ClientId(1), ServerId(42)),
+            Err(TopologyError::UnknownServer(ServerId(42)))
+        );
+        assert!(err.to_string().contains("client-9"));
+    }
+
+    #[test]
+    fn positive_answers_cached_longer() {
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let auth = StaticAuthority::from_domains([d("c2.example")]);
+        assert!(topo.process(&raw(0, 1, "c2.example"), &auth).unwrap().is_some());
+        // 12 hours later: still inside the 1-day positive TTL.
+        let t = SimDuration::from_hours(12).as_millis();
+        assert!(topo.process(&raw(t, 2, "c2.example"), &auth).unwrap().is_none());
+    }
+
+    #[test]
+    fn process_trace_preserves_order_and_filters() {
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let auth = StaticAuthority::empty();
+        let trace = vec![
+            raw(0, 1, "a.example"),
+            raw(10, 1, "b.example"),
+            raw(20, 2, "a.example"), // absorbed
+            raw(30, 2, "c.example"),
+        ];
+        let obs = topo.process_trace(&trace, &auth).unwrap();
+        let names: Vec<&str> = obs.iter().map(|o| o.domain.as_str()).collect();
+        assert_eq!(names, vec!["a.example", "b.example", "c.example"]);
+    }
+
+    #[test]
+    fn clear_caches_resets_filtering() {
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let auth = StaticAuthority::empty();
+        assert!(topo.process(&raw(0, 1, "a.example"), &auth).unwrap().is_some());
+        topo.clear_caches();
+        assert!(topo.process(&raw(1, 1, "a.example"), &auth).unwrap().is_some());
+    }
+
+    #[test]
+    fn cache_stats_accessible_per_node() {
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let auth = StaticAuthority::empty();
+        topo.process(&raw(0, 1, "a.example"), &auth).unwrap();
+        topo.process(&raw(1, 1, "a.example"), &auth).unwrap();
+        let local = topo.local_servers()[0];
+        let s = topo.cache_stats(local);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Trace (de)serialisation: JSON-Lines streams of lookup records.
+//!
+//! Real deployments tap the border server and persist the forwarded-lookup
+//! stream; the `simulate` / `estimate` command-line tools in
+//! `botmeter-bench` exchange traces in this format, one JSON object per
+//! line, so they compose with standard shell tooling.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Writes records as JSON Lines (one object per line).
+///
+/// # Errors
+///
+/// Propagates serialisation and I/O failures.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{trace, ObservedLookup, ServerId, SimInstant};
+/// let records = vec![ObservedLookup::new(
+///     SimInstant::ZERO, ServerId(1), "nx.example".parse()?)];
+/// let mut buf = Vec::new();
+/// trace::write_jsonl(&records, &mut buf)?;
+/// let text = String::from_utf8(buf)?;
+/// assert!(text.contains("nx.example"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_jsonl<T: Serialize, W: Write>(records: &[T], mut writer: W) -> Result<(), TraceError> {
+    for (i, record) in records.iter().enumerate() {
+        let line = serde_json::to_string(record)
+            .map_err(|source| TraceError::Serialize { line: i + 1, source })?;
+        writer.write_all(line.as_bytes()).map_err(TraceError::Io)?;
+        writer.write_all(b"\n").map_err(TraceError::Io)?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-Lines stream into records, skipping blank lines.
+///
+/// # Errors
+///
+/// Reports the 1-based line number of the first malformed record.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{trace, ObservedLookup};
+/// let text = r#"{"t":0,"server":1,"domain":"nx.example"}"#;
+/// let records: Vec<ObservedLookup> = trace::read_jsonl(text.as_bytes())?;
+/// assert_eq!(records.len(), 1);
+/// # Ok::<(), botmeter_dns::trace::TraceError>(())
+/// ```
+pub fn read_jsonl<T: DeserializeOwned, R: BufRead>(reader: R) -> Result<Vec<T>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(TraceError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let record = serde_json::from_str(trimmed)
+            .map_err(|source| TraceError::Parse { line: i + 1, source })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// A trace I/O failure.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying reader/writer failure.
+    Io(io::Error),
+    /// A record failed to serialise.
+    Serialize {
+        /// 1-based record number.
+        line: usize,
+        /// The serde_json failure.
+        source: serde_json::Error,
+    },
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The serde_json failure.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceError::Serialize { line, source } => {
+                write!(f, "failed to serialise record {line}: {source}")
+            }
+            TraceError::Parse { line, source } => {
+                write!(f, "malformed trace line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Serialize { source, .. } | TraceError::Parse { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClientId, ObservedLookup, RawLookup, ServerId, SimInstant};
+
+    fn observed(n: usize) -> Vec<ObservedLookup> {
+        (0..n)
+            .map(|i| {
+                ObservedLookup::new(
+                    SimInstant::from_millis(i as u64 * 100),
+                    ServerId(1),
+                    format!("d{i}.example").parse().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observed_roundtrip() {
+        let records = observed(50);
+        let mut buf = Vec::new();
+        write_jsonl(&records, &mut buf).unwrap();
+        let back: Vec<ObservedLookup> = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let records = vec![RawLookup::new(
+            SimInstant::from_millis(7),
+            ClientId(3),
+            "a.example".parse().unwrap(),
+        )];
+        let mut buf = Vec::new();
+        write_jsonl(&records, &mut buf).unwrap();
+        let back: Vec<RawLookup> = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "\n{\"t\":0,\"server\":1,\"domain\":\"a.example\"}\n\n";
+        let back: Vec<ObservedLookup> = read_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "{\"t\":0,\"server\":1,\"domain\":\"a.example\"}\nnot-json\n";
+        let err = read_jsonl::<ObservedLookup, _>(text.as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn invalid_domain_rejected_at_parse() {
+        let text = "{\"t\":0,\"server\":1,\"domain\":\"NOT VALID\"}";
+        assert!(read_jsonl::<ObservedLookup, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        let back: Vec<ObservedLookup> = read_jsonl("".as_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the DNS substrate.
+
+use botmeter_dns::{
+    trace, Answer, ClientId, DnsCache, DomainName, ObservedLookup, RawLookup, ServerId,
+    SimDuration, SimInstant, StaticAuthority, Topology, TtlPolicy,
+};
+use proptest::prelude::*;
+
+fn arb_domain() -> impl Strategy<Value = DomainName> {
+    "[a-z][a-z0-9]{2,20}"
+        .prop_map(|label| format!("{label}.example").parse().expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Domain parsing accepts what it should and round-trips exactly.
+    #[test]
+    fn domain_roundtrip(d in arb_domain()) {
+        let s = d.to_string();
+        let back: DomainName = s.parse().expect("roundtrip");
+        prop_assert_eq!(d, back);
+    }
+
+    /// A cache entry is served strictly before its expiry and never after.
+    #[test]
+    fn cache_expiry_boundary(
+        d in arb_domain(),
+        stored_at in 0u64..1_000_000,
+        ttl_ms in 1u64..10_000_000,
+        probe_offset in 0u64..20_000_000,
+    ) {
+        let mut cache = DnsCache::new();
+        let t0 = SimInstant::from_millis(stored_at);
+        cache.store_with_ttl(t0, d.clone(), Answer::NxDomain, SimDuration::from_millis(ttl_ms));
+        let probe = t0 + SimDuration::from_millis(probe_offset);
+        let hit = cache.lookup(probe, &d).is_some();
+        prop_assert_eq!(hit, probe_offset < ttl_ms);
+    }
+
+    /// Quantisation floors to a lattice point no further than g−1 away.
+    #[test]
+    fn quantize_properties(ms in 0u64..10_000_000, g in 1u64..100_000) {
+        let t = SimInstant::from_millis(ms);
+        let q = t.quantize(SimDuration::from_millis(g));
+        prop_assert!(q <= t);
+        prop_assert_eq!(q.as_millis() % g, 0);
+        prop_assert!(ms - q.as_millis() < g);
+    }
+
+    /// Instant arithmetic: (t + d) − d == t and ordering is preserved.
+    #[test]
+    fn instant_arithmetic(ms in 0u64..u32::MAX as u64, d in 0u64..u32::MAX as u64) {
+        let t = SimInstant::from_millis(ms);
+        let dur = SimDuration::from_millis(d);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert!(t + dur >= t);
+        prop_assert_eq!((t + dur) - t, dur);
+    }
+
+    /// Through a single-resolver topology, the same domain is never
+    /// forwarded twice within its TTL, regardless of client interleaving.
+    #[test]
+    fn no_double_forwarding_within_ttl(
+        offsets in prop::collection::vec(0u64..3_600_000, 2..40),
+        d in arb_domain(),
+    ) {
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let auth = StaticAuthority::empty();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        let mut forwarded = 0;
+        for (i, &ms) in sorted.iter().enumerate() {
+            let raw = RawLookup::new(
+                SimInstant::from_millis(ms),
+                ClientId(i as u32),
+                d.clone(),
+            );
+            if topo.process(&raw, &auth).expect("routable").is_some() {
+                forwarded += 1;
+            }
+        }
+        // All lookups fall within one 2h negative TTL window of the first.
+        prop_assert_eq!(forwarded, 1, "offsets {:?}", sorted);
+    }
+
+    /// Trace JSONL round-trips arbitrary observed streams.
+    #[test]
+    fn trace_roundtrip(
+        entries in prop::collection::vec((0u64..1_000_000, 0u32..5), 0..50),
+    ) {
+        let records: Vec<ObservedLookup> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(ms, server))| ObservedLookup::new(
+                SimInstant::from_millis(ms),
+                ServerId(server),
+                format!("d{i}.example").parse().expect("valid"),
+            ))
+            .collect();
+        let mut buf = Vec::new();
+        trace::write_jsonl(&records, &mut buf).expect("write");
+        let back: Vec<ObservedLookup> = trace::read_jsonl(buf.as_slice()).expect("read");
+        prop_assert_eq!(records, back);
+    }
+
+    /// Cache hit/miss counters always sum to the number of lookups.
+    #[test]
+    fn cache_stats_conservation(ops in prop::collection::vec((0u64..100, any::<bool>()), 1..100)) {
+        let mut cache = DnsCache::new();
+        let ttl = TtlPolicy::paper_default();
+        let mut lookups = 0u64;
+        for (i, &(key, store)) in ops.iter().enumerate() {
+            let d: DomainName = format!("k{key}.example").parse().expect("valid");
+            let t = SimInstant::from_millis(i as u64 * 1000);
+            if store {
+                cache.store(t, d, Answer::NxDomain, &ttl);
+            } else {
+                cache.lookup(t, &d);
+                lookups += 1;
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lookups);
+    }
+}

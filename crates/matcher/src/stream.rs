@@ -1,0 +1,157 @@
+//! Stream matching: filtering the border-visible lookup stream down to the
+//! matched sub-streams the estimators consume (Fig. 2, steps 3–4).
+
+use crate::DomainMatcher;
+use botmeter_dns::{ObservedLookup, ServerId};
+use std::collections::BTreeMap;
+
+/// The result of matching an observed stream against a DGA matcher:
+/// matched lookups grouped per forwarding server, each group kept in
+/// arrival order.
+///
+/// Per-server grouping is the point of BotMeter — the landscape is a
+/// *per-local-server* population chart (§II-C).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchedTraffic {
+    by_server: BTreeMap<ServerId, Vec<ObservedLookup>>,
+    scanned: usize,
+}
+
+impl MatchedTraffic {
+    /// Servers that forwarded at least one matched lookup.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.by_server.keys().copied()
+    }
+
+    /// The matched lookups forwarded by `server` (empty if none).
+    pub fn for_server(&self, server: ServerId) -> &[ObservedLookup] {
+        self.by_server
+            .get(&server)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total matched lookups across servers.
+    pub fn total_matched(&self) -> usize {
+        self.by_server.values().map(Vec::len).sum()
+    }
+
+    /// How many observed lookups were scanned (matched or not).
+    pub fn total_scanned(&self) -> usize {
+        self.scanned
+    }
+
+    /// Fraction of scanned lookups that matched.
+    pub fn match_rate(&self) -> f64 {
+        if self.scanned == 0 {
+            0.0
+        } else {
+            self.total_matched() as f64 / self.scanned as f64
+        }
+    }
+
+    /// Iterates `(server, matched lookups)` pairs in server order.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &[ObservedLookup])> {
+        self.by_server.iter().map(|(s, v)| (*s, v.as_slice()))
+    }
+}
+
+/// Matches an observed stream against `matcher`, grouping hits per
+/// forwarding server.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{ObservedLookup, ServerId, SimInstant};
+/// use botmeter_matcher::{match_stream, ExactMatcher};
+///
+/// let matcher = ExactMatcher::from_domains(["evil.example".parse()?]);
+/// let stream = vec![
+///     ObservedLookup::new(SimInstant::ZERO, ServerId(1), "evil.example".parse()?),
+///     ObservedLookup::new(SimInstant::ZERO, ServerId(1), "ok.example".parse()?),
+/// ];
+/// let matched = match_stream(&stream, &matcher);
+/// assert_eq!(matched.total_matched(), 1);
+/// assert_eq!(matched.for_server(ServerId(1)).len(), 1);
+/// # Ok::<(), botmeter_dns::ParseDomainError>(())
+/// ```
+pub fn match_stream<M: DomainMatcher>(
+    observed: &[ObservedLookup],
+    matcher: &M,
+) -> MatchedTraffic {
+    let mut by_server: BTreeMap<ServerId, Vec<ObservedLookup>> = BTreeMap::new();
+    for lookup in observed {
+        if matcher.matches(&lookup.domain) {
+            by_server
+                .entry(lookup.server)
+                .or_default()
+                .push(lookup.clone());
+        }
+    }
+    MatchedTraffic {
+        by_server,
+        scanned: observed.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactMatcher;
+    use botmeter_dns::{DomainName, SimInstant};
+
+    fn obs(ms: u64, server: u32, name: &str) -> ObservedLookup {
+        ObservedLookup::new(
+            SimInstant::from_millis(ms),
+            ServerId(server),
+            name.parse::<DomainName>().unwrap(),
+        )
+    }
+
+    fn matcher() -> ExactMatcher {
+        ExactMatcher::from_domains([
+            "a.evil.example".parse().unwrap(),
+            "b.evil.example".parse().unwrap(),
+        ])
+    }
+
+    #[test]
+    fn groups_by_server_in_arrival_order() {
+        let stream = vec![
+            obs(0, 2, "a.evil.example"),
+            obs(1, 1, "b.evil.example"),
+            obs(2, 2, "b.evil.example"),
+            obs(3, 1, "clean.example"),
+        ];
+        let m = match_stream(&stream, &matcher());
+        assert_eq!(m.total_scanned(), 4);
+        assert_eq!(m.total_matched(), 3);
+        assert_eq!(m.servers().collect::<Vec<_>>(), vec![ServerId(1), ServerId(2)]);
+        let s2 = m.for_server(ServerId(2));
+        assert_eq!(s2.len(), 2);
+        assert!(s2[0].t < s2[1].t, "arrival order preserved");
+        assert!((m.match_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_server_yields_empty_slice() {
+        let m = match_stream(&[obs(0, 1, "a.evil.example")], &matcher());
+        assert!(m.for_server(ServerId(9)).is_empty());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let m = match_stream(&[], &matcher());
+        assert_eq!(m.total_matched(), 0);
+        assert_eq!(m.match_rate(), 0.0);
+        assert_eq!(m.servers().count(), 0);
+    }
+
+    #[test]
+    fn iter_matches_for_server() {
+        let stream = vec![obs(0, 3, "a.evil.example"), obs(1, 4, "b.evil.example")];
+        let m = match_stream(&stream, &matcher());
+        let collected: Vec<_> = m.iter().map(|(s, v)| (s, v.len())).collect();
+        assert_eq!(collected, vec![(ServerId(3), 1), (ServerId(4), 1)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Detection windows: modelling an imperfect D3 algorithm (§II-B).
+//!
+//! A real DGA-domain detector knows only part of each epoch's pool — the
+//! paper calls the known part the *detection window* and evaluates BotMeter
+//! as the missing rate `x` grows from 10% to 50% (Fig. 6(e)).
+//! [`DetectionWindow`] deterministically drops `x`% of an exact matcher's
+//! domains, so an experiment's "missed" subset is reproducible per seed.
+
+use crate::{DomainMatcher, ExactMatcher};
+use botmeter_dns::DomainName;
+use botmeter_stats::mix64;
+use std::collections::HashSet;
+
+/// A matcher wrapper that misses a deterministic `x`% subset of the
+/// confirmed domains.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dga::DgaFamily;
+/// use botmeter_matcher::{DetectionWindow, DomainMatcher, ExactMatcher};
+///
+/// let family = DgaFamily::murofet();
+/// let perfect = ExactMatcher::from_family(&family, 0..1);
+/// let window = DetectionWindow::new(&perfect, 0.30, 7);
+/// let known = family.pool_for_epoch(0).iter()
+///     .filter(|d| window.matches(d))
+///     .count();
+/// // ≈ 70% of 800 domains survive.
+/// assert!((known as f64 - 560.0).abs() < 45.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectionWindow {
+    known: HashSet<DomainName>,
+    missing_rate: f64,
+}
+
+impl DetectionWindow {
+    /// Wraps `matcher`, randomly (but deterministically per `seed`)
+    /// missing `missing_rate` of its domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= missing_rate <= 1`.
+    pub fn new(matcher: &ExactMatcher, missing_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&missing_rate),
+            "missing rate must be in [0, 1]"
+        );
+        // Threshold compare on a per-domain hash: stable under set
+        // iteration order, independent of insertion order.
+        let threshold = (missing_rate * u64::MAX as f64) as u64;
+        let known = matcher
+            .domains()
+            .iter()
+            .filter(|d| domain_hash(d, seed) >= threshold)
+            .cloned()
+            .collect();
+        DetectionWindow {
+            known,
+            missing_rate,
+        }
+    }
+
+    /// The configured missing rate `x`.
+    pub fn missing_rate(&self) -> f64 {
+        self.missing_rate
+    }
+
+    /// Number of domains the window still knows.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Whether the window knows no domains at all.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// The surviving (known) domain set — estimators that reason about
+    /// coverage need it (e.g. the Coverage estimator's per-domain sum).
+    pub fn known_domains(&self) -> &HashSet<DomainName> {
+        &self.known
+    }
+}
+
+impl DomainMatcher for DetectionWindow {
+    fn matches(&self, domain: &DomainName) -> bool {
+        self.known.contains(domain)
+    }
+}
+
+fn domain_hash(domain: &DomainName, seed: u64) -> u64 {
+    let mut h = mix64(seed ^ 0x9e37_79b9);
+    for &b in domain.as_str().as_bytes() {
+        h = mix64(h ^ b as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botmeter_dga::DgaFamily;
+
+    fn perfect() -> ExactMatcher {
+        ExactMatcher::from_family(&DgaFamily::conficker_c(), 0..1)
+    }
+
+    #[test]
+    fn zero_missing_rate_keeps_everything() {
+        let p = perfect();
+        let w = DetectionWindow::new(&p, 0.0, 1);
+        assert_eq!(w.len(), p.len());
+    }
+
+    #[test]
+    fn full_missing_rate_drops_everything() {
+        let w = DetectionWindow::new(&perfect(), 1.0, 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn missing_fraction_is_close_to_x() {
+        let p = perfect(); // 50 000 domains: tight concentration
+        for x in [0.1, 0.3, 0.5] {
+            let w = DetectionWindow::new(&p, x, 42);
+            let frac = 1.0 - w.len() as f64 / p.len() as f64;
+            assert!(
+                (frac - x).abs() < 0.01,
+                "target {x}, got {frac} ({} of {})",
+                w.len(),
+                p.len()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let p = perfect();
+        let a = DetectionWindow::new(&p, 0.3, 5);
+        let b = DetectionWindow::new(&p, 0.3, 5);
+        assert_eq!(a.known_domains(), b.known_domains());
+        let c = DetectionWindow::new(&p, 0.3, 6);
+        assert_ne!(a.known_domains(), c.known_domains());
+    }
+
+    #[test]
+    fn known_domains_are_subset() {
+        let p = perfect();
+        let w = DetectionWindow::new(&p, 0.4, 9);
+        assert!(w.known_domains().iter().all(|d| p.matches(d)));
+        assert!(w.missing_rate() == 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing rate must be in [0, 1]")]
+    fn invalid_rate_panics() {
+        DetectionWindow::new(&perfect(), 1.5, 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Benign enterprise background traffic.
+//!
+//! The enterprise trace of §V-B contains mostly *benign* DNS lookups: the
+//! estimators never see them (the D3 matcher filters them out), but they
+//! exercise the matcher and make the trace realistic. Domain popularity is
+//! Zipf-distributed over a fixed catalog — the classic shape of enterprise
+//! DNS workloads.
+
+use botmeter_dns::{Answer, Authority, ClientId, DomainName, RawLookup, SimDuration, SimInstant};
+use botmeter_stats::{Poisson, SampleU64, Zipf};
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Generator of benign background lookups for a population of clients.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_sim::BenignTraffic;
+/// use botmeter_dns::SimInstant;
+/// use rand::SeedableRng;
+///
+/// let traffic = BenignTraffic::new(1_000, 1.1, 3.0);
+/// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+/// let day = traffic.day_lookups(SimInstant::ZERO, &[0, 1, 2], &mut rng);
+/// assert!(!day.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenignTraffic {
+    catalog: Vec<DomainName>,
+    popularity: Zipf,
+    lookups_per_client: f64,
+}
+
+impl BenignTraffic {
+    /// Creates a generator with a `catalog_size`-domain catalog, Zipf
+    /// exponent `zipf_s`, and a mean of `lookups_per_client` benign lookups
+    /// per active client per day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog_size == 0` or `lookups_per_client <= 0`.
+    pub fn new(catalog_size: usize, zipf_s: f64, lookups_per_client: f64) -> Self {
+        assert!(catalog_size > 0, "catalog must be non-empty");
+        assert!(lookups_per_client > 0.0, "lookup rate must be positive");
+        let catalog = (0..catalog_size)
+            .map(|i| {
+                format!("site{i:06}.benign.example")
+                    .parse()
+                    .expect("constructed names are valid")
+            })
+            .collect();
+        BenignTraffic {
+            catalog,
+            popularity: Zipf::new(catalog_size, zipf_s).expect("validated above"),
+            lookups_per_client,
+        }
+    }
+
+    /// Number of domains in the catalog.
+    pub fn catalog_size(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Whether a domain belongs to the benign catalog.
+    pub fn contains(&self, domain: &DomainName) -> bool {
+        // Catalog names have a recognisable fixed shape; a set lookup is
+        // unnecessary.
+        domain.as_str().ends_with(".benign.example")
+    }
+
+    /// Generates one day of benign lookups for the given active clients,
+    /// starting at `day_start`. Lookups are *not* sorted; callers merge and
+    /// sort with the malicious traffic.
+    pub fn day_lookups<R: Rng + ?Sized>(
+        &self,
+        day_start: SimInstant,
+        active_clients: &[u32],
+        rng: &mut R,
+    ) -> Vec<RawLookup> {
+        let day_ms = SimDuration::from_days(1).as_millis();
+        let count_dist = Poisson::new(self.lookups_per_client).expect("rate validated");
+        let mut out = Vec::with_capacity(
+            (active_clients.len() as f64 * self.lookups_per_client) as usize + 16,
+        );
+        for &client in active_clients {
+            let count = count_dist.sample(rng);
+            for _ in 0..count {
+                let rank = self.popularity.sample(rng) as usize;
+                let domain = self.catalog[rank - 1].clone();
+                let t = day_start + SimDuration::from_millis(rng.gen_range(0..day_ms));
+                out.push(RawLookup::new(t, ClientId(client), domain));
+            }
+        }
+        out
+    }
+}
+
+/// Authority view of the benign catalog: every catalog domain resolves.
+///
+/// Combine with a DGA registrar via [`DualAuthority`] so one topology run
+/// can answer both traffic classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenignAuthority;
+
+impl Authority for BenignAuthority {
+    fn resolve(&self, _t: SimInstant, domain: &DomainName) -> Answer {
+        if domain.as_str().ends_with(".benign.example") {
+            Answer::Address(Ipv4Addr::new(192, 0, 2, 80))
+        } else {
+            Answer::NxDomain
+        }
+    }
+}
+
+/// Chains two authorities: the first positive answer wins.
+#[derive(Debug, Clone, Copy)]
+pub struct DualAuthority<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Authority, B: Authority> DualAuthority<A, B> {
+    /// Combines two authorities.
+    pub fn new(first: A, second: B) -> Self {
+        DualAuthority { first, second }
+    }
+}
+
+impl<A: Authority, B: Authority> Authority for DualAuthority<A, B> {
+    fn resolve(&self, t: SimInstant, domain: &DomainName) -> Answer {
+        match self.first.resolve(t, domain) {
+            Answer::NxDomain => self.second.resolve(t, domain),
+            positive => positive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn day_volume_scales_with_clients() {
+        let traffic = BenignTraffic::new(100, 1.0, 5.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let clients: Vec<u32> = (0..200).collect();
+        let lookups = traffic.day_lookups(SimInstant::ZERO, &clients, &mut rng);
+        let n = lookups.len() as f64;
+        assert!((n - 1000.0).abs() < 150.0, "volume {n}");
+    }
+
+    #[test]
+    fn lookups_fall_within_the_day() {
+        let traffic = BenignTraffic::new(50, 1.0, 3.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let start = SimInstant::ZERO + SimDuration::from_days(7);
+        let lookups = traffic.day_lookups(start, &[1, 2, 3], &mut rng);
+        for l in &lookups {
+            assert!(l.t >= start && l.t < start + SimDuration::from_days(1));
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let traffic = BenignTraffic::new(1000, 1.1, 50.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let clients: Vec<u32> = (0..100).collect();
+        let lookups = traffic.day_lookups(SimInstant::ZERO, &clients, &mut rng);
+        let top = lookups
+            .iter()
+            .filter(|l| l.domain.as_str() == "site000000.benign.example")
+            .count() as f64;
+        let frac = top / lookups.len() as f64;
+        assert!(frac > 0.05, "rank-1 share {frac} too flat for Zipf(1.1)");
+    }
+
+    #[test]
+    fn catalog_membership() {
+        let traffic = BenignTraffic::new(10, 1.0, 1.0);
+        assert_eq!(traffic.catalog_size(), 10);
+        assert!(traffic.contains(&"site000003.benign.example".parse().unwrap()));
+        assert!(!traffic.contains(&"evil.example".parse().unwrap()));
+    }
+
+    #[test]
+    fn benign_authority_resolves_catalog_only() {
+        let auth = BenignAuthority;
+        assert!(auth
+            .resolve(SimInstant::ZERO, &"x.benign.example".parse().unwrap())
+            .is_positive());
+        assert!(!auth
+            .resolve(SimInstant::ZERO, &"x.evil.example".parse().unwrap())
+            .is_positive());
+    }
+
+    #[test]
+    fn dual_authority_prefers_first_positive() {
+        use botmeter_dns::StaticAuthority;
+        let a = StaticAuthority::from_domains(["a.example".parse().unwrap()]);
+        let dual = DualAuthority::new(&a, BenignAuthority);
+        assert!(dual
+            .resolve(SimInstant::ZERO, &"a.example".parse().unwrap())
+            .is_positive());
+        assert!(dual
+            .resolve(SimInstant::ZERO, &"z.benign.example".parse().unwrap())
+            .is_positive());
+        assert!(!dual
+            .resolve(SimInstant::ZERO, &"nx.example".parse().unwrap())
+            .is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog must be non-empty")]
+    fn empty_catalog_panics() {
+        BenignTraffic::new(0, 1.0, 1.0);
+    }
+}

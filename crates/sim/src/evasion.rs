@@ -1,0 +1,226 @@
+//! Adversarial DGA behaviours that target population estimation — the
+//! paper's future-work direction #3 (§VII): "designing advanced DGA models
+//! that evade effective population estimation".
+//!
+//! Each strategy attacks a specific statistic the estimators rely on:
+//!
+//! * [`EvasionStrategy::CoordinatedBurst`] compresses all activations into
+//!   a fraction of the epoch — the Poisson estimator's rate-gap statistic
+//!   (`Δi`) sees one long quiet period and under-counts;
+//! * [`EvasionStrategy::StartCollusion`] has randomcut bots share a small
+//!   set of barrel starting points — the Bernoulli/Coverage statistics see
+//!   only as many segments as there are shared starts;
+//! * [`EvasionStrategy::DutyCycle`] keeps each bot dormant on most days —
+//!   any per-epoch estimator now measures the (small) *active* population,
+//!   hiding the true footprint.
+//!
+//! The `evasion` bench binary quantifies the damage per estimator.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An adversarial modification to the botnet's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum EvasionStrategy {
+    /// The baseline, honest-to-the-model behaviour.
+    #[default]
+    None,
+    /// All bots activate within the first `window_fraction` of the epoch.
+    CoordinatedBurst {
+        /// Fraction of the epoch containing every activation (0, 1].
+        window_fraction: f64,
+    },
+    /// Randomcut bots pick their barrel start from `shared_starts`
+    /// pre-agreed positions instead of uniformly at random.
+    StartCollusion {
+        /// Number of distinct starting points the botnet shares.
+        shared_starts: usize,
+    },
+    /// Each bot activates on a given day only with probability
+    /// `active_prob`.
+    DutyCycle {
+        /// Per-epoch activation probability (0, 1].
+        active_prob: f64,
+    },
+}
+
+impl EvasionStrategy {
+    /// Validates the strategy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending parameter.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            EvasionStrategy::None => Ok(()),
+            EvasionStrategy::CoordinatedBurst { window_fraction } => {
+                if window_fraction > 0.0 && window_fraction <= 1.0 {
+                    Ok(())
+                } else {
+                    Err("burst window fraction must be in (0, 1]")
+                }
+            }
+            EvasionStrategy::StartCollusion { shared_starts } => {
+                if shared_starts >= 1 {
+                    Ok(())
+                } else {
+                    Err("collusion needs at least one shared start")
+                }
+            }
+            EvasionStrategy::DutyCycle { active_prob } => {
+                if active_prob > 0.0 && active_prob <= 1.0 {
+                    Ok(())
+                } else {
+                    Err("duty-cycle probability must be in (0, 1]")
+                }
+            }
+        }
+    }
+
+    /// Applies activation-level evasion: possibly drops an activation
+    /// (duty cycling) and/or squeezes its time into the burst window.
+    /// Returns the adjusted activation offset within the epoch, or `None`
+    /// if the bot stays dormant.
+    pub(crate) fn adjust_activation<R: Rng + ?Sized>(
+        &self,
+        offset_ms: u64,
+        _epoch_len_ms: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        match *self {
+            EvasionStrategy::None | EvasionStrategy::StartCollusion { .. } => Some(offset_ms),
+            EvasionStrategy::CoordinatedBurst { window_fraction } => {
+                Some((offset_ms as f64 * window_fraction) as u64)
+            }
+            EvasionStrategy::DutyCycle { active_prob } => {
+                if rng.gen::<f64>() < active_prob {
+                    Some(offset_ms)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Applies barrel-level evasion: for colluding randomcut botnets,
+    /// returns the start position to use (one of the shared ones);
+    /// otherwise `None` (draw normally).
+    pub(crate) fn colluded_start<R: Rng + ?Sized>(
+        &self,
+        epoch: u64,
+        pool_len: usize,
+        rng: &mut R,
+    ) -> Option<usize> {
+        match *self {
+            EvasionStrategy::StartCollusion { shared_starts } => {
+                let k = shared_starts.max(1);
+                let pick = rng.gen_range(0..k) as u64;
+                // Deterministic shared start positions per epoch.
+                let s = botmeter_stats::mix64(epoch ^ botmeter_stats::mix64(pick));
+                Some((s % pool_len as u64) as usize)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EvasionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            EvasionStrategy::None => write!(f, "none"),
+            EvasionStrategy::CoordinatedBurst { window_fraction } => {
+                write!(f, "coordinated-burst({window_fraction})")
+            }
+            EvasionStrategy::StartCollusion { shared_starts } => {
+                write!(f, "start-collusion({shared_starts})")
+            }
+            EvasionStrategy::DutyCycle { active_prob } => {
+                write!(f, "duty-cycle({active_prob})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn validation_rules() {
+        assert!(EvasionStrategy::None.validate().is_ok());
+        assert!(EvasionStrategy::CoordinatedBurst { window_fraction: 0.1 }
+            .validate()
+            .is_ok());
+        assert!(EvasionStrategy::CoordinatedBurst { window_fraction: 0.0 }
+            .validate()
+            .is_err());
+        assert!(EvasionStrategy::CoordinatedBurst { window_fraction: 1.5 }
+            .validate()
+            .is_err());
+        assert!(EvasionStrategy::StartCollusion { shared_starts: 0 }
+            .validate()
+            .is_err());
+        assert!(EvasionStrategy::DutyCycle { active_prob: 0.0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn burst_compresses_offsets() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let s = EvasionStrategy::CoordinatedBurst {
+            window_fraction: 0.25,
+        };
+        let day = 86_400_000u64;
+        for offset in [0u64, day / 2, day - 1] {
+            let adjusted = s.adjust_activation(offset, day, &mut rng).unwrap();
+            assert!(adjusted <= day / 4, "{offset} -> {adjusted}");
+        }
+    }
+
+    #[test]
+    fn duty_cycle_thins_activations() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let s = EvasionStrategy::DutyCycle { active_prob: 0.3 };
+        let kept = (0..10_000)
+            .filter(|_| s.adjust_activation(0, 1, &mut rng).is_some())
+            .count();
+        let frac = kept as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn collusion_limits_distinct_starts() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let s = EvasionStrategy::StartCollusion { shared_starts: 3 };
+        let starts: std::collections::HashSet<usize> = (0..500)
+            .filter_map(|_| s.colluded_start(7, 10_000, &mut rng))
+            .collect();
+        assert!(starts.len() <= 3, "colluding bots leaked starts: {starts:?}");
+        // Different epoch → different shared positions.
+        let other: std::collections::HashSet<usize> = (0..500)
+            .filter_map(|_| s.colluded_start(8, 10_000, &mut rng))
+            .collect();
+        assert_ne!(starts, other);
+    }
+
+    #[test]
+    fn non_collusion_strategies_defer_barrel() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        assert_eq!(EvasionStrategy::None.colluded_start(0, 100, &mut rng), None);
+        assert_eq!(
+            EvasionStrategy::DutyCycle { active_prob: 0.5 }.colluded_start(0, 100, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(EvasionStrategy::None.to_string(), "none");
+        assert!(EvasionStrategy::StartCollusion { shared_starts: 4 }
+            .to_string()
+            .contains("collusion"));
+    }
+}

@@ -1,0 +1,478 @@
+//! The synthetic-trace scenario: the paper's Fig. 6 experiment pipeline.
+
+use crate::activation::ActivationModel;
+use crate::bot::{replay_barrel, simulate_activation};
+use crate::evasion::EvasionStrategy;
+use botmeter_dga::DgaFamily;
+use botmeter_dns::{
+    ClientId, ObservedLookup, RawLookup, SimDuration, SimInstant, Topology, TtlPolicy,
+};
+use botmeter_stats::SeedSequence;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A fully-specified synthetic experiment: one DGA family, a bot
+/// population, an activation model, an observation window of whole epochs,
+/// cache TTLs and a timestamp granularity.
+///
+/// Defaults mirror §V-A: epoch = 1 day, window = 1 epoch, negative TTL =
+/// 2 h, positive TTL = 1 day, granularity = 100 ms, constant activation
+/// rate.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dga::DgaFamily;
+/// use botmeter_sim::{ActivationModel, ScenarioSpec};
+///
+/// let spec = ScenarioSpec::builder(DgaFamily::new_goz())
+///     .population(128)
+///     .num_epochs(2)
+///     .activation(ActivationModel::DynamicRate { sigma: 1.5 })
+///     .seed(42)
+///     .build()?;
+/// let outcome = spec.run();
+/// assert_eq!(outcome.ground_truth().len(), 2);
+/// # Ok::<(), botmeter_sim::ScenarioBuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    family: DgaFamily,
+    population: u64,
+    activation: ActivationModel,
+    num_epochs: u64,
+    ttl: TtlPolicy,
+    granularity: SimDuration,
+    evasion: EvasionStrategy,
+    seed: u64,
+}
+
+/// Builder for [`ScenarioSpec`].
+#[derive(Debug, Clone)]
+pub struct ScenarioSpecBuilder {
+    family: DgaFamily,
+    population: u64,
+    activation: ActivationModel,
+    num_epochs: u64,
+    ttl: TtlPolicy,
+    granularity: SimDuration,
+    evasion: EvasionStrategy,
+    seed: u64,
+}
+
+/// Invalid scenario configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioBuildError {
+    /// Population must be at least 1.
+    ZeroPopulation,
+    /// Observation window must span at least one epoch.
+    ZeroEpochs,
+    /// `σ` of the dynamic activation model must be finite and positive.
+    BadSigma,
+    /// The evasion strategy's parameters are out of domain.
+    BadEvasion(&'static str),
+}
+
+impl fmt::Display for ScenarioBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioBuildError::ZeroPopulation => write!(f, "population must be at least 1"),
+            ScenarioBuildError::ZeroEpochs => write!(f, "observation window must be >= 1 epoch"),
+            ScenarioBuildError::BadSigma => {
+                write!(f, "dynamic-rate sigma must be finite and positive")
+            }
+            ScenarioBuildError::BadEvasion(msg) => write!(f, "invalid evasion strategy: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioBuildError {}
+
+impl ScenarioSpec {
+    /// Starts building a scenario for `family` with paper-default settings.
+    pub fn builder(family: DgaFamily) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            family,
+            population: 64,
+            activation: ActivationModel::ConstantRate,
+            num_epochs: 1,
+            ttl: TtlPolicy::paper_default(),
+            granularity: SimDuration::from_millis(100),
+            evasion: EvasionStrategy::None,
+            seed: 0,
+        }
+    }
+
+    /// The DGA family under simulation.
+    pub fn family(&self) -> &DgaFamily {
+        &self.family
+    }
+
+    /// The configured bot population `N`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Runs the simulation: activations → raw lookups → cache filtering.
+    pub fn run(&self) -> ScenarioOutcome {
+        let seeds = SeedSequence::new(self.seed).fork_str(self.family.name());
+        let epoch_len = self.family.epoch_len();
+        let authority = self.family.authority_for_epochs(self.num_epochs + 1);
+
+        let mut raw: Vec<RawLookup> = Vec::new();
+        let mut ground_truth = Vec::with_capacity(self.num_epochs as usize);
+        for epoch in 0..self.num_epochs {
+            let mut rng =
+                ChaCha12Rng::seed_from_u64(seeds.fork(epoch).fork_str("activations").seed());
+            let window_start = SimInstant::ZERO + epoch_len * epoch;
+            let sampled = self.activation.sample_times(
+                self.population,
+                epoch_len,
+                window_start,
+                epoch_len,
+                &mut rng,
+            );
+            // Evasion may drop activations (duty cycling) or compress
+            // their offsets (coordinated bursts). Ground truth counts the
+            // activations that actually happen.
+            let mut times = Vec::with_capacity(sampled.len());
+            for t in sampled {
+                let offset = t.saturating_since(window_start).as_millis();
+                if let Some(adjusted) =
+                    self.evasion
+                        .adjust_activation(offset, epoch_len.as_millis(), &mut rng)
+                {
+                    times.push(window_start + SimDuration::from_millis(adjusted));
+                }
+            }
+            times.sort_unstable();
+            ground_truth.push(times.len() as u64);
+
+            let pool = self.family.pool_for_epoch(epoch);
+            let valid: HashSet<usize> = self.family.valid_indices(epoch).into_iter().collect();
+            let theta_q = self.family.params().theta_q();
+            for (i, t) in times.into_iter().enumerate() {
+                let client = ClientId((epoch as u32) << 20 | i as u32);
+                let mut bot_rng = ChaCha12Rng::seed_from_u64(
+                    seeds.fork(epoch).fork(1 + i as u64).seed(),
+                );
+                let lookups = match self
+                    .evasion
+                    .colluded_start(epoch, pool.len(), &mut bot_rng)
+                {
+                    Some(start) => {
+                        let barrel: Vec<usize> =
+                            (0..theta_q.min(pool.len())).map(|k| (start + k) % pool.len()).collect();
+                        replay_barrel(
+                            &self.family, &pool, &valid, barrel, t, client, &mut bot_rng,
+                        )
+                    }
+                    None => simulate_activation(
+                        &self.family, epoch, &pool, &valid, t, client, &mut bot_rng,
+                    ),
+                };
+                raw.extend(lookups);
+            }
+        }
+        raw.sort_by_key(|l| (l.t, l.client));
+
+        let mut topology = Topology::single_local(self.ttl);
+        let observed: Vec<ObservedLookup> = raw
+            .iter()
+            .filter_map(|l| {
+                topology
+                    .process(l, &authority)
+                    .expect("single-local topology routes every client")
+            })
+            .map(|mut o| {
+                o.t = o.t.quantize(self.granularity);
+                o
+            })
+            .collect();
+
+        ScenarioOutcome {
+            family: self.family.clone(),
+            ttl: self.ttl,
+            granularity: self.granularity,
+            num_epochs: self.num_epochs,
+            raw,
+            observed,
+            ground_truth,
+        }
+    }
+}
+
+impl ScenarioSpecBuilder {
+    /// Sets the bot population `N` (default 64).
+    pub fn population(mut self, n: u64) -> Self {
+        self.population = n;
+        self
+    }
+
+    /// Sets the activation model (default constant rate).
+    pub fn activation(mut self, model: ActivationModel) -> Self {
+        self.activation = model;
+        self
+    }
+
+    /// Sets the observation window length in epochs (default 1).
+    pub fn num_epochs(mut self, n: u64) -> Self {
+        self.num_epochs = n;
+        self
+    }
+
+    /// Sets the cache TTL policy (default: positive 1 day, negative 2 h).
+    pub fn ttl(mut self, ttl: TtlPolicy) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the timestamp granularity of the observable trace
+    /// (default 100 ms).
+    pub fn granularity(mut self, g: SimDuration) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Sets the adversarial evasion strategy (default: none).
+    pub fn evasion(mut self, strategy: EvasionStrategy) -> Self {
+        self.evasion = strategy;
+        self
+    }
+
+    /// Sets the root seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and freezes the spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScenarioBuildError`].
+    pub fn build(self) -> Result<ScenarioSpec, ScenarioBuildError> {
+        if self.population == 0 {
+            return Err(ScenarioBuildError::ZeroPopulation);
+        }
+        if self.num_epochs == 0 {
+            return Err(ScenarioBuildError::ZeroEpochs);
+        }
+        if let ActivationModel::DynamicRate { sigma } = self.activation {
+            if !(sigma.is_finite() && sigma > 0.0) {
+                return Err(ScenarioBuildError::BadSigma);
+            }
+        }
+        self.evasion
+            .validate()
+            .map_err(ScenarioBuildError::BadEvasion)?;
+        Ok(ScenarioSpec {
+            family: self.family,
+            population: self.population,
+            activation: self.activation,
+            num_epochs: self.num_epochs,
+            ttl: self.ttl,
+            granularity: self.granularity,
+            evasion: self.evasion,
+            seed: self.seed,
+        })
+    }
+}
+
+/// Everything a simulation run produced: the (ground-truth) raw trace, the
+/// border-visible observed trace, and the per-epoch active-bot counts.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    family: DgaFamily,
+    ttl: TtlPolicy,
+    granularity: SimDuration,
+    num_epochs: u64,
+    raw: Vec<RawLookup>,
+    observed: Vec<ObservedLookup>,
+    ground_truth: Vec<u64>,
+}
+
+impl ScenarioOutcome {
+    /// The simulated DGA family.
+    pub fn family(&self) -> &DgaFamily {
+        &self.family
+    }
+
+    /// The TTL policy that filtered the trace.
+    pub fn ttl(&self) -> TtlPolicy {
+        self.ttl
+    }
+
+    /// The timestamp granularity of the observed trace.
+    pub fn granularity(&self) -> SimDuration {
+        self.granularity
+    }
+
+    /// Number of epochs simulated.
+    pub fn num_epochs(&self) -> u64 {
+        self.num_epochs
+    }
+
+    /// The pre-cache, ground-truth lookup trace.
+    pub fn raw(&self) -> &[RawLookup] {
+        &self.raw
+    }
+
+    /// The border-visible (cache-filtered, quantised) lookup trace.
+    pub fn observed(&self) -> &[ObservedLookup] {
+        &self.observed
+    }
+
+    /// Actual number of bot activations per epoch (the estimators' target).
+    pub fn ground_truth(&self) -> &[u64] {
+        &self.ground_truth
+    }
+
+    /// The observed lookups whose timestamps fall in `epoch`.
+    pub fn observed_in_epoch(&self, epoch: u64) -> Vec<ObservedLookup> {
+        let len = self.family.epoch_len();
+        self.observed
+            .iter()
+            .filter(|o| o.t.epoch_day(len) == epoch)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_validation() {
+        assert_eq!(
+            ScenarioSpec::builder(DgaFamily::murofet())
+                .population(0)
+                .build()
+                .unwrap_err(),
+            ScenarioBuildError::ZeroPopulation
+        );
+        assert_eq!(
+            ScenarioSpec::builder(DgaFamily::murofet())
+                .num_epochs(0)
+                .build()
+                .unwrap_err(),
+            ScenarioBuildError::ZeroEpochs
+        );
+        assert_eq!(
+            ScenarioSpec::builder(DgaFamily::murofet())
+                .activation(ActivationModel::DynamicRate { sigma: f64::NAN })
+                .build()
+                .unwrap_err(),
+            ScenarioBuildError::BadSigma
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let run = |seed| {
+            ScenarioSpec::builder(DgaFamily::murofet())
+                .population(16)
+                .seed(seed)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.raw(), b.raw());
+        assert_eq!(a.observed(), b.observed());
+        assert_eq!(a.ground_truth(), b.ground_truth());
+        let c = run(6);
+        assert_ne!(a.raw(), c.raw());
+    }
+
+    #[test]
+    fn caching_compresses_uniform_traffic_heavily() {
+        // AU: all bots share one barrel, so almost everything is masked.
+        let outcome = ScenarioSpec::builder(DgaFamily::murofet())
+            .population(64)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
+        let raw = outcome.raw().len() as f64;
+        let obs = outcome.observed().len() as f64;
+        assert!(obs < raw * 0.5, "expected heavy masking: {obs} of {raw}");
+        assert!(obs > 0.0);
+    }
+
+    #[test]
+    fn ground_truth_close_to_population() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(256)
+            .seed(2)
+            .build()
+            .unwrap()
+            .run();
+        let n = outcome.ground_truth()[0] as f64;
+        assert!((n - 256.0).abs() < 80.0, "Poisson count {n} vs 256");
+    }
+
+    #[test]
+    fn observed_timestamps_are_quantised() {
+        let outcome = ScenarioSpec::builder(DgaFamily::murofet())
+            .population(16)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run();
+        assert!(outcome
+            .observed()
+            .iter()
+            .all(|o| o.t.as_millis() % 100 == 0));
+    }
+
+    #[test]
+    fn multi_epoch_slicing() {
+        let outcome = ScenarioSpec::builder(DgaFamily::torpig())
+            .population(32)
+            .num_epochs(3)
+            .seed(4)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(outcome.ground_truth().len(), 3);
+        let total: usize = (0..3).map(|e| outcome.observed_in_epoch(e).len()).sum();
+        // Activations late in an epoch can spill lookups into the next
+        // epoch; every observed lookup must land in epochs 0..=3.
+        let all = outcome.observed().len();
+        let spill = outcome.observed_in_epoch(3).len();
+        assert_eq!(total + spill, all);
+    }
+
+    #[test]
+    fn raw_trace_is_time_sorted() {
+        let outcome = ScenarioSpec::builder(DgaFamily::conficker_c())
+            .population(8)
+            .seed(5)
+            .build()
+            .unwrap()
+            .run();
+        for w in outcome.raw().windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_config() {
+        let spec = ScenarioSpec::builder(DgaFamily::murofet())
+            .population(10)
+            .build()
+            .unwrap();
+        assert_eq!(spec.population(), 10);
+        assert_eq!(spec.family().name(), "Murofet");
+        let outcome = spec.run();
+        assert_eq!(outcome.family().name(), "Murofet");
+        assert_eq!(outcome.num_epochs(), 1);
+        assert_eq!(outcome.granularity(), SimDuration::from_millis(100));
+        assert_eq!(outcome.ttl(), TtlPolicy::paper_default());
+    }
+}

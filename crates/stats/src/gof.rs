@@ -1,0 +1,120 @@
+//! Goodness-of-fit: the Kolmogorov–Smirnov statistic.
+//!
+//! The simulator's claims rest on its samplers actually following the
+//! distributions the paper's models assume (exponential inter-activation
+//! gaps, Poisson counts). A one-sample KS test is the standard check, and
+//! the workspace uses it in tests to guard the samplers against
+//! regressions.
+
+/// The one-sample Kolmogorov–Smirnov statistic: the supremum distance
+/// between the sample's empirical CDF and a reference CDF.
+///
+/// `cdf` must be a (weakly) increasing function onto `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sample` is empty.
+///
+/// # Example
+///
+/// ```
+/// // A perfectly uniform grid against the U(0,1) CDF: distance 1/(2n).
+/// let sample: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// let d = botmeter_stats::ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+/// assert!(d <= 0.5 / 100.0 + 1e-12);
+/// ```
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> f64 {
+    assert!(!sample.is_empty(), "KS statistic of empty sample");
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let ecdf_before = i as f64 / n;
+        let ecdf_after = (i + 1) as f64 / n;
+        d = d.max((f - ecdf_before).abs()).max((ecdf_after - f).abs());
+    }
+    d
+}
+
+/// Approximate critical value of the one-sample KS statistic at
+/// significance `alpha` (asymptotic formula `c(α)/√n`, good for n ≥ 35).
+///
+/// Supported `alpha` values: 0.10, 0.05, 0.01 — anything else panics.
+///
+/// # Example
+///
+/// ```
+/// let crit = botmeter_stats::ks_critical_value(10_000, 0.01);
+/// assert!(crit < 0.02);
+/// ```
+pub fn ks_critical_value(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "sample size must be positive");
+    let c = if (alpha - 0.10).abs() < 1e-12 {
+        1.224
+    } else if (alpha - 0.05).abs() < 1e-12 {
+        1.358
+    } else if (alpha - 0.01).abs() < 1e-12 {
+        1.628
+    } else {
+        panic!("unsupported alpha {alpha}; use 0.10, 0.05 or 0.01")
+    };
+    c / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, SampleF64};
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_grid_is_near_zero() {
+        let sample: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d <= 0.5 / 1000.0 + 1e-12, "{d}");
+    }
+
+    #[test]
+    fn detects_wrong_distribution() {
+        // A squared-uniform sample against the U(0,1) CDF must fail badly.
+        let sample: Vec<f64> = (0..1000)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 1000.0;
+                u * u
+            })
+            .collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d > ks_critical_value(1000, 0.01) * 4.0, "{d}");
+    }
+
+    #[test]
+    fn exponential_sampler_passes_ks() {
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(42);
+        let lambda = 3.0;
+        let dist = Exponential::new(lambda).unwrap();
+        let sample: Vec<f64> = (0..5000).map(|_| dist.sample(&mut rng)).collect();
+        let d = ks_statistic(&sample, |x| 1.0 - (-lambda * x.max(0.0)).exp());
+        // One fixed seed: use the 1% critical value with headroom.
+        assert!(d < ks_critical_value(5000, 0.01) * 1.5, "KS {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        ks_statistic(&[], |x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported alpha")]
+    fn bad_alpha_panics() {
+        ks_critical_value(100, 0.2);
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_n() {
+        assert!(ks_critical_value(10_000, 0.05) < ks_critical_value(100, 0.05));
+        assert!(ks_critical_value(100, 0.01) > ks_critical_value(100, 0.10));
+    }
+}

@@ -1,0 +1,115 @@
+//! Compensated (Neumaier) floating-point summation.
+
+/// A compensated summation accumulator (Neumaier's improvement of Kahan's
+/// algorithm), used wherever the experiment harness averages thousands of
+/// per-trial errors.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_stats::KahanSum;
+/// let mut s = KahanSum::new();
+/// s.add(1.0);
+/// s.add(1e100);
+/// s.add(1.0);
+/// s.add(-1e100);
+/// assert_eq!(s.value(), 2.0); // naive f64 summation would return 0.0
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+    count: u64,
+}
+
+impl KahanSum {
+    /// Creates an accumulator holding zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+        self.count += 1;
+    }
+
+    /// The compensated sum of everything added so far.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    /// Number of terms added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the terms added so far; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.value() / self.count as f64)
+        }
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = KahanSum::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let s = KahanSum::new();
+        assert_eq!(s.value(), 0.0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn recovers_cancellation() {
+        let mut s = KahanSum::new();
+        s.add(1e16);
+        s.add(1.0);
+        s.add(-1e16);
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn many_small_terms() {
+        let s: KahanSum = std::iter::repeat_n(0.1, 1_000_000).collect();
+        assert!((s.value() - 100_000.0).abs() < 1e-6);
+        assert_eq!(s.count(), 1_000_000);
+    }
+
+    #[test]
+    fn mean_matches_value_over_count() {
+        let mut s = KahanSum::new();
+        for i in 1..=10 {
+            s.add(i as f64);
+        }
+        assert_eq!(s.mean(), Some(5.5));
+    }
+}

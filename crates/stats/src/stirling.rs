@@ -1,0 +1,175 @@
+//! Stirling numbers of the second kind, computed and cached in log space.
+//!
+//! The Bernoulli estimator (Theorem 1 of the BotMeter paper) evaluates
+//! `S(n, m)` — the number of ways to partition `n` labelled items into `m`
+//! non-empty unlabelled blocks — for `n` in the hundreds, where the raw
+//! values exceed 1e300. We therefore keep the whole triangle as natural
+//! logarithms, filled row by row with the recurrence
+//! `S(n, m) = m·S(n−1, m) + S(n−1, m−1)` in log-sum-exp form.
+
+use crate::special::LogSumAcc;
+
+/// A growable cache of `ln S(n, m)` (Stirling numbers of the second kind).
+///
+/// Rows are materialised lazily: asking for `ln_stirling2(n, m)` fills the
+/// triangle up to row `n` on first use and answers from the cache afterwards.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_stats::StirlingTable;
+/// let mut t = StirlingTable::new();
+/// // S(4, 2) = 7
+/// assert!((t.ln_stirling2(4, 2) - 7f64.ln()).abs() < 1e-12);
+/// // S(n, 1) = 1 for n >= 1
+/// assert_eq!(t.ln_stirling2(9, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StirlingTable {
+    /// `rows[n][m]` = ln S(n, m) for 0 <= m <= n.
+    rows: Vec<Vec<f64>>,
+}
+
+impl StirlingTable {
+    /// Creates an empty table (row 0 is synthesised on demand).
+    pub fn new() -> Self {
+        StirlingTable { rows: Vec::new() }
+    }
+
+    /// `ln S(n, m)`; returns `-inf` for the zero cases (`m > n`, or `m == 0`
+    /// with `n > 0`). `S(0, 0) = 1` by convention.
+    pub fn ln_stirling2(&mut self, n: u64, m: u64) -> f64 {
+        if m > n {
+            return f64::NEG_INFINITY;
+        }
+        let n = n as usize;
+        let m = m as usize;
+        self.fill_to(n);
+        self.rows[n][m]
+    }
+
+    /// `S(n, m)` as an `f64` (may overflow to `inf` for large rows; prefer
+    /// [`ln_stirling2`](Self::ln_stirling2) in products).
+    pub fn stirling2(&mut self, n: u64, m: u64) -> f64 {
+        self.ln_stirling2(n, m).exp()
+    }
+
+    /// Number of rows currently materialised (for diagnostics/tests).
+    pub fn rows_filled(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn fill_to(&mut self, n: usize) {
+        if self.rows.is_empty() {
+            // Row 0: S(0,0) = 1.
+            self.rows.push(vec![0.0]);
+        }
+        while self.rows.len() <= n {
+            let prev = self.rows.last().expect("row 0 exists");
+            let row_n = self.rows.len();
+            let mut row = Vec::with_capacity(row_n + 1);
+            // m = 0: S(n,0) = 0 for n > 0.
+            row.push(f64::NEG_INFINITY);
+            for m in 1..row_n {
+                let mut acc = LogSumAcc::new();
+                acc.add((m as f64).ln() + prev[m]);
+                acc.add(prev[m - 1]);
+                row.push(acc.value());
+            }
+            // m = n: S(n,n) = 1.
+            row.push(0.0);
+            self.rows.push(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact small values via the u128 recurrence, for cross-checking.
+    fn exact(n: usize, m: usize) -> u128 {
+        let mut rows: Vec<Vec<u128>> = vec![vec![1]];
+        for r in 1..=n {
+            let prev = &rows[r - 1];
+            let mut row = vec![0u128; r + 1];
+            for k in 1..=r {
+                let carry = if k < prev.len() { prev[k] } else { 0 };
+                let diag = prev[k - 1];
+                row[k] = (k as u128) * carry + diag;
+            }
+            rows.push(row);
+        }
+        if m <= n {
+            rows[n][m]
+        } else {
+            0
+        }
+    }
+
+    #[test]
+    fn matches_exact_small_triangle() {
+        let mut t = StirlingTable::new();
+        for n in 0u64..=25 {
+            for m in 0u64..=n {
+                let want = exact(n as usize, m as usize);
+                let got = t.ln_stirling2(n, m);
+                if want == 0 {
+                    assert_eq!(got, f64::NEG_INFINITY, "S({n},{m}) should be 0");
+                } else {
+                    let w = (want as f64).ln();
+                    assert!(
+                        (got - w).abs() < 1e-9 * (1.0 + w.abs()),
+                        "S({n},{m}): got ln {got}, want ln {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let mut t = StirlingTable::new();
+        assert!((t.stirling2(5, 3) - 25.0).abs() < 1e-9);
+        assert!((t.stirling2(6, 3) - 90.0).abs() < 1e-9);
+        assert!((t.stirling2(7, 4) - 350.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let mut t = StirlingTable::new();
+        assert_eq!(t.ln_stirling2(3, 5), f64::NEG_INFINITY);
+        assert_eq!(t.ln_stirling2(4, 0), f64::NEG_INFINITY);
+        assert_eq!(t.ln_stirling2(0, 0), 0.0);
+    }
+
+    #[test]
+    fn large_rows_stay_finite() {
+        let mut t = StirlingTable::new();
+        // S(500, 250) overflows f64 massively; log value must be finite.
+        let v = t.ln_stirling2(500, 250);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn cache_is_incremental() {
+        let mut t = StirlingTable::new();
+        t.ln_stirling2(10, 5);
+        assert_eq!(t.rows_filled(), 11);
+        t.ln_stirling2(4, 2);
+        assert_eq!(t.rows_filled(), 11, "smaller query must not shrink/refill");
+        t.ln_stirling2(12, 12);
+        assert_eq!(t.rows_filled(), 13);
+    }
+
+    #[test]
+    fn row_sum_equals_bell_number() {
+        // Σ_m S(n,m) = Bell(n). Bell(10) = 115975.
+        let mut t = StirlingTable::new();
+        let mut acc = crate::special::LogSumAcc::new();
+        for m in 0..=10 {
+            acc.add(t.ln_stirling2(10, m));
+        }
+        assert!((acc.value() - 115_975f64.ln()).abs() < 1e-9);
+    }
+}

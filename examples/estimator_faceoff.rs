@@ -1,0 +1,64 @@
+//! Estimator face-off: every applicable estimator vs ground truth across
+//! population sizes — a one-screen Fig. 6(a).
+//!
+//! ```sh
+//! cargo run --release --example estimator_faceoff
+//! ```
+
+use botmeter::core::{
+    absolute_relative_error, BernoulliEstimator, CoverageEstimator, EstimationContext, Estimator,
+    PoissonEstimator, TimingEstimator,
+};
+use botmeter::dga::{BarrelClass, DgaFamily};
+use botmeter::sim::ScenarioSpec;
+
+fn main() {
+    for family in [DgaFamily::murofet(), DgaFamily::new_goz()] {
+        let mut estimators: Vec<Box<dyn Estimator>> = vec![Box::new(TimingEstimator)];
+        match family.barrel_class() {
+            BarrelClass::Uniform => estimators.push(Box::new(PoissonEstimator::new())),
+            BarrelClass::RandomCut => {
+                estimators.push(Box::new(BernoulliEstimator::default()));
+                estimators.push(Box::new(CoverageEstimator));
+            }
+            _ => {}
+        }
+
+        println!(
+            "== {} ({}) ==",
+            family.name(),
+            family.barrel_class().shorthand()
+        );
+        print!("{:>6} {:>8}", "N", "actual");
+        for est in &estimators {
+            print!(" {:>12} {:>8}", est.name(), "ARE");
+        }
+        println!();
+
+        for n in [16u64, 32, 64, 128, 256] {
+            let outcome = ScenarioSpec::builder(family.clone())
+                .population(n)
+                .seed(0xFACE ^ n)
+                .build()
+                .expect("valid scenario")
+                .run();
+            let ctx = EstimationContext::new(
+                outcome.family().clone(),
+                outcome.ttl(),
+                outcome.granularity(),
+            );
+            let actual = outcome.ground_truth()[0] as f64;
+            print!("{n:>6} {actual:>8}");
+            for est in &estimators {
+                let e = est.estimate(outcome.observed(), &ctx);
+                print!(
+                    " {:>12.1} {:>8.3}",
+                    e,
+                    absolute_relative_error(e, actual)
+                );
+            }
+            println!();
+        }
+        println!();
+    }
+}
