@@ -110,7 +110,11 @@ fn bench_coverage_compression(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_coverage_eval");
     group.bench_function("per_domain_80_bisections", |b| {
-        b.iter(|| (0..80).map(|i| eval_per_domain(i as f64 + 1.0)).sum::<f64>())
+        b.iter(|| {
+            (0..80)
+                .map(|i| eval_per_domain(i as f64 + 1.0))
+                .sum::<f64>()
+        })
     });
     group.bench_function("bucketed_80_bisections", |b| {
         b.iter(|| (0..80).map(|i| eval_buckets(i as f64 + 1.0)).sum::<f64>())

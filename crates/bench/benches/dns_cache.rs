@@ -85,7 +85,9 @@ fn bench_topology_filtering(c: &mut Criterion) {
     group.bench_function("process_trace_50k", |b| {
         b.iter(|| {
             let mut topo = Topology::single_local(TtlPolicy::paper_default());
-            topo.process_trace(&raws, &authority).expect("routable").len()
+            topo.process_trace(&raws, &authority)
+                .expect("routable")
+                .len()
         })
     });
     group.finish();

@@ -1,0 +1,64 @@
+//! Criterion benchmark for the end-to-end pipeline at landscape scale:
+//! newGoZ, 10 000 bots, 3 epochs — generation, replay, cache filtering,
+//! matching and per-cell estimation.
+//!
+//! Two variants run back to back: the parallel pipeline
+//! ([`ScenarioSpec::run`] + [`BotMeter::chart_parallel`]) and the
+//! single-threaded reference ([`ScenarioSpec::run_sequential`] +
+//! [`BotMeter::chart`]). Their ratio is the speedup the tokenized hot path
+//! and the worker pool buy on this machine; the determinism tests guarantee
+//! the two compute the same landscape.
+
+use botmeter_core::{BotMeter, BotMeterConfig};
+use botmeter_dga::DgaFamily;
+use botmeter_sim::{ScenarioOutcome, ScenarioSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const POPULATION: u64 = 10_000;
+const EPOCHS: u64 = 3;
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::builder(DgaFamily::new_goz())
+        .population(POPULATION)
+        .num_epochs(EPOCHS)
+        .seed(42)
+        .build()
+        .expect("valid scenario")
+}
+
+fn chart(outcome: &ScenarioOutcome, parallel: bool) -> f64 {
+    let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+    let landscape = if parallel {
+        meter.chart_parallel(outcome.observed(), 0..EPOCHS)
+    } else {
+        meter.chart(outcome.observed(), 0..EPOCHS)
+    };
+    landscape.total_for_epoch(0)
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_simulate_10k");
+    group.sample_size(10);
+    let spec = spec();
+    group.bench_function("parallel", |b| b.iter(|| spec.run().observed().len()));
+    group.bench_function("sequential", |b| {
+        b.iter(|| spec.run_sequential().observed().len())
+    });
+    group.finish();
+}
+
+fn bench_charting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_chart_10k");
+    group.sample_size(10);
+    let outcome = spec().run();
+    group.bench_function("parallel", |b| {
+        b.iter(|| chart(std::hint::black_box(&outcome), true))
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| chart(std::hint::black_box(&outcome), false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_charting);
+criterion_main!(benches);

@@ -83,11 +83,7 @@ fn windowed_mean_are(
             .expect("valid scenario")
             .run();
         let exact = ExactMatcher::from_family(&family, 0..2);
-        let mut ctx = EstimationContext::new(
-            family.clone(),
-            outcome.ttl(),
-            outcome.granularity(),
-        );
+        let mut ctx = EstimationContext::new(family.clone(), outcome.ttl(), outcome.granularity());
         let lookups = if missing > 0.0 {
             let window = DetectionWindow::new(&exact, missing, trial as u64);
             ctx = ctx.with_detection_window(window.known_domains().clone());
@@ -108,25 +104,13 @@ fn mb_window_handling(opts: &AblationOptions) -> Vec<AblationRow> {
             study: "MB window handling",
             variant: "window-aware (default)".into(),
             workload: format!("newGoZ N=64, {label}"),
-            mean_are: windowed_mean_are(
-                &BernoulliEstimator::default(),
-                missing,
-                64,
-                opts,
-                1,
-            ),
+            mean_are: windowed_mean_are(&BernoulliEstimator::default(), missing, 64, opts, 1),
         });
         rows.push(AblationRow {
             study: "MB window handling",
             variant: "window-naive (as printed)".into(),
             workload: format!("newGoZ N=64, {label}"),
-            mean_are: windowed_mean_are(
-                &BernoulliEstimator::window_naive(),
-                missing,
-                64,
-                opts,
-                1,
-            ),
+            mean_are: windowed_mean_are(&BernoulliEstimator::window_naive(), missing, 64, opts, 1),
         });
     }
     rows
@@ -156,10 +140,7 @@ fn mp_regularisation(opts: &AblationOptions) -> Vec<AblationRow> {
                     outcome.ttl(),
                     outcome.granularity(),
                 );
-                absolute_relative_error(
-                    est.estimate(outcome.observed(), &ctx),
-                    actual as f64,
-                )
+                absolute_relative_error(est.estimate(outcome.observed(), &ctx), actual as f64)
             });
             rows.push(AblationRow {
                 study: "MP regularisation",
@@ -212,9 +193,17 @@ fn hybrid_composition(opts: &AblationOptions) -> Vec<AblationRow> {
 pub fn render(rows: &[AblationRow]) -> String {
     let mut table = TextTable::new(&["study", "variant", "workload", "mean ARE"]);
     for r in rows {
-        table.row(&[r.study, &r.variant, &r.workload, &format!("{:.3}", r.mean_are)]);
+        table.row(&[
+            r.study,
+            &r.variant,
+            &r.workload,
+            &format!("{:.3}", r.mean_are),
+        ]);
     }
-    format!("\nAccuracy ablations — estimator design choices\n{}", table.render())
+    format!(
+        "\nAccuracy ablations — estimator design choices\n{}",
+        table.render()
+    )
 }
 
 #[cfg(test)]
@@ -228,8 +217,7 @@ mod tests {
     #[test]
     fn all_studies_produce_rows() {
         let rows = run_all(&tiny());
-        let studies: std::collections::HashSet<_> =
-            rows.iter().map(|r| r.study).collect();
+        let studies: std::collections::HashSet<_> = rows.iter().map(|r| r.study).collect();
         assert_eq!(studies.len(), 3);
         assert!(rows.iter().all(|r| r.mean_are.is_finite()));
     }

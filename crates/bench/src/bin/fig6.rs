@@ -36,9 +36,7 @@ fn main() {
             letter => match Subplot::from_letter(letter) {
                 Some(s) => subplots.push(s),
                 None => {
-                    eprintln!(
-                        "usage: fig6 [a|b|c|d|e|all] [--trials N] [--seed S] [--json PATH]"
-                    );
+                    eprintln!("usage: fig6 [a|b|c|d|e|all] [--trials N] [--seed S] [--json PATH]");
                     std::process::exit(2);
                 }
             },

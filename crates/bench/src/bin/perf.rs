@@ -1,0 +1,163 @@
+//! Measures the end-to-end pipeline (newGoZ, 10 000 bots, 3 epochs) in
+//! parallel and sequential form and writes the evidence to
+//! `BENCH_pipeline.json`: wall times, lookup throughput, speedup and the
+//! worker-thread count the run used.
+//!
+//! Usage: `perf [--population N] [--epochs E] [--seed S] [--out PATH]`.
+
+use botmeter_core::{BotMeter, BotMeterConfig};
+use botmeter_dga::DgaFamily;
+use botmeter_sim::{ScenarioOutcome, ScenarioSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    family: &'static str,
+    population: u64,
+    epochs: u64,
+    seed: u64,
+    threads: usize,
+    raw_lookups: usize,
+    observed_lookups: usize,
+    landscape_cells: usize,
+    parallel: Variant,
+    sequential: Variant,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Variant {
+    simulate_secs: f64,
+    chart_secs: f64,
+    total_secs: f64,
+    raw_lookups_per_sec: f64,
+}
+
+struct Measurement {
+    simulate_secs: f64,
+    chart_secs: f64,
+    raw_lookups: usize,
+    observed_lookups: usize,
+    landscape_cells: usize,
+}
+
+fn measure(spec: &ScenarioSpec, epochs: u64, parallel: bool) -> Measurement {
+    let started = Instant::now();
+    let outcome: ScenarioOutcome = if parallel {
+        spec.run()
+    } else {
+        spec.run_sequential()
+    };
+    let simulate_secs = started.elapsed().as_secs_f64();
+
+    let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+    let started = Instant::now();
+    let landscape = if parallel {
+        meter.chart_parallel(outcome.observed(), 0..epochs)
+    } else {
+        meter.chart(outcome.observed(), 0..epochs)
+    };
+    let chart_secs = started.elapsed().as_secs_f64();
+
+    Measurement {
+        simulate_secs,
+        chart_secs,
+        raw_lookups: outcome.raw().len(),
+        observed_lookups: outcome.observed().len(),
+        landscape_cells: landscape.len(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut population = 10_000u64;
+    let mut epochs = 3u64;
+    let mut seed = 42u64;
+    let mut out = String::from("BENCH_pipeline.json");
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = args.get(i).cloned();
+        match flag {
+            "--population" => {
+                population = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--population needs a number"))
+            }
+            "--epochs" => {
+                epochs = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--epochs needs a number"))
+            }
+            "--seed" => {
+                seed = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"))
+            }
+            "--out" => out = value.unwrap_or_else(|| usage("--out needs a path")),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let threads = botmeter_exec::num_threads();
+    let spec = ScenarioSpec::builder(DgaFamily::new_goz())
+        .population(population)
+        .num_epochs(epochs)
+        .seed(seed)
+        .build()
+        .expect("valid scenario");
+
+    eprintln!("perf: newGoZ, {population} bots, {epochs} epochs, {threads} worker thread(s)");
+    // One untimed warmup run: the first pipeline execution pays for page
+    // faults and allocator growth over the trace's full footprint, which
+    // would otherwise be billed to whichever variant runs first.
+    let _ = measure(&spec, epochs, true);
+    let par = measure(&spec, epochs, true);
+    let seq = measure(&spec, epochs, false);
+    assert_eq!(
+        par.raw_lookups, seq.raw_lookups,
+        "parallel and sequential runs must agree"
+    );
+
+    let par_total = par.simulate_secs + par.chart_secs;
+    let seq_total = seq.simulate_secs + seq.chart_secs;
+    let report = Report {
+        benchmark: "pipeline",
+        family: "newGoZ",
+        population,
+        epochs,
+        seed,
+        threads,
+        raw_lookups: par.raw_lookups,
+        observed_lookups: par.observed_lookups,
+        landscape_cells: par.landscape_cells,
+        parallel: Variant {
+            simulate_secs: par.simulate_secs,
+            chart_secs: par.chart_secs,
+            total_secs: par_total,
+            raw_lookups_per_sec: par.raw_lookups as f64 / par.simulate_secs.max(1e-9),
+        },
+        sequential: Variant {
+            simulate_secs: seq.simulate_secs,
+            chart_secs: seq.chart_secs,
+            total_secs: seq_total,
+            raw_lookups_per_sec: seq.raw_lookups as f64 / seq.simulate_secs.max(1e-9),
+        },
+        speedup: seq_total / par_total.max(1e-9),
+    };
+    let rendered = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out, format!("{rendered}\n")).expect("write report");
+    println!("{rendered}");
+    eprintln!("perf: wrote {out}");
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("perf: {message}");
+    eprintln!("usage: perf [--population N] [--epochs E] [--seed S] [--out PATH]");
+    std::process::exit(2);
+}

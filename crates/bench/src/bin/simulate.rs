@@ -65,8 +65,7 @@ fn main() {
         .run();
 
     let stdout = io::stdout();
-    trace::write_jsonl(outcome.observed(), stdout.lock())
-        .unwrap_or_else(|e| usage(&e.to_string()));
+    trace::write_jsonl(outcome.observed(), stdout.lock()).unwrap_or_else(|e| usage(&e.to_string()));
     let mut err = io::stderr().lock();
     let _ = writeln!(
         err,

@@ -125,10 +125,8 @@ pub fn run_study(opts: &EvasionOptions) -> Vec<EvasionRow> {
             });
             for (ei, est) in estimators.iter().enumerate() {
                 let n = per_trial.len() as f64;
-                let mean_active =
-                    per_trial.iter().map(|t| t[ei].0).sum::<f64>() / n;
-                let mean_configured =
-                    per_trial.iter().map(|t| t[ei].1).sum::<f64>() / n;
+                let mean_active = per_trial.iter().map(|t| t[ei].0).sum::<f64>() / n;
+                let mean_configured = per_trial.iter().map(|t| t[ei].1).sum::<f64>() / n;
                 rows.push(EvasionRow {
                     family: family.name().to_owned(),
                     strategy: strategy.to_string(),

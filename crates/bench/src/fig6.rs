@@ -140,11 +140,7 @@ impl Estimator for NaiveBernoulli {
     fn name(&self) -> &'static str {
         "Bernoulli-naive"
     }
-    fn estimate(
-        &self,
-        lookups: &[botmeter_dns::ObservedLookup],
-        ctx: &EstimationContext,
-    ) -> f64 {
+    fn estimate(&self, lookups: &[botmeter_dns::ObservedLookup], ctx: &EstimationContext) -> f64 {
         BernoulliEstimator::window_naive().estimate(lookups, ctx)
     }
 }
@@ -357,21 +353,17 @@ mod tests {
             names(DgaFamily::new_goz()),
             vec!["Timing", "Bernoulli", "Coverage"]
         );
-        assert_eq!(names(DgaFamily::necurs()), vec!["Timing", "WindowOccupancy"]);
+        assert_eq!(
+            names(DgaFamily::necurs()),
+            vec!["Timing", "WindowOccupancy"]
+        );
     }
 
     #[test]
     fn one_trial_produces_one_error_per_estimator() {
         let family = DgaFamily::murofet();
         let estimators = estimators_for(&family);
-        let errors = run_one_trial(
-            Subplot::Population,
-            &family,
-            &estimators,
-            16.0,
-            42,
-            &tiny(),
-        );
+        let errors = run_one_trial(Subplot::Population, &family, &estimators, 16.0, 42, &tiny());
         assert_eq!(errors.len(), 2);
         assert!(errors.iter().all(|e| e.is_finite() && *e >= 0.0));
     }
@@ -380,14 +372,7 @@ mod tests {
     fn missing_rate_trial_uses_detection_window() {
         let family = DgaFamily::new_goz();
         let estimators = estimators_for(&family);
-        let errors = run_one_trial(
-            Subplot::MissingRate,
-            &family,
-            &estimators,
-            50.0,
-            7,
-            &tiny(),
-        );
+        let errors = run_one_trial(Subplot::MissingRate, &family, &estimators, 50.0, 7, &tiny());
         assert_eq!(errors.len(), 3);
     }
 

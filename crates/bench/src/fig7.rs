@@ -84,10 +84,8 @@ pub fn evaluate(outcome: &EnterpriseOutcome) -> Fig7Result {
     for (fi, family) in outcome.families().iter().enumerate() {
         let fs = evaluate_family(outcome, family, fi);
         // Aggregate Table II over active days.
-        let mut pairs: Vec<(&str, Vec<(f64, f64)>)> = vec![
-            (fs.primary_name, Vec::new()),
-            ("Timing", Vec::new()),
-        ];
+        let mut pairs: Vec<(&str, Vec<(f64, f64)>)> =
+            vec![(fs.primary_name, Vec::new()), ("Timing", Vec::new())];
         let has_coverage = fs.days.iter().any(|d| d.coverage.is_some());
         if has_coverage {
             pairs.insert(1, ("Coverage", Vec::new()));
@@ -219,11 +217,7 @@ pub fn render_series(result: &Fig7Result) -> String {
                 format!("{:.1}", row.timing),
             ];
             if has_coverage {
-                cells.push(
-                    row.coverage
-                        .map(|c| format!("{c:.1}"))
-                        .unwrap_or_default(),
-                );
+                cells.push(row.coverage.map(|c| format!("{c:.1}")).unwrap_or_default());
             }
             let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
             table.row(&refs);

@@ -233,7 +233,10 @@ mod tests {
         .unwrap();
         let map = landscape_heatmap(&landscape, 0..2);
         let lines: Vec<&str> = map.lines().collect();
-        assert!(lines[0].starts_with("server-2"), "worst server first: {map}");
+        assert!(
+            lines[0].starts_with("server-2"),
+            "worst server first: {map}"
+        );
         assert!(lines[0].contains("█"), "peak cell should be darkest");
         assert!(map.contains("(peak 50.0)"));
     }

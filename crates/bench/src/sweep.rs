@@ -1,14 +1,17 @@
 //! Parallel trial execution and aggregation for parameter sweeps.
 
 use botmeter_stats::Summary;
-use crossbeam::channel;
-use std::thread;
 
 /// Runs `trials` independent trials of `f` (given the trial index) across
 /// all available cores and returns the results in trial order.
 ///
 /// Trials must be deterministic functions of their index (derive per-trial
 /// seeds from it), so the sweep is reproducible regardless of scheduling.
+///
+/// This is now a thin veneer over [`botmeter_exec::run_indexed`], the
+/// workspace-wide self-scheduling executor: jobs are dispensed from an
+/// atomic counter (bounded coordination state, no pre-filled queue) and
+/// results land in per-index slots, so ordering is deterministic.
 ///
 /// # Example
 ///
@@ -21,42 +24,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if trials == 0 {
-        return Vec::new();
-    }
-    let workers = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(trials);
-    let (job_tx, job_rx) = channel::unbounded::<usize>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
-    for i in 0..trials {
-        job_tx.send(i).expect("channel open");
-    }
-    drop(job_tx);
-
-    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok(i) = job_rx.recv() {
-                    let v = f(i);
-                    res_tx.send((i, v)).expect("main thread alive");
-                }
-            });
-        }
-        drop(res_tx);
-        while let Ok((i, v)) = res_rx.recv() {
-            slots[i] = Some(v);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every trial completed"))
-        .collect()
+    botmeter_exec::run_indexed(trials, f)
 }
 
 /// A single aggregated sweep point: the x value, a series label and the

@@ -4,9 +4,10 @@ use crate::config::EstimationContext;
 use crate::estimator::Estimator;
 use crate::segments::extract_segments;
 use crate::theorem1::expected_bots_for_segment;
+use botmeter_dns::FxHashMap;
 use botmeter_dns::ObservedLookup;
 use botmeter_stats::StirlingTable;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// `MB`: the estimator for randomcut-barrel DGAs (`AR`, e.g. newGoZ).
 ///
@@ -83,7 +84,7 @@ impl Estimator for BernoulliEstimator {
         let family = ctx.family();
         let epoch = ctx.epoch_of(lookups).expect("non-empty slice");
         let pool = family.pool_for_epoch(epoch);
-        let index: HashMap<_, usize> = pool
+        let index: FxHashMap<_, usize> = pool
             .iter()
             .enumerate()
             .map(|(i, d)| (d.clone(), i))
@@ -111,34 +112,33 @@ impl Estimator for BernoulliEstimator {
         // compressed circle of detectable positions (valid domains stay as
         // boundaries) and scale θq by the detectable fraction: a barrel of
         // θq consecutive true positions covers ≈ θq·w/P detectable ones.
-        let (positions, valid, circle_len, theta_q) = if self.window_aware
-            && ctx.detection_window().is_some()
-        {
-            let mut compressed_of_pool: Vec<Option<usize>> = vec![None; pool.len()];
-            let mut kept = 0usize;
-            for (i, domain) in pool.iter().enumerate() {
-                if valid_set.contains(&i) || ctx.detectable(domain) {
-                    compressed_of_pool[i] = Some(kept);
-                    kept += 1;
+        let (positions, valid, circle_len, theta_q) =
+            if self.window_aware && ctx.detection_window().is_some() {
+                let mut compressed_of_pool: Vec<Option<usize>> = vec![None; pool.len()];
+                let mut kept = 0usize;
+                for (i, domain) in pool.iter().enumerate() {
+                    if valid_set.contains(&i) || ctx.detectable(domain) {
+                        compressed_of_pool[i] = Some(kept);
+                        kept += 1;
+                    }
                 }
-            }
-            let positions: Vec<usize> = nxd_positions
-                .iter()
-                .filter_map(|&i| compressed_of_pool[i])
-                .collect();
-            let valid_c: Vec<usize> = valid
-                .iter()
-                .filter_map(|&i| compressed_of_pool[i])
-                .collect();
-            let theta_q = family.params().theta_q();
-            let scaled = ((theta_q as f64) * kept as f64 / pool.len() as f64)
-                .round()
-                .max(1.0) as usize;
-            (positions, valid_c, kept, scaled)
-        } else {
-            let positions: Vec<usize> = nxd_positions.into_iter().collect();
-            (positions, valid, pool.len(), family.params().theta_q())
-        };
+                let positions: Vec<usize> = nxd_positions
+                    .iter()
+                    .filter_map(|&i| compressed_of_pool[i])
+                    .collect();
+                let valid_c: Vec<usize> = valid
+                    .iter()
+                    .filter_map(|&i| compressed_of_pool[i])
+                    .collect();
+                let theta_q = family.params().theta_q();
+                let scaled = ((theta_q as f64) * kept as f64 / pool.len() as f64)
+                    .round()
+                    .max(1.0) as usize;
+                (positions, valid_c, kept, scaled)
+            } else {
+                let positions: Vec<usize> = nxd_positions.into_iter().collect();
+                (positions, valid, pool.len(), family.params().theta_q())
+            };
         if positions.is_empty() {
             return 0.0;
         }
@@ -172,7 +172,11 @@ mod tests {
     use botmeter_sim::ScenarioSpec;
 
     fn ctx(family: DgaFamily) -> EstimationContext {
-        EstimationContext::new(family, TtlPolicy::paper_default(), SimDuration::from_millis(100))
+        EstimationContext::new(
+            family,
+            TtlPolicy::paper_default(),
+            SimDuration::from_millis(100),
+        )
     }
 
     #[test]
@@ -217,7 +221,10 @@ mod tests {
             ServerId(1),
             "unrelated.example".parse().unwrap(),
         )];
-        assert_eq!(BernoulliEstimator::default().estimate(&lookups, &ctx(family)), 0.0);
+        assert_eq!(
+            BernoulliEstimator::default().estimate(&lookups, &ctx(family)),
+            0.0
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::poisson::PoissonEstimator;
 use crate::timing::TimingEstimator;
 use botmeter_dga::{BarrelClass, DgaFamily};
 use botmeter_dns::{ObservedLookup, ServerId, SimDuration, TtlPolicy};
-use botmeter_matcher::{match_stream, DomainMatcher, ExactMatcher};
+use botmeter_matcher::{match_stream, match_stream_parallel, DomainMatcher, ExactMatcher};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -258,10 +258,7 @@ impl BotMeter {
     /// Restricts matching and estimation to an imperfect D3 detection
     /// window (the known subset of pool domains).
     #[must_use]
-    pub fn with_detection_window(
-        mut self,
-        known: HashSet<botmeter_dns::DomainName>,
-    ) -> Self {
+    pub fn with_detection_window(mut self, known: HashSet<botmeter_dns::DomainName>) -> Self {
         self.detection_window = Some(known);
         self
     }
@@ -292,6 +289,26 @@ impl BotMeter {
     /// family's pools over `epochs`, groups per forwarding server, slices
     /// per epoch and estimates every cell.
     pub fn chart(&self, observed: &[ObservedLookup], epochs: Range<u64>) -> Landscape {
+        self.chart_impl(observed, epochs, false)
+    }
+
+    /// Parallel [`chart`](Self::chart): matches the stream in parallel
+    /// chunks, then fans the non-empty (server, epoch) cells out across the
+    /// worker threads, one estimator call per cell.
+    ///
+    /// Each cell's estimate is a pure function of that cell's matched
+    /// lookups, so the landscape is identical to the sequential one — entry
+    /// for entry, bit for bit — for any model and detection window.
+    pub fn chart_parallel(&self, observed: &[ObservedLookup], epochs: Range<u64>) -> Landscape {
+        self.chart_impl(observed, epochs, true)
+    }
+
+    fn chart_impl(
+        &self,
+        observed: &[ObservedLookup],
+        epochs: Range<u64>,
+        parallel: bool,
+    ) -> Landscape {
         let matcher = ExactMatcher::from_family(&self.config.family, epochs.clone());
         let estimator = self.resolve_model();
         let epoch_len = self.config.family.epoch_len();
@@ -308,9 +325,20 @@ impl BotMeter {
         // Matching honours the detection window: unknown domains are
         // invisible to the analyst.
         let window = self.detection_window.as_ref();
-        let filtered = match_stream(observed, &WindowedMatcher { inner: &matcher, window });
+        let windowed = WindowedMatcher {
+            inner: &matcher,
+            window,
+        };
+        let filtered = if parallel {
+            match_stream_parallel(observed, &windowed)
+        } else {
+            match_stream(observed, &windowed)
+        };
 
-        let mut entries = Vec::new();
+        // Slice every server's matched traffic per epoch. Cells are
+        // collected in (server asc, epoch asc) order, which fixes the entry
+        // order of the landscape independently of how they are estimated.
+        let mut cells: Vec<(ServerId, u64, Vec<ObservedLookup>)> = Vec::new();
         for (server, lookups) in filtered.iter() {
             for epoch in epochs.clone() {
                 let slice: Vec<ObservedLookup> = lookups
@@ -318,18 +346,31 @@ impl BotMeter {
                     .filter(|l| l.t.epoch_day(epoch_len) == epoch)
                     .cloned()
                     .collect();
-                if slice.is_empty() {
-                    continue;
+                if !slice.is_empty() {
+                    cells.push((server, epoch, slice));
                 }
-                let estimate = estimator.estimate(&slice, &ctx);
-                entries.push(LandscapeEntry {
+            }
+        }
+
+        let estimates: Vec<f64> = if parallel && cells.len() > 1 {
+            botmeter_exec::run_indexed(cells.len(), |i| estimator.estimate(&cells[i].2, &ctx))
+        } else {
+            cells
+                .iter()
+                .map(|(_, _, slice)| estimator.estimate(slice, &ctx))
+                .collect()
+        };
+        Landscape {
+            entries: cells
+                .into_iter()
+                .zip(estimates)
+                .map(|((server, epoch, _), estimate)| LandscapeEntry {
                     server,
                     epoch,
                     estimate,
-                });
-            }
+                })
+                .collect(),
         }
-        Landscape { entries }
     }
 }
 
@@ -364,9 +405,8 @@ mod tests {
 
     #[test]
     fn forced_model_overrides_auto() {
-        let meter = BotMeter::new(
-            BotMeterConfig::new(DgaFamily::new_goz()).model(ModelKind::Coverage),
-        );
+        let meter =
+            BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()).model(ModelKind::Coverage));
         assert_eq!(meter.resolve_model().name(), "Coverage");
     }
 
@@ -383,9 +423,42 @@ mod tests {
         assert!(!landscape.is_empty());
         // The single-local topology forwards through server 1.
         assert!(landscape.estimate(ServerId(1), 0) > 0.0);
-        assert_eq!(landscape.total_for_epoch(0), landscape.estimate(ServerId(1), 0));
+        assert_eq!(
+            landscape.total_for_epoch(0),
+            landscape.estimate(ServerId(1), 0)
+        );
         let ranked = landscape.ranked_servers();
         assert_eq!(ranked[0].0, ServerId(1));
+    }
+
+    #[test]
+    fn chart_parallel_matches_chart_bit_for_bit() {
+        // Pin the worker count so the parallel paths actually run on
+        // single-core machines.
+        std::env::set_var("BOTMETER_THREADS", "4");
+        for (family, model) in [
+            (DgaFamily::murofet(), ModelKind::Auto),
+            (DgaFamily::new_goz(), ModelKind::Auto),
+            (DgaFamily::conficker_c(), ModelKind::Auto),
+            (DgaFamily::new_goz(), ModelKind::Coverage),
+        ] {
+            let outcome = ScenarioSpec::builder(family)
+                .population(64)
+                .num_epochs(2)
+                .seed(13)
+                .build()
+                .unwrap()
+                .run();
+            let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(model));
+            let sequential = meter.chart(outcome.observed(), 0..2);
+            let parallel = meter.chart_parallel(outcome.observed(), 0..2);
+            assert_eq!(
+                parallel,
+                sequential,
+                "landscape diverged: {} / {model:?}",
+                outcome.family().name()
+            );
+        }
     }
 
     #[test]
@@ -412,8 +485,8 @@ mod tests {
         assert!(empty.chart(outcome.observed(), 0..1).is_empty());
         // A full window matches everything the plain meter does.
         let full_set: HashSet<_> = family.pool_for_epoch(0).into_iter().collect();
-        let full = BotMeter::new(BotMeterConfig::new(family.clone()))
-            .with_detection_window(full_set);
+        let full =
+            BotMeter::new(BotMeterConfig::new(family.clone())).with_detection_window(full_set);
         let plain = BotMeter::new(BotMeterConfig::new(family));
         assert_eq!(
             full.chart(outcome.observed(), 0..1),
@@ -438,14 +511,30 @@ mod tests {
     fn merge_adds_cells_and_unions_servers() {
         let a = Landscape {
             entries: vec![
-                LandscapeEntry { server: ServerId(1), epoch: 0, estimate: 5.0 },
-                LandscapeEntry { server: ServerId(2), epoch: 0, estimate: 3.0 },
+                LandscapeEntry {
+                    server: ServerId(1),
+                    epoch: 0,
+                    estimate: 5.0,
+                },
+                LandscapeEntry {
+                    server: ServerId(2),
+                    epoch: 0,
+                    estimate: 3.0,
+                },
             ],
         };
         let b = Landscape {
             entries: vec![
-                LandscapeEntry { server: ServerId(1), epoch: 0, estimate: 7.0 },
-                LandscapeEntry { server: ServerId(1), epoch: 1, estimate: 2.0 },
+                LandscapeEntry {
+                    server: ServerId(1),
+                    epoch: 0,
+                    estimate: 7.0,
+                },
+                LandscapeEntry {
+                    server: ServerId(1),
+                    epoch: 1,
+                    estimate: 2.0,
+                },
             ],
         };
         let merged = Landscape::merge([a, b]);
@@ -460,9 +549,21 @@ mod tests {
     fn ranked_servers_orders_by_peak() {
         let landscape = Landscape {
             entries: vec![
-                LandscapeEntry { server: ServerId(1), epoch: 0, estimate: 5.0 },
-                LandscapeEntry { server: ServerId(2), epoch: 0, estimate: 50.0 },
-                LandscapeEntry { server: ServerId(1), epoch: 1, estimate: 80.0 },
+                LandscapeEntry {
+                    server: ServerId(1),
+                    epoch: 0,
+                    estimate: 5.0,
+                },
+                LandscapeEntry {
+                    server: ServerId(2),
+                    epoch: 0,
+                    estimate: 50.0,
+                },
+                LandscapeEntry {
+                    server: ServerId(1),
+                    epoch: 1,
+                    estimate: 80.0,
+                },
             ],
         };
         let ranked = landscape.ranked_servers();

@@ -23,8 +23,9 @@
 
 use crate::config::EstimationContext;
 use crate::estimator::Estimator;
+use botmeter_dns::FxHashMap;
 use botmeter_dns::ObservedLookup;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// `MC`: closed-form coverage/rate inversion for `AR` DGAs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -114,9 +115,7 @@ impl Estimator for CoverageEstimator {
 
     fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
         match Self::prepare(lookups, ctx) {
-            Some((buckets, pool_len, r, observed)) => {
-                Self::invert(&buckets, pool_len, r, observed)
-            }
+            Some((buckets, pool_len, r, observed)) => Self::invert(&buckets, pool_len, r, observed),
             None => 0.0,
         }
     }
@@ -143,18 +142,14 @@ impl CoverageEstimator {
         // Observed volume: matched lookups that belong to this epoch's
         // pool (valid-domain sightings excluded — positive caching gives
         // them different dynamics).
-        let index: HashMap<_, usize> = pool
+        let index: FxHashMap<_, usize> = pool
             .iter()
             .enumerate()
             .map(|(i, d)| (d.clone(), i))
             .collect();
         let observed = lookups
             .iter()
-            .filter(|l| {
-                index
-                    .get(&l.domain)
-                    .is_some_and(|i| !valid.contains(i))
-            })
+            .filter(|l| index.get(&l.domain).is_some_and(|i| !valid.contains(i)))
             .count() as f64;
         if observed == 0.0 {
             return None;
@@ -162,13 +157,12 @@ impl CoverageEstimator {
 
         // Per-domain cover counts over the detectable NXDs, compressed into
         // (cover, multiplicity) buckets: cover(d) = min(arc offset, θq).
-        let mut bucket_map: HashMap<usize, usize> = HashMap::new();
+        // A BTreeMap keeps the bucket order — and therefore the float
+        // summation order in `expected_lookups` — deterministic.
+        let mut bucket_map: BTreeMap<usize, usize> = BTreeMap::new();
         if valid.is_empty() {
             // No arc boundaries: every bot runs a full barrel.
-            let detectable = pool
-                .iter()
-                .filter(|d| ctx.detectable(d))
-                .count();
+            let detectable = pool.iter().filter(|d| ctx.detectable(d)).count();
             bucket_map.insert(theta_q.min(pool_len), detectable);
         } else {
             let boundaries: Vec<usize> = valid.iter().copied().collect();
@@ -192,8 +186,7 @@ impl CoverageEstimator {
             return None;
         }
 
-        let r = ctx.ttl().negative().as_millis() as f64
-            / family.epoch_len().as_millis() as f64;
+        let r = ctx.ttl().negative().as_millis() as f64 / family.epoch_len().as_millis() as f64;
         Some((buckets, pool_len, r, observed))
     }
 

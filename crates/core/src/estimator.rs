@@ -16,7 +16,11 @@ use botmeter_dns::ObservedLookup;
 ///
 /// Multi-epoch observation windows are handled by the caller: estimate each
 /// epoch separately and average, as the paper does for Fig. 6(b).
-pub trait Estimator {
+///
+/// Estimation is a pure function of `(lookups, ctx)`, so the trait requires
+/// `Send + Sync`: the parallel charting path fans (server, epoch) cells out
+/// across worker threads sharing one estimator.
+pub trait Estimator: Send + Sync {
     /// A short display name (`"Timing"`, `"Poisson"`, ...).
     fn name(&self) -> &'static str;
 

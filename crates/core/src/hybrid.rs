@@ -191,10 +191,8 @@ mod tests {
                 outcome.granularity(),
             );
             let actual = outcome.ground_truth()[0] as f64;
-            hybrid_sum += absolute_relative_error(
-                HybridEstimator.estimate(outcome.observed(), &ctx),
-                actual,
-            );
+            hybrid_sum +=
+                absolute_relative_error(HybridEstimator.estimate(outcome.observed(), &ctx), actual);
             cov_sum += absolute_relative_error(
                 CoverageEstimator.estimate(outcome.observed(), &ctx),
                 actual,
@@ -225,10 +223,8 @@ mod tests {
             BernoulliEstimator::default().estimate(outcome.observed(), &ctx),
             actual,
         );
-        let hb = absolute_relative_error(
-            HybridBernoulli.estimate(outcome.observed(), &ctx),
-            actual,
-        );
+        let hb =
+            absolute_relative_error(HybridBernoulli.estimate(outcome.observed(), &ctx), actual);
         assert!(hb <= mb + 1e-9, "hybrid MB ({hb}) worse than MB ({mb})");
     }
 

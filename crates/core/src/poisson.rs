@@ -57,7 +57,9 @@ impl PoissonEstimator {
     /// Panics unless both parameters are finite and non-negative.
     pub fn with_gamma_prior(alpha: f64, beta_ttl_fraction: f64) -> Self {
         assert!(
-            alpha.is_finite() && alpha >= 0.0 && beta_ttl_fraction.is_finite()
+            alpha.is_finite()
+                && alpha >= 0.0
+                && beta_ttl_fraction.is_finite()
                 && beta_ttl_fraction >= 0.0,
             "prior parameters must be finite and non-negative"
         );
@@ -68,10 +70,7 @@ impl PoissonEstimator {
     /// The instants at which *visible* activations begin: the first lookup,
     /// then each first lookup after the previous activation's negative-TTL
     /// window has expired.
-    fn visible_activations(
-        lookups: &[ObservedLookup],
-        delta_l_ms: u64,
-    ) -> Vec<SimInstant> {
+    fn visible_activations(lookups: &[ObservedLookup], delta_l_ms: u64) -> Vec<SimInstant> {
         let mut starts = Vec::new();
         let mut window_end: Option<u64> = None;
         for lookup in lookups {
@@ -99,9 +98,7 @@ impl Estimator for PoissonEstimator {
         }
         let delta_l = ctx.ttl().negative().as_millis();
         let epoch_len = ctx.family().epoch_len();
-        let epoch = ctx
-            .epoch_of(lookups)
-            .expect("non-empty slice has an epoch");
+        let epoch = ctx.epoch_of(lookups).expect("non-empty slice has an epoch");
         let window_start = (epoch_len * epoch).as_millis();
 
         let starts = Self::visible_activations(lookups, delta_l);
@@ -167,7 +164,7 @@ mod tests {
         let delta_l = SimDuration::from_hours(2).as_millis();
         let lookups = vec![
             obs(0, "a.example"),
-            obs(500, "b.example"),      // same burst
+            obs(500, "b.example"),            // same burst
             obs(delta_l + 1000, "a.example"), // next TTL window
         ];
         let starts = PoissonEstimator::visible_activations(&lookups, delta_l);
@@ -239,8 +236,10 @@ mod tests {
                 outcome.granularity(),
             );
             let actual = outcome.ground_truth()[0] as f64;
-            mp_err +=
-                absolute_relative_error(PoissonEstimator::new().estimate(outcome.observed(), &ctx), actual);
+            mp_err += absolute_relative_error(
+                PoissonEstimator::new().estimate(outcome.observed(), &ctx),
+                actual,
+            );
             mt_err +=
                 absolute_relative_error(TimingEstimator.estimate(outcome.observed(), &ctx), actual);
         }

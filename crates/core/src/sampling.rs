@@ -29,8 +29,9 @@
 
 use crate::config::EstimationContext;
 use crate::estimator::Estimator;
+use botmeter_dns::FxHashMap;
 use botmeter_dns::ObservedLookup;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// `MS`: distinct-NXD occupancy inversion for sampling-barrel DGAs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -69,7 +70,7 @@ impl Estimator for SamplingEstimator {
         let epoch = ctx.epoch_of(lookups).expect("non-empty slice");
         let pool = family.pool_for_epoch(epoch);
         let valid: HashSet<usize> = family.valid_indices(epoch).into_iter().collect();
-        let index: HashMap<_, usize> = pool
+        let index: FxHashMap<_, usize> = pool
             .iter()
             .enumerate()
             .map(|(i, d)| (d.clone(), i))
@@ -98,11 +99,7 @@ impl Estimator for SamplingEstimator {
         }
 
         let params = family.params();
-        let q_bar = Self::expected_nxd_queries(
-            pool.len(),
-            params.theta_valid(),
-            params.theta_q(),
-        );
+        let q_bar = Self::expected_nxd_queries(pool.len(), params.theta_valid(), params.theta_q());
         let p = q_bar / params.theta_nx() as f64;
         if p <= 0.0 || p >= 1.0 {
             return MAX_POPULATION;

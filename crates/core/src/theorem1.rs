@@ -181,12 +181,7 @@ fn span_posterior(
 
 /// `P(config | n starts uniform on the span)`: both span endpoints
 /// occupied and every internal gap at most `θq`.
-fn config_probability(
-    l_tilde: usize,
-    n: u64,
-    theta_q: usize,
-    table: &mut StirlingTable,
-) -> f64 {
+fn config_probability(l_tilde: usize, n: u64, theta_q: usize, table: &mut StirlingTable) -> f64 {
     if l_tilde == 1 {
         return 1.0; // all starts on the single position
     }

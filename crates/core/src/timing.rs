@@ -218,6 +218,9 @@ mod tests {
         let est = TimingEstimator.estimate(outcome.observed(), &ctx);
         let actual = outcome.ground_truth()[0] as f64;
         let are = crate::absolute_relative_error(est, actual);
-        assert!(are < 0.5, "MT on AR should be decent: est {est} vs {actual}");
+        assert!(
+            are < 0.5,
+            "MT on AR should be decent: est {est} vs {actual}"
+        );
     }
 }

@@ -96,16 +96,17 @@ mod tests {
         // 1 of 12 two-hour windows occupied: N = −12·ln(11/12) ≈ 1.044.
         let lookups = vec![obs(1000, "a.example")];
         let est = WindowOccupancyEstimator.estimate(&lookups, &ctx(DgaFamily::necurs()));
-        assert!((est - (-12.0 * (11.0f64 / 12.0).ln())).abs() < 1e-9, "{est}");
+        assert!(
+            (est - (-12.0 * (11.0f64 / 12.0).ln())).abs() < 1e-9,
+            "{est}"
+        );
     }
 
     #[test]
     fn saturation_is_finite() {
         // Every window occupied: the continuity correction keeps it finite.
         let h2 = SimDuration::from_hours(2).as_millis();
-        let lookups: Vec<_> = (0..12)
-            .map(|w| obs(w * h2 + 5, "a.example"))
-            .collect();
+        let lookups: Vec<_> = (0..12).map(|w| obs(w * h2 + 5, "a.example")).collect();
         let est = WindowOccupancyEstimator.estimate(&lookups, &ctx(DgaFamily::necurs()));
         assert!(est.is_finite() && est > 12.0, "{est}");
     }

@@ -178,8 +178,13 @@ impl DgaFamily {
     pub fn murofet() -> DgaFamily {
         Self::builder(
             "Murofet",
-            DgaParams::new(798, 2, 798, QueryTiming::Fixed(SimDuration::from_millis(500)))
-                .expect("preset params are valid"),
+            DgaParams::new(
+                798,
+                2,
+                798,
+                QueryTiming::Fixed(SimDuration::from_millis(500)),
+            )
+            .expect("preset params are valid"),
         )
         .barrel(BarrelClass::Uniform)
         .charset(Charset::Alpha)
@@ -194,8 +199,13 @@ impl DgaFamily {
     pub fn conficker_c() -> DgaFamily {
         Self::builder(
             "Conficker.C",
-            DgaParams::new(49_995, 5, 500, QueryTiming::Fixed(SimDuration::from_secs(1)))
-                .expect("preset params are valid"),
+            DgaParams::new(
+                49_995,
+                5,
+                500,
+                QueryTiming::Fixed(SimDuration::from_secs(1)),
+            )
+            .expect("preset params are valid"),
         )
         .barrel(BarrelClass::Sampling)
         .charset(Charset::Alpha)
@@ -226,8 +236,13 @@ impl DgaFamily {
     pub fn necurs() -> DgaFamily {
         Self::builder(
             "Necurs",
-            DgaParams::new(2_046, 2, 2_046, QueryTiming::Fixed(SimDuration::from_millis(500)))
-                .expect("preset params are valid"),
+            DgaParams::new(
+                2_046,
+                2,
+                2_046,
+                QueryTiming::Fixed(SimDuration::from_millis(500)),
+            )
+            .expect("preset params are valid"),
         )
         .pool(PoolModel::DrainReplenish { rotation: 4 })
         .barrel(BarrelClass::Permutation)
@@ -243,8 +258,13 @@ impl DgaFamily {
     pub fn srizbi() -> DgaFamily {
         Self::builder(
             "Srizbi",
-            DgaParams::new(498, 2, 500, QueryTiming::Fixed(SimDuration::from_millis(500)))
-                .expect("preset params are valid"),
+            DgaParams::new(
+                498,
+                2,
+                500,
+                QueryTiming::Fixed(SimDuration::from_millis(500)),
+            )
+            .expect("preset params are valid"),
         )
         .barrel(BarrelClass::Uniform)
         .charset(Charset::Alpha)
@@ -323,8 +343,13 @@ impl DgaFamily {
     pub fn ranbyus() -> DgaFamily {
         Self::builder(
             "Ranbyus",
-            DgaParams::new(1_238, 2, 1_240, QueryTiming::Fixed(SimDuration::from_millis(500)))
-                .expect("preset params are valid"),
+            DgaParams::new(
+                1_238,
+                2,
+                1_240,
+                QueryTiming::Fixed(SimDuration::from_millis(500)),
+            )
+            .expect("preset params are valid"),
         )
         .pool(PoolModel::SlidingWindow {
             back: 30,
@@ -344,8 +369,13 @@ impl DgaFamily {
     pub fn pushdo() -> DgaFamily {
         Self::builder(
             "PushDo",
-            DgaParams::new(1_378, 2, 1_380, QueryTiming::Fixed(SimDuration::from_millis(500)))
-                .expect("preset params are valid"),
+            DgaParams::new(
+                1_378,
+                2,
+                1_380,
+                QueryTiming::Fixed(SimDuration::from_millis(500)),
+            )
+            .expect("preset params are valid"),
         )
         .pool(PoolModel::SlidingWindow {
             back: 30,
@@ -367,28 +397,22 @@ impl DgaFamily {
     /// epochs — exactly the behaviour real dictionary DGAs exhibit.
     pub fn suppobox() -> DgaFamily {
         const WORDS: &[&str] = &[
-            "ability", "account", "action", "amount", "animal", "answer",
-            "article", "autumn", "balance", "banner", "basket", "battle",
-            "beauty", "belief", "bottle", "branch", "breath", "bridge",
-            "butter", "camera", "candle", "canvas", "carbon", "castle",
-            "cattle", "change", "charge", "choice", "circle", "client",
-            "closet", "coffee", "column", "comfort", "command", "common",
-            "copper", "corner", "cotton", "county", "couple", "course",
-            "cousin", "credit", "culture", "custom", "damage", "danger",
-            "debate", "decade", "degree", "design", "detail", "device",
-            "dinner", "doctor", "dollar", "double", "dragon", "driver",
-            "editor", "effect", "effort", "energy", "engine", "estate",
-            "event", "expert", "fabric", "factor", "family", "farmer",
-            "father", "figure", "finger", "flight", "flower", "forest",
-            "fortune", "friend", "future", "garden", "gather", "ground",
-            "growth", "guitar", "hammer", "harbor", "health", "height",
-            "history", "hollow", "honey", "humor", "island", "jacket",
-            "journey", "jungle", "kitchen", "ladder", "leader", "league",
-            "legend", "letter", "little", "luxury", "magnet", "manner",
-            "marble", "margin", "market", "master", "matter", "meadow",
-            "member", "memory", "metal", "method", "middle", "minute",
-            "mirror", "moment", "monkey", "mother", "motion", "nature",
-            "needle", "nation",
+            "ability", "account", "action", "amount", "animal", "answer", "article", "autumn",
+            "balance", "banner", "basket", "battle", "beauty", "belief", "bottle", "branch",
+            "breath", "bridge", "butter", "camera", "candle", "canvas", "carbon", "castle",
+            "cattle", "change", "charge", "choice", "circle", "client", "closet", "coffee",
+            "column", "comfort", "command", "common", "copper", "corner", "cotton", "county",
+            "couple", "course", "cousin", "credit", "culture", "custom", "damage", "danger",
+            "debate", "decade", "degree", "design", "detail", "device", "dinner", "doctor",
+            "dollar", "double", "dragon", "driver", "editor", "effect", "effort", "energy",
+            "engine", "estate", "event", "expert", "fabric", "factor", "family", "farmer",
+            "father", "figure", "finger", "flight", "flower", "forest", "fortune", "friend",
+            "future", "garden", "gather", "ground", "growth", "guitar", "hammer", "harbor",
+            "health", "height", "history", "hollow", "honey", "humor", "island", "jacket",
+            "journey", "jungle", "kitchen", "ladder", "leader", "league", "legend", "letter",
+            "little", "luxury", "magnet", "manner", "marble", "margin", "market", "master",
+            "matter", "meadow", "member", "memory", "metal", "method", "middle", "minute",
+            "mirror", "moment", "monkey", "mother", "motion", "nature", "needle", "nation",
         ];
         let params = DgaParams::new(126, 2, 128, QueryTiming::Fixed(SimDuration::from_secs(1)))
             .expect("preset params are valid");
@@ -409,8 +433,13 @@ impl DgaFamily {
     pub fn pykspa() -> DgaFamily {
         Self::builder(
             "Pykspa",
-            DgaParams::new(198, 2, 200, QueryTiming::Fixed(SimDuration::from_millis(500)))
-                .expect("preset params are valid"),
+            DgaParams::new(
+                198,
+                2,
+                200,
+                QueryTiming::Fixed(SimDuration::from_millis(500)),
+            )
+            .expect("preset params are valid"),
         )
         .pool(PoolModel::MultipleMixture {
             noise_sizes: vec![16_000],
@@ -455,9 +484,9 @@ impl DgaFamily {
     /// `"Conficker.C"`.
     pub fn by_name(name: &str) -> Option<DgaFamily> {
         let needle = name.to_ascii_lowercase().replace(['.', '-', '_'], "");
-        Self::all_presets().into_iter().find(|f| {
-            f.name().to_ascii_lowercase().replace(['.', '-', '_'], "") == needle
-        })
+        Self::all_presets()
+            .into_iter()
+            .find(|f| f.name().to_ascii_lowercase().replace(['.', '-', '_'], "") == needle)
     }
 }
 
@@ -654,7 +683,11 @@ mod tests {
     fn table1_parameters_match_paper() {
         let m = DgaFamily::murofet();
         assert_eq!(
-            (m.params().theta_nx(), m.params().theta_valid(), m.params().theta_q()),
+            (
+                m.params().theta_nx(),
+                m.params().theta_valid(),
+                m.params().theta_q()
+            ),
             (798, 2, 798)
         );
         assert_eq!(
@@ -664,20 +697,32 @@ mod tests {
 
         let c = DgaFamily::conficker_c();
         assert_eq!(
-            (c.params().theta_nx(), c.params().theta_valid(), c.params().theta_q()),
+            (
+                c.params().theta_nx(),
+                c.params().theta_valid(),
+                c.params().theta_q()
+            ),
             (49_995, 5, 500)
         );
 
         let g = DgaFamily::new_goz();
         assert_eq!(
-            (g.params().theta_nx(), g.params().theta_valid(), g.params().theta_q()),
+            (
+                g.params().theta_nx(),
+                g.params().theta_valid(),
+                g.params().theta_q()
+            ),
             (9_995, 5, 500)
         );
         assert_eq!(g.barrel_class(), BarrelClass::RandomCut);
 
         let n = DgaFamily::necurs();
         assert_eq!(
-            (n.params().theta_nx(), n.params().theta_valid(), n.params().theta_q()),
+            (
+                n.params().theta_nx(),
+                n.params().theta_valid(),
+                n.params().theta_q()
+            ),
             (2_046, 2, 2_046)
         );
         assert_eq!(n.barrel_class(), BarrelClass::Permutation);

@@ -164,10 +164,7 @@ impl DomainGenerator {
             NameStyle::Dictionary {
                 words,
                 words_per_name,
-            } => {
-                words_per_name
-                    * words.iter().map(String::len).min().expect("non-empty")
-            }
+            } => words_per_name * words.iter().map(String::len).min().expect("non-empty"),
         }
     }
 
@@ -178,10 +175,7 @@ impl DomainGenerator {
             NameStyle::Dictionary {
                 words,
                 words_per_name,
-            } => {
-                words_per_name
-                    * words.iter().map(String::len).max().expect("non-empty")
-            }
+            } => words_per_name * words.iter().map(String::len).max().expect("non-empty"),
         }
     }
 
@@ -262,7 +256,13 @@ impl DomainGenerator {
     /// dictionary with fewer combinations than the pool needs).
     pub fn batch(&self, stream: u64, count: usize) -> Vec<DomainName> {
         let mut out = Vec::with_capacity(count);
-        let mut seen = std::collections::HashSet::with_capacity(count * 2);
+        // Dedup probes ride on the names' pre-interned ids: DomainName
+        // hashes as its fingerprint u64, and the Fx table folds that in a
+        // single multiply.
+        let mut seen = botmeter_dns::FxHashSet::with_capacity_and_hasher(
+            count * 2,
+            botmeter_dns::FxBuildHasher::default(),
+        );
         let mut index = 0u64;
         let give_up = count as u64 * 1000 + 10_000;
         while out.len() < count {
@@ -373,9 +373,9 @@ mod tests {
             let d = g.domain(0, i);
             let label = d.first_label();
             // Every label decomposes into two dictionary words.
-            let ok = words.iter().any(|a| {
-                label.starts_with(a) && words.contains(&&label[a.len()..])
-            });
+            let ok = words
+                .iter()
+                .any(|a| label.starts_with(a) && words.contains(&&label[a.len()..]));
             assert!(ok, "{label} is not two dictionary words");
             assert_eq!(d.tld(), "net");
         }
@@ -390,7 +390,11 @@ mod tests {
         let g = DomainGenerator::dictionary("d", 9, &words, 2, "com");
         assert_eq!(g.domain(4, 2), g.domain(4, 2));
         let distinct: HashSet<_> = (0..200u64).map(|i| g.domain(0, i)).collect();
-        assert!(distinct.len() > 15, "only {} distinct names", distinct.len());
+        assert!(
+            distinct.len() > 15,
+            "only {} distinct names",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -187,8 +187,13 @@ mod tests {
 
     #[test]
     fn valid_params_accessors() {
-        let p = DgaParams::new(798, 2, 798, QueryTiming::Fixed(SimDuration::from_millis(500)))
-            .unwrap();
+        let p = DgaParams::new(
+            798,
+            2,
+            798,
+            QueryTiming::Fixed(SimDuration::from_millis(500)),
+        )
+        .unwrap();
         assert_eq!(p.theta_nx(), 798);
         assert_eq!(p.theta_valid(), 2);
         assert_eq!(p.theta_q(), 798);
@@ -211,7 +216,10 @@ mod tests {
         );
         assert_eq!(
             DgaParams::new(10, 2, 13, timing_1s()),
-            Err(ParamsError::BarrelExceedsPool { theta_q: 13, pool: 12 })
+            Err(ParamsError::BarrelExceedsPool {
+                theta_q: 13,
+                pool: 12
+            })
         );
     }
 
@@ -238,9 +246,12 @@ mod tests {
     #[test]
     fn params_error_messages() {
         assert!(ParamsError::EmptyPool.to_string().contains("pool"));
-        assert!(ParamsError::BarrelExceedsPool { theta_q: 5, pool: 3 }
-            .to_string()
-            .contains("exceeds"));
+        assert!(ParamsError::BarrelExceedsPool {
+            theta_q: 5,
+            pool: 3
+        }
+        .to_string()
+        .contains("exceeds"));
     }
 
     #[test]

@@ -83,8 +83,7 @@ impl PoolModel {
             } => {
                 let start = epoch.saturating_sub(*back);
                 let end = epoch + forward;
-                let mut pool =
-                    Vec::with_capacity(((end - start + 1) as usize) * per_day);
+                let mut pool = Vec::with_capacity(((end - start + 1) as usize) * per_day);
                 for day in start..=end {
                     pool.extend(generator.batch(day, *per_day));
                 }

@@ -7,8 +7,7 @@
 //! plugged straight into the DNS topology.
 
 use crate::family::DgaFamily;
-use botmeter_dns::{Answer, Authority, DomainName, SimDuration, SimInstant};
-use std::collections::HashSet;
+use botmeter_dns::{Answer, Authority, DomainName, FxHashSet, SimDuration, SimInstant};
 use std::net::Ipv4Addr;
 
 /// A time-varying authority answering for one DGA family's C2 rotations
@@ -34,7 +33,9 @@ use std::net::Ipv4Addr;
 #[derive(Debug, Clone)]
 pub struct EpochAuthority {
     epoch_len: SimDuration,
-    valid_by_epoch: Vec<HashSet<DomainName>>,
+    /// Per-epoch registered sets behind the Fx hasher: resolving a lookup
+    /// probes with the name's pre-computed fingerprint, not a string hash.
+    valid_by_epoch: Vec<FxHashSet<DomainName>>,
     c2_address: Ipv4Addr,
 }
 
@@ -69,7 +70,7 @@ impl EpochAuthority {
             .map(|s| s.valid_by_epoch.len())
             .max()
             .unwrap_or(0);
-        let mut valid_by_epoch = vec![HashSet::new(); max_epochs];
+        let mut valid_by_epoch = vec![FxHashSet::default(); max_epochs];
         for s in sources {
             for (e, set) in s.valid_by_epoch.iter().enumerate() {
                 valid_by_epoch[e].extend(set.iter().cloned());
@@ -88,7 +89,7 @@ impl EpochAuthority {
     }
 
     /// The valid (registered) domains of one epoch, if precomputed.
-    pub fn valid_domains(&self, epoch: u64) -> Option<&HashSet<DomainName>> {
+    pub fn valid_domains(&self, epoch: u64) -> Option<&FxHashSet<DomainName>> {
         self.valid_by_epoch.get(epoch as usize)
     }
 }

@@ -116,7 +116,9 @@ pub fn known_families() -> Vec<TaxonomyCell> {
         for &pool in &PoolClass::ALL {
             let families: Vec<&str> = match (pool, barrel) {
                 (PoolClass::DrainReplenish, BarrelClass::Uniform) => {
-                    vec!["Murofet", "Srizbi", "Torpig", "Ramnit", "Qakbot", "Suppobox"]
+                    vec![
+                        "Murofet", "Srizbi", "Torpig", "Ramnit", "Qakbot", "Suppobox",
+                    ]
                 }
                 (PoolClass::SlidingWindow, BarrelClass::Uniform) => vec!["Ranbyus", "PushDo"],
                 (PoolClass::DrainReplenish, BarrelClass::Sampling) => vec!["Conficker.C"],
@@ -170,7 +172,10 @@ mod tests {
     #[test]
     fn unspotted_cells_exist() {
         // Fig. 3 marks several combinations "?" — never seen in the wild.
-        let empty = known_families().iter().filter(|c| c.families.is_empty()).count();
+        let empty = known_families()
+            .iter()
+            .filter(|c| c.families.is_empty())
+            .count();
         assert_eq!(empty, 6);
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the DGA library.
 
-use botmeter_dga::{
-    draw_barrel, BarrelClass, DgaFamily, DgaParams, PoolModel, QueryTiming,
-};
+use botmeter_dga::{draw_barrel, BarrelClass, DgaFamily, DgaParams, PoolModel, QueryTiming};
 use botmeter_dns::SimDuration;
 use proptest::prelude::*;
 use rand::SeedableRng;

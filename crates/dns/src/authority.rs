@@ -138,7 +138,10 @@ mod tests {
     fn empty_authority_all_nx() {
         let a = StaticAuthority::empty();
         assert!(a.is_empty());
-        assert_eq!(a.resolve(SimInstant::ZERO, &d("x.example")), Answer::NxDomain);
+        assert_eq!(
+            a.resolve(SimInstant::ZERO, &d("x.example")),
+            Answer::NxDomain
+        );
     }
 
     #[test]
@@ -162,14 +165,20 @@ mod tests {
     fn trait_object_and_reference_impls() {
         let a = StaticAuthority::from_domains([d("a.example")]);
         let by_ref: &dyn Authority = &a;
-        assert!(by_ref.resolve(SimInstant::ZERO, &d("a.example")).is_positive());
+        assert!(by_ref
+            .resolve(SimInstant::ZERO, &d("a.example"))
+            .is_positive());
         let boxed: Box<dyn Authority> = Box::new(a);
-        assert!(boxed.resolve(SimInstant::ZERO, &d("a.example")).is_positive());
+        assert!(boxed
+            .resolve(SimInstant::ZERO, &d("a.example"))
+            .is_positive());
     }
 
     #[test]
     fn answer_display() {
         assert_eq!(Answer::NxDomain.to_string(), "NXDOMAIN");
-        assert!(Answer::Address(Ipv4Addr::LOCALHOST).to_string().contains("127.0.0.1"));
+        assert!(Answer::Address(Ipv4Addr::LOCALHOST)
+            .to_string()
+            .contains("127.0.0.1"));
     }
 }

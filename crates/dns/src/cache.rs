@@ -6,11 +6,12 @@
 //! hinges on this module faithfully implementing expiry semantics.
 
 use crate::authority::Answer;
+use crate::intern::FxHashMap;
 use crate::name::DomainName;
 use crate::time::{SimDuration, SimInstant};
 use crate::ttl::TtlPolicy;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// A cached answer together with its expiry time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +67,9 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DnsCache {
-    entries: HashMap<DomainName, CachedAnswer>,
+    /// Domain-keyed entries behind the Fx hasher: `DomainName::hash` writes
+    /// its precomputed 64-bit fingerprint, so a probe costs one multiply.
+    entries: FxHashMap<DomainName, CachedAnswer>,
     /// Expiry-ordered index, maintained only when a capacity bound is set
     /// (unbounded caches skip the bookkeeping entirely).
     expiry_index: BTreeSet<(SimInstant, DomainName)>,
@@ -161,10 +164,10 @@ impl DnsCache {
                 }
             }
             let expires_at = t + ttl;
-            if let Some(old) = self.entries.insert(
-                domain.clone(),
-                CachedAnswer { answer, expires_at },
-            ) {
+            if let Some(old) = self
+                .entries
+                .insert(domain.clone(), CachedAnswer { answer, expires_at })
+            {
                 self.expiry_index.remove(&(old.expires_at, domain.clone()));
             }
             self.expiry_index.insert((expires_at, domain));
@@ -226,6 +229,38 @@ impl DnsCache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    /// Folds a domain-shard's cache back into this one after parallel trace
+    /// processing: `shard` started as a clone of `self` and processed only
+    /// lookups whose domains satisfy `owned`, so it is authoritative for
+    /// exactly those entries. `base` is this cache's stats snapshot from
+    /// before the shards were cloned; the shard's deltas are added on top.
+    ///
+    /// Only meaningful for unbounded caches (sharding a capacity-bounded
+    /// cache is not order-independent, and callers fall back to sequential
+    /// processing there).
+    pub(crate) fn absorb_shard<F: Fn(&DomainName) -> bool>(
+        &mut self,
+        shard: DnsCache,
+        base: CacheStats,
+        owned: F,
+    ) {
+        debug_assert!(
+            self.capacity.is_none(),
+            "sharded merge requires unbounded cache"
+        );
+        // The shard owns its domains outright: drop our (possibly stale)
+        // copies, then adopt the shard's surviving entries.
+        self.entries.retain(|d, _| !owned(d));
+        for (d, e) in shard.entries {
+            if owned(&d) {
+                self.entries.insert(d, e);
+            }
+        }
+        self.stats.hits += shard.stats.hits - base.hits;
+        self.stats.misses += shard.stats.misses - base.misses;
+        self.stats.expired_evictions += shard.stats.expired_evictions - base.expired_evictions;
+    }
 }
 
 #[cfg(test)]
@@ -271,8 +306,14 @@ mod tests {
         );
         c.store(t0, d("nx.example"), Answer::NxDomain, &policy);
         let probe = t0 + SimDuration::from_hours(12);
-        assert!(c.lookup(probe, &d("valid.example")).is_some(), "positive lives 1 day");
-        assert!(c.lookup(probe, &d("nx.example")).is_none(), "negative died after 2h");
+        assert!(
+            c.lookup(probe, &d("valid.example")).is_some(),
+            "positive lives 1 day"
+        );
+        assert!(
+            c.lookup(probe, &d("nx.example")).is_none(),
+            "negative died after 2h"
+        );
     }
 
     #[test]
@@ -305,12 +346,7 @@ mod tests {
         let mut c = DnsCache::new();
         let t0 = SimInstant::ZERO;
         for i in 0..10 {
-            c.store(
-                t0,
-                d(&format!("x{i}.example")),
-                Answer::NxDomain,
-                &ttl(),
-            );
+            c.store(t0, d(&format!("x{i}.example")), Answer::NxDomain, &ttl());
         }
         assert_eq!(c.len(), 10);
         assert_eq!(c.purge_expired(t0 + SimDuration::from_hours(1)), 0);
@@ -344,15 +380,31 @@ mod tests {
         let t0 = SimInstant::ZERO;
         let ip = Answer::Address(std::net::Ipv4Addr::new(192, 0, 2, 9));
         // a expires in 1h, b in 2h.
-        c.store_with_ttl(t0, d("a.example"), Answer::NxDomain, SimDuration::from_hours(1));
+        c.store_with_ttl(
+            t0,
+            d("a.example"),
+            Answer::NxDomain,
+            SimDuration::from_hours(1),
+        );
         c.store_with_ttl(t0, d("b.example"), ip, SimDuration::from_hours(2));
         assert_eq!(c.capacity(), Some(2));
         // Third insert evicts a (soonest expiry).
-        c.store_with_ttl(t0, d("c.example"), Answer::NxDomain, SimDuration::from_hours(3));
+        c.store_with_ttl(
+            t0,
+            d("c.example"),
+            Answer::NxDomain,
+            SimDuration::from_hours(3),
+        );
         assert_eq!(c.len(), 2);
-        assert!(c.lookup(t0 + SimDuration::from_mins(1), &d("a.example")).is_none());
-        assert!(c.lookup(t0 + SimDuration::from_mins(1), &d("b.example")).is_some());
-        assert!(c.lookup(t0 + SimDuration::from_mins(1), &d("c.example")).is_some());
+        assert!(c
+            .lookup(t0 + SimDuration::from_mins(1), &d("a.example"))
+            .is_none());
+        assert!(c
+            .lookup(t0 + SimDuration::from_mins(1), &d("b.example"))
+            .is_some());
+        assert!(c
+            .lookup(t0 + SimDuration::from_mins(1), &d("c.example"))
+            .is_some());
         assert_eq!(c.stats().capacity_evictions, 1);
     }
 
@@ -360,11 +412,26 @@ mod tests {
     fn bounded_cache_prefers_purging_expired() {
         let mut c = DnsCache::with_capacity(2);
         let t0 = SimInstant::ZERO;
-        c.store_with_ttl(t0, d("a.example"), Answer::NxDomain, SimDuration::from_mins(1));
-        c.store_with_ttl(t0, d("b.example"), Answer::NxDomain, SimDuration::from_hours(5));
+        c.store_with_ttl(
+            t0,
+            d("a.example"),
+            Answer::NxDomain,
+            SimDuration::from_mins(1),
+        );
+        c.store_with_ttl(
+            t0,
+            d("b.example"),
+            Answer::NxDomain,
+            SimDuration::from_hours(5),
+        );
         // a has expired by now: the new insert purges it, not b.
         let later = t0 + SimDuration::from_mins(2);
-        c.store_with_ttl(later, d("c.example"), Answer::NxDomain, SimDuration::from_hours(5));
+        c.store_with_ttl(
+            later,
+            d("c.example"),
+            Answer::NxDomain,
+            SimDuration::from_hours(5),
+        );
         assert!(c.lookup(later, &d("b.example")).is_some());
         assert!(c.lookup(later, &d("c.example")).is_some());
         assert_eq!(c.stats().capacity_evictions, 0);
@@ -374,12 +441,32 @@ mod tests {
     fn bounded_cache_restore_updates_index() {
         let mut c = DnsCache::with_capacity(2);
         let t0 = SimInstant::ZERO;
-        c.store_with_ttl(t0, d("a.example"), Answer::NxDomain, SimDuration::from_mins(5));
+        c.store_with_ttl(
+            t0,
+            d("a.example"),
+            Answer::NxDomain,
+            SimDuration::from_mins(5),
+        );
         // Refresh a with a later expiry; the stale index entry must go.
-        c.store_with_ttl(t0, d("a.example"), Answer::NxDomain, SimDuration::from_hours(5));
-        c.store_with_ttl(t0, d("b.example"), Answer::NxDomain, SimDuration::from_hours(1));
+        c.store_with_ttl(
+            t0,
+            d("a.example"),
+            Answer::NxDomain,
+            SimDuration::from_hours(5),
+        );
+        c.store_with_ttl(
+            t0,
+            d("b.example"),
+            Answer::NxDomain,
+            SimDuration::from_hours(1),
+        );
         // Inserting c should evict b (1h), not a (5h).
-        c.store_with_ttl(t0, d("c.example"), Answer::NxDomain, SimDuration::from_hours(2));
+        c.store_with_ttl(
+            t0,
+            d("c.example"),
+            Answer::NxDomain,
+            SimDuration::from_hours(2),
+        );
         assert!(c.lookup(t0, &d("a.example")).is_some());
         assert!(c.lookup(t0, &d("b.example")).is_none());
     }

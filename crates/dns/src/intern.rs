@@ -1,0 +1,283 @@
+//! Tokenized domain identities: content fingerprints, a fast hasher and an
+//! interner for the hot matching path.
+//!
+//! Domain names are the hottest values in the pipeline: every raw lookup
+//! probes a TTL cache, every observed lookup probes the matcher's confirmed
+//! set, and both are keyed by name. Re-hashing a 10–60 byte string with a
+//! DoS-resistant hasher on every probe dominates those paths, so each
+//! [`DomainName`](crate::DomainName) carries a [`DomainId`] — a 64-bit
+//! content fingerprint computed once at construction. `Hash` for a domain
+//! name writes only that `u64`, and the [`FxHasher`] in this module folds a
+//! `u64` into a table slot with a single multiply, so cache and matcher
+//! probes cost one multiply instead of one string hash. Equality still
+//! compares the underlying text (after an id fast-path), so a fingerprint
+//! collision can never conflate two distinct names.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from the FxHash family (Firefox's `rustc-hash` lineage):
+/// a 64-bit odd constant with good avalanche behaviour under
+/// rotate-xor-multiply mixing.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Hashes a byte string with the FxHash rotate-xor-multiply scheme.
+///
+/// This is **not** a cryptographic or DoS-resistant hash; it is a fast,
+/// deterministic content fingerprint. BotMeter's inputs are simulation
+/// traces (or analyst-supplied feeds), not adversarial hash-flooding
+/// attempts, and every equality check still falls back to the full string.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::fx_hash64;
+/// assert_eq!(fx_hash64(b"a.example"), fx_hash64(b"a.example"));
+/// assert_ne!(fx_hash64(b"a.example"), fx_hash64(b"b.example"));
+/// ```
+pub fn fx_hash64(bytes: &[u8]) -> u64 {
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        hash = fx_mix(hash, word);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        hash = fx_mix(hash, u64::from_le_bytes(tail));
+    }
+    // Fold in the length so "a\0\0..." padding cannot collide with "a".
+    finalize(fx_mix(hash, bytes.len() as u64))
+}
+
+#[inline]
+fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// Murmur3-style avalanche finalizer. The rotate-multiply rounds only
+/// propagate bit differences upward, leaving the low bits — the ones a hash
+/// table indexes with — clustered for similar strings; the xor-shifts fold
+/// the well-mixed high bits back down.
+#[inline]
+fn finalize(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// A 64-bit content fingerprint of a domain name.
+///
+/// Equal names always have equal ids; distinct names have distinct ids with
+/// overwhelming probability (and code that must be collision-proof — the
+/// cache, the matcher — compares the text when ids agree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u64);
+
+impl DomainId {
+    /// Fingerprints a name's text. `DomainName` construction calls this
+    /// once; everything downstream reuses the stored id.
+    pub fn of(text: &str) -> DomainId {
+        DomainId(fx_hash64(text.as_bytes()))
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A fast, non-cryptographic [`Hasher`] in the FxHash family.
+///
+/// Designed for keys that already hash themselves as a single `u64` (like
+/// `DomainName`, which writes its [`DomainId`]): one `write_u64` is one
+/// rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.hash = fx_mix(self.hash, fx_hash64(bytes));
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.hash = fx_mix(self.hash, i as u64);
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.hash = fx_mix(self.hash, i as u64);
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.hash = fx_mix(self.hash, i);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.hash = fx_mix(self.hash, i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`] — the hot-path table type for
+/// domain-keyed state (resolver caches, matcher sets, valid-domain sets).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Deduplicates [`DomainName`](crate::DomainName) allocations: interning a
+/// name returns the canonical `Arc`-backed instance, so a pool that is
+/// materialised repeatedly (generators re-derive epoch pools for the
+/// authority, the matcher and the simulator) shares one allocation per
+/// distinct name instead of one per materialisation.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{DomainInterner, DomainName};
+/// let mut interner = DomainInterner::new();
+/// let a: DomainName = "abc.example".parse()?;
+/// let b: DomainName = "abc.example".parse()?;
+/// assert!(!std::ptr::eq(a.as_str(), b.as_str())); // two allocations
+/// let a = interner.intern(a);
+/// let b = interner.intern(b);
+/// assert!(std::ptr::eq(a.as_str(), b.as_str())); // one canonical Arc
+/// assert_eq!(interner.len(), 1);
+/// # Ok::<(), botmeter_dns::ParseDomainError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DomainInterner {
+    table: FxHashSet<crate::DomainName>,
+}
+
+impl DomainInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        DomainInterner::default()
+    }
+
+    /// An empty interner pre-sized for `capacity` distinct names.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DomainInterner {
+            table: FxHashSet::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+        }
+    }
+
+    /// Returns the canonical instance of `name`, registering it if it is
+    /// new. The returned value always compares equal to the input; if an
+    /// equal name was interned before, its allocation is reused.
+    pub fn intern(&mut self, name: crate::DomainName) -> crate::DomainName {
+        match self.table.get(&name) {
+            Some(canonical) => canonical.clone(),
+            None => {
+                self.table.insert(name.clone());
+                name
+            }
+        }
+    }
+
+    /// Parses and interns a string in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the name-validation failure.
+    pub fn intern_str(&mut self, s: &str) -> Result<crate::DomainName, crate::ParseDomainError> {
+        Ok(self.intern(s.parse()?))
+    }
+
+    /// Whether an equal name has already been interned.
+    pub fn contains(&self, name: &crate::DomainName) -> bool {
+        self.table.contains(name)
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DomainName;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn fingerprint_is_deterministic_and_length_aware() {
+        assert_eq!(fx_hash64(b"abc.example"), fx_hash64(b"abc.example"));
+        assert_ne!(fx_hash64(b"a"), fx_hash64(b"a\0"));
+        assert_ne!(fx_hash64(b""), fx_hash64(b"\0"));
+        // 8-byte boundary handling: chunked and tail bytes both mixed.
+        assert_ne!(fx_hash64(b"12345678"), fx_hash64(b"12345679"));
+        assert_ne!(fx_hash64(b"123456789"), fx_hash64(b"123456788"));
+    }
+
+    #[test]
+    fn fingerprints_spread_over_generated_names() {
+        // A crude avalanche check on the low bits (the bits a hash table
+        // actually uses): 4096 uniform draws into 4096 buckets occupy
+        // ~63% of them (1 - 1/e); heavy clustering would land far lower.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            let h = fx_hash64(format!("bot{i}.example").as_bytes());
+            low_bits.insert(h & 0xfff);
+        }
+        assert!(
+            low_bits.len() > 2400,
+            "low bits cluster: {}",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn hasher_uses_written_u64_directly() {
+        let build = FxBuildHasher::default();
+        let a = build.hash_one(42u64);
+        let b = build.hash_one(42u64);
+        assert_eq!(a, b);
+        assert_ne!(build.hash_one(42u64), build.hash_one(43u64));
+    }
+
+    #[test]
+    fn interner_canonicalises_allocations() {
+        let mut interner = DomainInterner::with_capacity(8);
+        let a: DomainName = "x.example".parse().unwrap();
+        let b: DomainName = "x.example".parse().unwrap();
+        let a = interner.intern(a);
+        let b = interner.intern(b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(interner.len(), 1);
+        assert!(interner.contains(&a));
+        let c = interner.intern_str("y.example").unwrap();
+        assert_eq!(interner.len(), 2);
+        assert!(!interner.is_empty());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domain_ids_match_fingerprints() {
+        let d: DomainName = "q3hbx07a.example".parse().unwrap();
+        assert_eq!(d.id(), DomainId::of("q3hbx07a.example"));
+        assert_eq!(d.id().0, fx_hash64(b"q3hbx07a.example"));
+        assert_eq!(format!("{}", DomainId(0xabc)), "0000000000000abc");
+    }
+}

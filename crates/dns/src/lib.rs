@@ -48,6 +48,7 @@
 
 mod authority;
 mod cache;
+mod intern;
 mod name;
 mod record;
 mod resolver;
@@ -58,6 +59,9 @@ mod ttl;
 
 pub use authority::{Answer, Authority, StaticAuthority};
 pub use cache::{CacheStats, CachedAnswer, DnsCache};
+pub use intern::{
+    fx_hash64, DomainId, DomainInterner, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
+};
 pub use name::{DomainName, ParseDomainError};
 pub use record::{ClientId, ObservedLookup, RawLookup, ServerId};
 pub use resolver::LocalResolver;

@@ -56,6 +56,12 @@ impl RawLookup {
     pub fn new(t: SimInstant, client: ClientId, domain: DomainName) -> Self {
         RawLookup { t, client, domain }
     }
+
+    /// The queried domain's precomputed content fingerprint — what the TTL
+    /// caches probe instead of re-hashing the name.
+    pub fn domain_id(&self) -> crate::DomainId {
+        self.domain.id()
+    }
 }
 
 /// A DNS lookup as observed at the border vantage point, *after* cache
@@ -76,6 +82,12 @@ impl ObservedLookup {
     /// Convenience constructor.
     pub fn new(t: SimInstant, server: ServerId, domain: DomainName) -> Self {
         ObservedLookup { t, server, domain }
+    }
+
+    /// The queried domain's precomputed content fingerprint — what the
+    /// matcher's confirmed set probes instead of re-hashing the name.
+    pub fn domain_id(&self) -> crate::DomainId {
+        self.domain.id()
     }
 }
 

@@ -313,6 +313,88 @@ impl Topology {
         Ok(out)
     }
 
+    /// Runs a whole raw trace through the hierarchy in parallel, sharded by
+    /// domain, and returns exactly the sub-trace
+    /// [`process_trace`](Self::process_trace) would.
+    ///
+    /// Cache visibility is a per-domain property when every cache is
+    /// unbounded (the simulated topologies): whether lookup *i* is absorbed
+    /// depends only on earlier lookups for the *same domain*, because cache
+    /// entries are domain-keyed and never evicted by other domains'
+    /// traffic. Sharding the trace by [`DomainId`](crate::DomainId) (all
+    /// lookups for one domain land in one shard, relative order preserved)
+    /// therefore reproduces the sequential outcome bit-for-bit; the shards'
+    /// observed lookups are stitched back into trace order afterwards, the
+    /// shards' cache entries and stat deltas merged into `self`.
+    ///
+    /// Falls back to the sequential path when a capacity-bounded cache is
+    /// present (evictions couple domains), when only one worker thread is
+    /// configured, or when the trace is too short to be worth sharding.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any lookup's client is unroutable, like the sequential
+    /// path. (On error the caches are left unchanged, whereas sequential
+    /// processing stops mid-trace.)
+    pub fn process_trace_parallel<A: Authority + Copy + Sync>(
+        &mut self,
+        raws: &[RawLookup],
+        authority: A,
+    ) -> Result<Vec<ObservedLookup>, TopologyError> {
+        const MIN_PARALLEL_TRACE: usize = 2048;
+        let shards = botmeter_exec::num_threads();
+        let bounded = self.nodes.iter().any(|n| n.cache.capacity().is_some());
+        if shards <= 1 || bounded || raws.len() < MIN_PARALLEL_TRACE {
+            return self.process_trace(raws, authority);
+        }
+        for raw in raws {
+            self.route(raw.client)?;
+        }
+
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, raw) in raws.iter().enumerate() {
+            parts[(raw.domain.id().0 % shards as u64) as usize].push(i);
+        }
+
+        let base_stats: Vec<CacheStats> = self.nodes.iter().map(|n| n.cache.stats()).collect();
+        let template: &Topology = self;
+        let shard_results: Vec<(Topology, Vec<(usize, ObservedLookup)>)> =
+            botmeter_exec::run_indexed(shards, |s| {
+                let mut topo = template.clone();
+                let mut out = Vec::new();
+                for &i in &parts[s] {
+                    let visible = topo
+                        .process(&raws[i], authority)
+                        .expect("every client pre-routed");
+                    if let Some(obs) = visible {
+                        out.push((i, obs));
+                    }
+                }
+                (topo, out)
+            });
+
+        // Stitch observations back into trace order. Each shard's list is
+        // already ascending in trace index, so this is a k-way merge; a sort
+        // by unique index gives the same result with less code.
+        let mut indexed: Vec<(usize, ObservedLookup)> = shard_results
+            .iter()
+            .flat_map(|(_, obs)| obs.iter().cloned())
+            .collect();
+        indexed.sort_by_key(|(i, _)| *i);
+
+        for (s, (shard_topo, _)) in shard_results.into_iter().enumerate() {
+            for (n, shard_node) in shard_topo.nodes.into_iter().enumerate() {
+                let shards = shards as u64;
+                self.nodes[n].cache.absorb_shard(
+                    shard_node.cache,
+                    base_stats[n],
+                    move |d: &DomainName| (d.id().0 % shards) as usize == s,
+                );
+            }
+        }
+        Ok(indexed.into_iter().map(|(_, obs)| obs).collect())
+    }
+
     /// Cache statistics of one node.
     ///
     /// # Panics
@@ -352,10 +434,16 @@ mod tests {
         assert!(first.is_some());
         assert_eq!(first.unwrap().server, ServerId(1));
         // Different client, same domain, within negative TTL: absorbed.
-        assert!(topo.process(&raw(1000, 2, "nx.example"), &auth).unwrap().is_none());
+        assert!(topo
+            .process(&raw(1000, 2, "nx.example"), &auth)
+            .unwrap()
+            .is_none());
         // After negative TTL expiry: visible again.
         let later = 2 * 3_600_000 + 1;
-        assert!(topo.process(&raw(later, 3, "nx.example"), &auth).unwrap().is_some());
+        assert!(topo
+            .process(&raw(later, 3, "nx.example"), &auth)
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -366,11 +454,17 @@ mod tests {
         topo.assign_client(ClientId(2), servers[1]).unwrap();
         let auth = StaticAuthority::empty();
 
-        let a = topo.process(&raw(0, 1, "nx.example"), &auth).unwrap().unwrap();
+        let a = topo
+            .process(&raw(0, 1, "nx.example"), &auth)
+            .unwrap()
+            .unwrap();
         assert_eq!(a.server, servers[0]);
         // Same domain via the *other* resolver: its own cache is cold, so it
         // still reaches the border and is attributed to server 2.
-        let b = topo.process(&raw(5, 2, "nx.example"), &auth).unwrap().unwrap();
+        let b = topo
+            .process(&raw(5, 2, "nx.example"), &auth)
+            .unwrap()
+            .unwrap();
         assert_eq!(b.server, servers[1]);
     }
 
@@ -387,17 +481,26 @@ mod tests {
 
         // Client 1's lookup reaches the border, attributed to `site`
         // (the last forwarder below the border).
-        let obs = topo.process(&raw(0, 1, "nx.example"), &auth).unwrap().unwrap();
+        let obs = topo
+            .process(&raw(0, 1, "nx.example"), &auth)
+            .unwrap()
+            .unwrap();
         assert_eq!(obs.server, site);
 
         // Client 2 goes through floor2 (cold) but hits site's warm cache:
         // absorbed in the middle of the hierarchy.
-        assert!(topo.process(&raw(10, 2, "nx.example"), &auth).unwrap().is_none());
+        assert!(topo
+            .process(&raw(10, 2, "nx.example"), &auth)
+            .unwrap()
+            .is_none());
         // floor2 cached nothing (the lookup never got answered through it?
         // No: absorption means site's cached answer is served; floor2 does
         // not learn it in our model). A repeat via floor2 is absorbed again
         // at site.
-        assert!(topo.process(&raw(20, 2, "nx.example"), &auth).unwrap().is_none());
+        assert!(topo
+            .process(&raw(20, 2, "nx.example"), &auth)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -421,10 +524,16 @@ mod tests {
     fn positive_answers_cached_longer() {
         let mut topo = Topology::single_local(TtlPolicy::paper_default());
         let auth = StaticAuthority::from_domains([d("c2.example")]);
-        assert!(topo.process(&raw(0, 1, "c2.example"), &auth).unwrap().is_some());
+        assert!(topo
+            .process(&raw(0, 1, "c2.example"), &auth)
+            .unwrap()
+            .is_some());
         // 12 hours later: still inside the 1-day positive TTL.
         let t = SimDuration::from_hours(12).as_millis();
-        assert!(topo.process(&raw(t, 2, "c2.example"), &auth).unwrap().is_none());
+        assert!(topo
+            .process(&raw(t, 2, "c2.example"), &auth)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -446,9 +555,77 @@ mod tests {
     fn clear_caches_resets_filtering() {
         let mut topo = Topology::single_local(TtlPolicy::paper_default());
         let auth = StaticAuthority::empty();
-        assert!(topo.process(&raw(0, 1, "a.example"), &auth).unwrap().is_some());
+        assert!(topo
+            .process(&raw(0, 1, "a.example"), &auth)
+            .unwrap()
+            .is_some());
         topo.clear_caches();
-        assert!(topo.process(&raw(1, 1, "a.example"), &auth).unwrap().is_some());
+        assert!(topo
+            .process(&raw(1, 1, "a.example"), &auth)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn parallel_trace_matches_sequential_exactly() {
+        // A trace long enough to clear the parallel threshold, with heavy
+        // domain re-use so cache state actually matters.
+        let build_trace = || {
+            let mut trace = Vec::new();
+            for i in 0..4000u64 {
+                let name = format!("d{}.example", i % 97);
+                trace.push(raw(i * 10, (i % 7) as u32, &name));
+            }
+            trace
+        };
+        let auth = StaticAuthority::from_domains([d("d3.example"), d("d55.example")]);
+
+        let mut seq_topo = Topology::single_local(TtlPolicy::paper_default());
+        let seq = seq_topo.process_trace(&build_trace(), &auth).unwrap();
+
+        let mut par_topo = Topology::single_local(TtlPolicy::paper_default());
+        let par = par_topo
+            .process_trace_parallel(&build_trace(), &auth)
+            .unwrap();
+
+        assert_eq!(seq, par, "parallel filtering must be bit-identical");
+        let local = seq_topo.local_servers()[0];
+        assert_eq!(seq_topo.cache_stats(local), par_topo.cache_stats(local));
+        assert_eq!(
+            seq_topo.cache_stats(ServerId(0)),
+            par_topo.cache_stats(ServerId(0))
+        );
+    }
+
+    #[test]
+    fn parallel_trace_leaves_caches_usable() {
+        // After a parallel run the merged caches must keep filtering like
+        // sequentially-warmed ones.
+        let mut trace = Vec::new();
+        for i in 0..3000u64 {
+            trace.push(raw(i, (i % 3) as u32, &format!("d{}.example", i % 11)));
+        }
+        let auth = StaticAuthority::empty();
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        topo.process_trace_parallel(&trace, &auth).unwrap();
+        // Every one of the 11 domains is now negatively cached.
+        let t_after = 3000 + 10;
+        for k in 0..11 {
+            assert!(topo
+                .process(&raw(t_after, 1, &format!("d{k}.example")), &auth)
+                .unwrap()
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_trace_short_input_falls_back() {
+        let auth = StaticAuthority::empty();
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let obs = topo
+            .process_trace_parallel(&[raw(0, 1, "a.example")], &auth)
+            .unwrap();
+        assert_eq!(obs.len(), 1);
     }
 
     #[test]

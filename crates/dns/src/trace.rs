@@ -30,8 +30,10 @@ use std::io::{self, BufRead, Write};
 /// ```
 pub fn write_jsonl<T: Serialize, W: Write>(records: &[T], mut writer: W) -> Result<(), TraceError> {
     for (i, record) in records.iter().enumerate() {
-        let line = serde_json::to_string(record)
-            .map_err(|source| TraceError::Serialize { line: i + 1, source })?;
+        let line = serde_json::to_string(record).map_err(|source| TraceError::Serialize {
+            line: i + 1,
+            source,
+        })?;
         writer.write_all(line.as_bytes()).map_err(TraceError::Io)?;
         writer.write_all(b"\n").map_err(TraceError::Io)?;
     }
@@ -61,8 +63,10 @@ pub fn read_jsonl<T: DeserializeOwned, R: BufRead>(reader: R) -> Result<Vec<T>, 
         if trimmed.is_empty() {
             continue;
         }
-        let record = serde_json::from_str(trimmed)
-            .map_err(|source| TraceError::Parse { line: i + 1, source })?;
+        let record = serde_json::from_str(trimmed).map_err(|source| TraceError::Parse {
+            line: i + 1,
+            source,
+        })?;
         out.push(record);
     }
     Ok(out)
@@ -107,9 +111,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
-            TraceError::Serialize { source, .. } | TraceError::Parse { source, .. } => {
-                Some(source)
-            }
+            TraceError::Serialize { source, .. } | TraceError::Parse { source, .. } => Some(source),
         }
     }
 }

@@ -7,8 +7,7 @@ use botmeter_dns::{
 use proptest::prelude::*;
 
 fn arb_domain() -> impl Strategy<Value = DomainName> {
-    "[a-z][a-z0-9]{2,20}"
-        .prop_map(|label| format!("{label}.example").parse().expect("valid"))
+    "[a-z][a-z0-9]{2,20}".prop_map(|label| format!("{label}.example").parse().expect("valid"))
 }
 
 proptest! {

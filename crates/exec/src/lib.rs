@@ -1,0 +1,293 @@
+//! Deterministic parallel execution primitives for the BotMeter pipeline.
+//!
+//! Every parallel stage in the workspace — bot replay in `botmeter-sim`,
+//! cache filtering in `botmeter-dns`, per-server estimation in
+//! `botmeter-core`, trial sweeps in `botmeter-bench` — funnels through this
+//! crate, so the threading policy lives in one place:
+//!
+//! * **Self-scheduling, bounded dispatch.** Jobs are handed out through a
+//!   single atomic counter (a "job dispenser"), not a pre-filled queue:
+//!   memory for in-flight coordination is `O(workers)`, and an idle worker
+//!   steals the next index the moment it finishes — the same load-balancing
+//!   effect as a work-stealing deque for the independent-jobs shapes BotMeter
+//!   has, with none of the queue allocation.
+//! * **Determinism by index.** Workers write each job's result into its own
+//!   slot, so outputs are returned in job order no matter which thread ran
+//!   what. Callers keep the contract that job `i` is a pure function of `i`.
+//! * **One thread-count policy.** [`num_threads`] honours the
+//!   `BOTMETER_THREADS` environment variable and falls back to the machine's
+//!   available parallelism; every stage sizes itself from it.
+//!
+//! ```
+//! let squares = botmeter_exec::run_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// The number of worker threads parallel stages use.
+///
+/// Set `BOTMETER_THREADS` to pin it (values below 1 are clamped to 1);
+/// otherwise it is the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("BOTMETER_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` independent jobs of `f` (given the job index) across the
+/// configured worker threads and returns the results in index order.
+///
+/// Jobs must be deterministic functions of their index; scheduling order is
+/// unobservable in the output. With one worker (or one job) everything runs
+/// inline on the calling thread, which is also the sequential reference
+/// behaviour the determinism tests compare against.
+pub fn run_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads().min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    // Bounded coordination state: one atomic dispenser + one slot per job.
+    // No job queue is materialised at all.
+    let next_job = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job completed")
+        })
+        .collect()
+}
+
+/// Splits `items` into at most [`num_threads`] contiguous chunks of
+/// near-equal length and maps `f` over them in parallel, returning one
+/// result per chunk in chunk order. Empty input yields no chunks.
+///
+/// `f` receives `(chunk_index, chunk_slice)`.
+pub fn map_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let bounds = chunk_bounds(items.len(), num_threads());
+    run_indexed(bounds.len(), |i| {
+        let (start, end) = bounds[i];
+        f(i, &items[start..end])
+    })
+}
+
+/// Computes `chunks` near-equal `(start, end)` ranges covering `0..len`
+/// (fewer when `len < chunks`; none when `len == 0`).
+pub fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if len == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Stable parallel sort by key: chunk-sorts in parallel, then merges
+/// adjacent runs pairwise (also in parallel) until one run remains.
+///
+/// Produces exactly the same ordering as `slice::sort_by_key` (which is
+/// stable), so sequential and parallel pipelines agree bit-for-bit even when
+/// keys collide.
+pub fn par_sort_by_key<T, K, F>(items: &mut Vec<T>, key: F)
+where
+    T: Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let workers = num_threads();
+    if workers <= 1 || items.len() < 2 {
+        items.sort_by_key(key);
+        return;
+    }
+
+    // Phase 1: split into contiguous chunks and sort each independently
+    // (stable) in parallel.
+    let bounds = chunk_bounds(items.len(), workers);
+    let mut remaining = std::mem::take(items);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+    for &(start, _) in bounds.iter().rev() {
+        chunks.push(remaining.split_off(start));
+    }
+    chunks.reverse();
+    let chunk_slots: Vec<Mutex<Option<Vec<T>>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let sorted: Vec<Vec<T>> = run_indexed(chunk_slots.len(), |i| {
+        let mut chunk = chunk_slots[i]
+            .lock()
+            .expect("chunk slot poisoned")
+            .take()
+            .expect("chunk present");
+        chunk.sort_by_key(&key);
+        chunk
+    });
+
+    // Phase 2: pairwise stable merges until a single run remains. Merging
+    // adjacent runs left-to-right (ties favour the left run) reproduces the
+    // stable global order.
+    let mut runs = sorted;
+    while runs.len() > 1 {
+        let pair_count = runs.len() / 2;
+        let has_tail = runs.len() % 2 == 1;
+        let tail = if has_tail { runs.pop() } else { None };
+        type MergePair<T> = Mutex<Option<(Vec<T>, Vec<T>)>>;
+        let slots: Vec<MergePair<T>> = {
+            let mut pairs = Vec::with_capacity(pair_count);
+            let mut iter = runs.drain(..);
+            while let (Some(a), Some(b)) = (iter.next(), iter.next()) {
+                pairs.push(Mutex::new(Some((a, b))));
+            }
+            pairs
+        };
+        let mut merged: Vec<Vec<T>> = run_indexed(slots.len(), |i| {
+            let (a, b) = slots[i]
+                .lock()
+                .expect("merge slot poisoned")
+                .take()
+                .expect("pair present");
+            merge_stable(a, b, &key)
+        });
+        if let Some(t) = tail {
+            merged.push(t);
+        }
+        runs = merged;
+    }
+    *items = runs.pop().unwrap_or_default();
+}
+
+/// Stable two-run merge: ties take the left element first.
+fn merge_stable<T, K: Ord, F: Fn(&T) -> K>(a: Vec<T>, b: Vec<T>, key: &F) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => {
+                if key(x) <= key(y) {
+                    out.push(ai.next().expect("peeked"));
+                } else {
+                    out.push(bi.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ai);
+                break;
+            }
+            (None, _) => {
+                out.extend(bi);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_ordered_and_complete() {
+        let xs = run_indexed(100, |i| i * i);
+        assert_eq!(xs.len(), 100);
+        for (i, &v) in xs.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn run_indexed_zero_jobs() {
+        assert!(run_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn chunk_bounds_cover_everything() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let bounds = chunk_bounds(len, chunks);
+                let total: usize = bounds.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, len);
+                let mut cursor = 0;
+                for &(s, e) in &bounds {
+                    assert_eq!(s, cursor);
+                    assert!(e > s);
+                    cursor = e;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let sums = map_chunks(&items, |_, chunk| chunk.iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_stable_sort() {
+        // Many duplicate keys so stability is observable through the payload.
+        let mut a: Vec<(u32, usize)> = (0..5000)
+            .map(|i| ((i as u32).wrapping_mul(2654435761) % 17, i))
+            .collect();
+        let mut b = a.clone();
+        a.sort_by_key(|&(k, _)| k);
+        par_sort_by_key(&mut b, |&(k, _)| k);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sort_handles_small_inputs() {
+        let mut v: Vec<u32> = vec![];
+        par_sort_by_key(&mut v, |&x| x);
+        assert!(v.is_empty());
+        let mut v = vec![3u32, 1, 2];
+        par_sort_by_key(&mut v, |&x| x);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

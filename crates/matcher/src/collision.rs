@@ -92,8 +92,10 @@ mod tests {
     #[test]
     fn composes_with_trait_objects() {
         let matcher = ExactMatcher::from_domains(["a.example".parse().unwrap()]);
-        let filtered: Box<dyn DomainMatcher> =
-            Box::new(CollisionFilter::new(matcher, ["a.example".parse().unwrap()]));
+        let filtered: Box<dyn DomainMatcher> = Box::new(CollisionFilter::new(
+            matcher,
+            ["a.example".parse().unwrap()],
+        ));
         assert!(!filtered.matches(&"a.example".parse().unwrap()));
     }
 }

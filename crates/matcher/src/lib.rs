@@ -42,7 +42,7 @@ mod window;
 pub use collision::CollisionFilter;
 pub use exact::{ExactMatcher, PlainListError};
 pub use pattern::PatternMatcher;
-pub use stream::{match_stream, MatchedTraffic};
+pub use stream::{match_stream, match_stream_parallel, MatchedTraffic};
 pub use window::DetectionWindow;
 
 use botmeter_dns::DomainName;

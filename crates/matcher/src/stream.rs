@@ -5,6 +5,10 @@ use crate::DomainMatcher;
 use botmeter_dns::{ObservedLookup, ServerId};
 use std::collections::BTreeMap;
 
+/// Below this stream length the parallel matcher falls back to the
+/// sequential scan: thread start-up costs more than the matching itself.
+const MIN_PARALLEL_MATCH: usize = 2048;
+
 /// The result of matching an observed stream against a DGA matcher:
 /// matched lookups grouped per forwarding server, each group kept in
 /// arrival order.
@@ -15,6 +19,9 @@ use std::collections::BTreeMap;
 pub struct MatchedTraffic {
     by_server: BTreeMap<ServerId, Vec<ObservedLookup>>,
     scanned: usize,
+    /// Matched-lookup count across all servers, maintained on insert so
+    /// `total_matched`/`match_rate` never re-walk the per-server map.
+    total: usize,
 }
 
 impl MatchedTraffic {
@@ -31,9 +38,9 @@ impl MatchedTraffic {
             .unwrap_or(&[])
     }
 
-    /// Total matched lookups across servers.
+    /// Total matched lookups across servers (O(1) — the count is cached).
     pub fn total_matched(&self) -> usize {
-        self.by_server.values().map(Vec::len).sum()
+        self.total
     }
 
     /// How many observed lookups were scanned (matched or not).
@@ -41,18 +48,37 @@ impl MatchedTraffic {
         self.scanned
     }
 
-    /// Fraction of scanned lookups that matched.
+    /// Fraction of scanned lookups that matched (O(1)).
     pub fn match_rate(&self) -> f64 {
         if self.scanned == 0 {
             0.0
         } else {
-            self.total_matched() as f64 / self.scanned as f64
+            self.total as f64 / self.scanned as f64
         }
     }
 
     /// Iterates `(server, matched lookups)` pairs in server order.
     pub fn iter(&self) -> impl Iterator<Item = (ServerId, &[ObservedLookup])> {
         self.by_server.iter().map(|(s, v)| (*s, v.as_slice()))
+    }
+
+    fn push(&mut self, lookup: ObservedLookup) {
+        self.by_server
+            .entry(lookup.server)
+            .or_default()
+            .push(lookup);
+        self.total += 1;
+    }
+
+    /// Appends another shard's groups. `other` must cover a stream segment
+    /// strictly *after* every lookup already held, so per-server arrival
+    /// order is preserved by plain concatenation.
+    fn append(&mut self, other: MatchedTraffic) {
+        for (server, lookups) in other.by_server {
+            self.by_server.entry(server).or_default().extend(lookups);
+        }
+        self.scanned += other.scanned;
+        self.total += other.total;
     }
 }
 
@@ -75,23 +101,42 @@ impl MatchedTraffic {
 /// assert_eq!(matched.for_server(ServerId(1)).len(), 1);
 /// # Ok::<(), botmeter_dns::ParseDomainError>(())
 /// ```
-pub fn match_stream<M: DomainMatcher>(
+pub fn match_stream<M: DomainMatcher>(observed: &[ObservedLookup], matcher: &M) -> MatchedTraffic {
+    let mut matched = MatchedTraffic::default();
+    for lookup in observed {
+        if matcher.matches(&lookup.domain) {
+            matched.push(lookup.clone());
+        }
+    }
+    matched.scanned = observed.len();
+    matched
+}
+
+/// Parallel [`match_stream`]: splits the stream into contiguous chunks,
+/// matches each on its own worker and stitches the per-chunk groups back in
+/// chunk order.
+///
+/// Chunks are contiguous stream segments, so concatenating a server's hits
+/// chunk-by-chunk reproduces arrival order exactly — the result is equal to
+/// the sequential `match_stream` for any matcher. Matching itself is pure
+/// (`matches(&domain)` takes `&self`), which is why `M: Sync` suffices.
+///
+/// Short streams (or single-worker configurations, e.g.
+/// `BOTMETER_THREADS=1`) fall back to the sequential scan.
+pub fn match_stream_parallel<M: DomainMatcher + Sync>(
     observed: &[ObservedLookup],
     matcher: &M,
 ) -> MatchedTraffic {
-    let mut by_server: BTreeMap<ServerId, Vec<ObservedLookup>> = BTreeMap::new();
-    for lookup in observed {
-        if matcher.matches(&lookup.domain) {
-            by_server
-                .entry(lookup.server)
-                .or_default()
-                .push(lookup.clone());
-        }
+    let workers = botmeter_exec::num_threads();
+    if workers <= 1 || observed.len() < MIN_PARALLEL_MATCH {
+        return match_stream(observed, matcher);
     }
-    MatchedTraffic {
-        by_server,
-        scanned: observed.len(),
+    let chunks = botmeter_exec::map_chunks(observed, |_, chunk| match_stream(chunk, matcher));
+    let mut merged = MatchedTraffic::default();
+    for chunk in chunks {
+        merged.append(chunk);
     }
+    merged
 }
 
 #[cfg(test)]
@@ -126,7 +171,10 @@ mod tests {
         let m = match_stream(&stream, &matcher());
         assert_eq!(m.total_scanned(), 4);
         assert_eq!(m.total_matched(), 3);
-        assert_eq!(m.servers().collect::<Vec<_>>(), vec![ServerId(1), ServerId(2)]);
+        assert_eq!(
+            m.servers().collect::<Vec<_>>(),
+            vec![ServerId(1), ServerId(2)]
+        );
         let s2 = m.for_server(ServerId(2));
         assert_eq!(s2.len(), 2);
         assert!(s2[0].t < s2[1].t, "arrival order preserved");
@@ -153,5 +201,36 @@ mod tests {
         let m = match_stream(&stream, &matcher());
         let collected: Vec<_> = m.iter().map(|(s, v)| (s, v.len())).collect();
         assert_eq!(collected, vec![(ServerId(3), 1), (ServerId(4), 1)]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        // Long enough to clear the fallback threshold; mixes servers and
+        // hit/miss domains so every merge path is exercised.
+        let stream: Vec<_> = (0..6000u64)
+            .map(|i| {
+                let name = if i % 3 == 0 {
+                    "a.evil.example"
+                } else if i % 7 == 0 {
+                    "b.evil.example"
+                } else {
+                    "clean.example"
+                };
+                obs(i, (i % 5) as u32, name)
+            })
+            .collect();
+        let m = matcher();
+        let sequential = match_stream(&stream, &m);
+        let parallel = match_stream_parallel(&stream, &m);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.total_matched(), sequential.total_matched());
+        assert_eq!(parallel.total_scanned(), 6000);
+    }
+
+    #[test]
+    fn parallel_short_stream_falls_back() {
+        let stream = vec![obs(0, 1, "a.evil.example")];
+        let m = match_stream_parallel(&stream, &matcher());
+        assert_eq!(m.total_matched(), 1);
     }
 }

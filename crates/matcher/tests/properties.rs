@@ -2,7 +2,9 @@
 
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{ObservedLookup, ServerId, SimInstant};
-use botmeter_matcher::{match_stream, DetectionWindow, DomainMatcher, ExactMatcher, PatternMatcher};
+use botmeter_matcher::{
+    match_stream, DetectionWindow, DomainMatcher, ExactMatcher, PatternMatcher,
+};
 use proptest::prelude::*;
 
 proptest! {

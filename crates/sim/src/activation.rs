@@ -12,8 +12,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// How bot activation times are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ActivationModel {
     /// Homogeneous Poisson process with rate `λ0 = N/δe`.
     #[default]
@@ -50,9 +49,8 @@ impl ActivationModel {
         let lambda0 = population as f64 / epoch_len.as_millis() as f64;
         let end_ms = (window_start + window_len).as_millis() as f64;
         let mut t_ms = window_start.as_millis() as f64;
-        let mut out = Vec::with_capacity(
-            (window_len.as_millis() as f64 * lambda0 * 1.5) as usize + 8,
-        );
+        let mut out =
+            Vec::with_capacity((window_len.as_millis() as f64 * lambda0 * 1.5) as usize + 8);
         loop {
             let rate = match self {
                 ActivationModel::ConstantRate => lambda0,
@@ -75,7 +73,6 @@ impl ActivationModel {
         out
     }
 }
-
 
 #[cfg(test)]
 mod tests {

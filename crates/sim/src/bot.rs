@@ -154,7 +154,7 @@ mod tests {
         let mut aborted = 0;
         let pool = family.pool_for_epoch(0);
         let valid: HashSet<usize> = family.valid_indices(0).into_iter().collect();
-        for seed in 0..20 {
+        for seed in 0..60 {
             let mut rng = ChaCha12Rng::seed_from_u64(seed);
             let lookups = simulate_activation(
                 &family,
@@ -170,7 +170,13 @@ mod tests {
             }
             assert!(lookups.len() <= 500);
         }
-        assert!(aborted >= 18, "P(hit) ≈ 1 - (1-1e-4)^500 ≈ 5%: {aborted}");
+        // P(hit) ≈ 1 - (1-1e-4)^500 ≈ 5% per run; over 60 runs a correct
+        // sampler aborts ~57 times (σ ≈ 1.7). The ≥50 bound leaves head-room
+        // for RNG-stream variation while still catching a biased sampler.
+        assert!(
+            aborted >= 50,
+            "expected ≈95% aborts over 60 runs: {aborted}"
+        );
     }
 
     #[test]

@@ -165,11 +165,7 @@ impl EnterpriseSpec {
         let merged = EpochAuthority::merge(&registrars);
         let authority = DualAuthority::new(&merged, BenignAuthority);
 
-        let benign = BenignTraffic::new(
-            self.benign_catalog,
-            1.1,
-            self.benign_lookups_per_client,
-        );
+        let benign = BenignTraffic::new(self.benign_catalog, 1.1, self.benign_lookups_per_client);
         let mut client_ids: Vec<u32> = (0..self.num_clients).collect();
 
         let mut topology = Topology::single_local(self.ttl);
@@ -199,15 +195,18 @@ impl EnterpriseSpec {
                 let pool = family.pool_for_epoch(d);
                 let valid: HashSet<usize> = family.valid_indices(d).into_iter().collect();
                 for b in 0..n {
-                    let client =
-                        ClientId(1_000_000 + (i as u32) * 100_000 + b as u32);
-                    let t = day_start
-                        + SimDuration::from_millis(diurnal_offset_ms(&mut day_rng));
-                    let mut bot_rng = ChaCha12Rng::seed_from_u64(
-                        day_seed.fork(1000 + i as u64).fork(b).seed(),
-                    );
+                    let client = ClientId(1_000_000 + (i as u32) * 100_000 + b as u32);
+                    let t = day_start + SimDuration::from_millis(diurnal_offset_ms(&mut day_rng));
+                    let mut bot_rng =
+                        ChaCha12Rng::seed_from_u64(day_seed.fork(1000 + i as u64).fork(b).seed());
                     raws.extend(simulate_activation(
-                        family, d, &pool, &valid, t, client, &mut bot_rng,
+                        family,
+                        d,
+                        &pool,
+                        &valid,
+                        t,
+                        client,
+                        &mut bot_rng,
                     ));
                 }
             }
@@ -351,11 +350,9 @@ mod tests {
         let outcome = EnterpriseSpec::quick(11).run();
         let goz = &outcome.families()[0];
         // Find an active day and check for pool-domain sightings.
-        let active_day = (0..outcome.days())
-            .find(|&d| outcome.ground_truth()[0][d as usize] > 0);
+        let active_day = (0..outcome.days()).find(|&d| outcome.ground_truth()[0][d as usize] > 0);
         if let Some(d) = active_day {
-            let pool: std::collections::HashSet<_> =
-                goz.pool_for_epoch(d).into_iter().collect();
+            let pool: std::collections::HashSet<_> = goz.pool_for_epoch(d).into_iter().collect();
             let day = SimDuration::from_days(1);
             let hits = outcome
                 .observed()
@@ -384,8 +381,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one infection")]
     fn empty_infections_panics() {
-        EnterpriseSpec::quick(1)
-            .with_infections(vec![])
-            .run();
+        EnterpriseSpec::quick(1).with_infections(vec![]).run();
     }
 }

@@ -150,15 +150,21 @@ mod tests {
     #[test]
     fn validation_rules() {
         assert!(EvasionStrategy::None.validate().is_ok());
-        assert!(EvasionStrategy::CoordinatedBurst { window_fraction: 0.1 }
-            .validate()
-            .is_ok());
-        assert!(EvasionStrategy::CoordinatedBurst { window_fraction: 0.0 }
-            .validate()
-            .is_err());
-        assert!(EvasionStrategy::CoordinatedBurst { window_fraction: 1.5 }
-            .validate()
-            .is_err());
+        assert!(EvasionStrategy::CoordinatedBurst {
+            window_fraction: 0.1
+        }
+        .validate()
+        .is_ok());
+        assert!(EvasionStrategy::CoordinatedBurst {
+            window_fraction: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(EvasionStrategy::CoordinatedBurst {
+            window_fraction: 1.5
+        }
+        .validate()
+        .is_err());
         assert!(EvasionStrategy::StartCollusion { shared_starts: 0 }
             .validate()
             .is_err());
@@ -198,7 +204,10 @@ mod tests {
         let starts: std::collections::HashSet<usize> = (0..500)
             .filter_map(|_| s.colluded_start(7, 10_000, &mut rng))
             .collect();
-        assert!(starts.len() <= 3, "colluding bots leaked starts: {starts:?}");
+        assert!(
+            starts.len() <= 3,
+            "colluding bots leaked starts: {starts:?}"
+        );
         // Different epoch → different shared positions.
         let other: std::collections::HashSet<usize> = (0..500)
             .filter_map(|_| s.colluded_start(8, 10_000, &mut rng))

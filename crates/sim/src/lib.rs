@@ -50,7 +50,7 @@ mod waves;
 pub use activation::ActivationModel;
 pub use background::{BenignAuthority, BenignTraffic, DualAuthority};
 pub use bot::{replay_barrel, simulate_activation};
-pub use evasion::EvasionStrategy;
 pub use enterprise::{EnterpriseOutcome, EnterpriseSpec, Infection};
+pub use evasion::EvasionStrategy;
 pub use scenario::{ScenarioBuildError, ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder};
 pub use waves::WaveConfig;

@@ -116,12 +116,186 @@ impl ScenarioSpec {
     }
 
     /// Runs the simulation: activations → raw lookups → cache filtering.
+    ///
+    /// Bot replays run in parallel across the configured worker threads:
+    /// every bot's RNG is an independently seeded ChaCha substream derived
+    /// from the scenario's [`SeedSequence`], so no draw depends on which
+    /// thread replays which bot. The outcome is bit-identical to
+    /// [`run_sequential`](Self::run_sequential) for the same spec — the
+    /// determinism tests enforce it.
     pub fn run(&self) -> ScenarioOutcome {
-        let seeds = SeedSequence::new(self.seed).fork_str(self.family.name());
-        let epoch_len = self.family.epoch_len();
         let authority = self.family.authority_for_epochs(self.num_epochs + 1);
 
+        // Phase A — sequential per epoch: activation sampling and evasion
+        // adjustment share one epoch rng, so their draws must stay ordered.
+        // This phase is cheap (no lookup synthesis); it only plans the
+        // per-bot jobs and pre-derives each bot's rng seed.
+        let (plans, ground_truth) = self.plan_epochs();
+
+        // Phase B — per-bot replay, fanned out over the worker pool. Jobs
+        // are flattened in (epoch asc, bot asc) order; concatenating the
+        // per-job lookup vectors in job order reproduces exactly the
+        // sequence the sequential loop builds.
+        let jobs: Vec<(usize, usize)> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(p, plan)| (0..plan.bots.len()).map(move |b| (p, b)))
+            .collect();
+        let theta_q = self.family.params().theta_q();
+        let replay_job = |j: usize| -> Vec<RawLookup> {
+            let (p, b) = jobs[j];
+            let plan = &plans[p];
+            let (t, client, rng_seed) = plan.bots[b];
+            let mut bot_rng = ChaCha12Rng::seed_from_u64(rng_seed);
+            match self
+                .evasion
+                .colluded_start(plan.epoch, plan.pool.len(), &mut bot_rng)
+            {
+                Some(start) => {
+                    let barrel: Vec<usize> = (0..theta_q.min(plan.pool.len()))
+                        .map(|k| (start + k) % plan.pool.len())
+                        .collect();
+                    replay_barrel(
+                        &self.family,
+                        &plan.pool,
+                        &plan.valid,
+                        barrel,
+                        t,
+                        client,
+                        &mut bot_rng,
+                    )
+                }
+                None => simulate_activation(
+                    &self.family,
+                    plan.epoch,
+                    &plan.pool,
+                    &plan.valid,
+                    t,
+                    client,
+                    &mut bot_rng,
+                ),
+            }
+        };
+        let mut raw: Vec<RawLookup> = if botmeter_exec::num_threads() <= 1 {
+            // Single worker: stream each bot's lookups straight into the
+            // trace instead of double-buffering 10k+ per-bot vectors.
+            let mut raw = Vec::new();
+            for j in 0..jobs.len() {
+                raw.extend(replay_job(j));
+            }
+            raw
+        } else {
+            let replays = botmeter_exec::run_indexed(jobs.len(), replay_job);
+            let mut raw = Vec::with_capacity(replays.iter().map(Vec::len).sum());
+            for lookups in replays {
+                raw.extend(lookups);
+            }
+            raw
+        };
+        botmeter_exec::par_sort_by_key(&mut raw, |l| (l.t, l.client));
+
+        // Phase C — cache filtering, sharded by domain inside the topology
+        // (bit-identical to the sequential scan; see `process_trace_parallel`).
+        let mut topology = Topology::single_local(self.ttl);
+        let observed: Vec<ObservedLookup> = topology
+            .process_trace_parallel(&raw, &authority)
+            .expect("single-local topology routes every client")
+            .into_iter()
+            .map(|mut o| {
+                o.t = o.t.quantize(self.granularity);
+                o
+            })
+            .collect();
+
+        ScenarioOutcome {
+            family: self.family.clone(),
+            ttl: self.ttl,
+            granularity: self.granularity,
+            num_epochs: self.num_epochs,
+            raw,
+            observed,
+            ground_truth,
+        }
+    }
+
+    /// Single-threaded reference implementation of [`run`](Self::run): one
+    /// loop, one bot at a time, scanning the trace through the caches in
+    /// arrival order. The parallel path must reproduce this bit for bit.
+    pub fn run_sequential(&self) -> ScenarioOutcome {
+        let authority = self.family.authority_for_epochs(self.num_epochs + 1);
+        let (plans, ground_truth) = self.plan_epochs();
+
+        let theta_q = self.family.params().theta_q();
         let mut raw: Vec<RawLookup> = Vec::new();
+        for plan in &plans {
+            for &(t, client, rng_seed) in &plan.bots {
+                let mut bot_rng = ChaCha12Rng::seed_from_u64(rng_seed);
+                let lookups =
+                    match self
+                        .evasion
+                        .colluded_start(plan.epoch, plan.pool.len(), &mut bot_rng)
+                    {
+                        Some(start) => {
+                            let barrel: Vec<usize> = (0..theta_q.min(plan.pool.len()))
+                                .map(|k| (start + k) % plan.pool.len())
+                                .collect();
+                            replay_barrel(
+                                &self.family,
+                                &plan.pool,
+                                &plan.valid,
+                                barrel,
+                                t,
+                                client,
+                                &mut bot_rng,
+                            )
+                        }
+                        None => simulate_activation(
+                            &self.family,
+                            plan.epoch,
+                            &plan.pool,
+                            &plan.valid,
+                            t,
+                            client,
+                            &mut bot_rng,
+                        ),
+                    };
+                raw.extend(lookups);
+            }
+        }
+        raw.sort_by_key(|l| (l.t, l.client));
+
+        let mut topology = Topology::single_local(self.ttl);
+        let observed: Vec<ObservedLookup> = raw
+            .iter()
+            .filter_map(|l| {
+                topology
+                    .process(l, &authority)
+                    .expect("single-local topology routes every client")
+            })
+            .map(|mut o| {
+                o.t = o.t.quantize(self.granularity);
+                o
+            })
+            .collect();
+
+        ScenarioOutcome {
+            family: self.family.clone(),
+            ttl: self.ttl,
+            granularity: self.granularity,
+            num_epochs: self.num_epochs,
+            raw,
+            observed,
+            ground_truth,
+        }
+    }
+
+    /// Phase A shared by both run paths: samples activations epoch by epoch
+    /// (one sequential rng per epoch covers sampling *and* evasion
+    /// adjustment) and pre-derives every bot's independent rng seed.
+    fn plan_epochs(&self) -> (Vec<EpochPlan>, Vec<u64>) {
+        let seeds = SeedSequence::new(self.seed).fork_str(self.family.name());
+        let epoch_len = self.family.epoch_len();
+        let mut plans = Vec::with_capacity(self.num_epochs as usize);
         let mut ground_truth = Vec::with_capacity(self.num_epochs as usize);
         for epoch in 0..self.num_epochs {
             let mut rng =
@@ -152,56 +326,32 @@ impl ScenarioSpec {
 
             let pool = self.family.pool_for_epoch(epoch);
             let valid: HashSet<usize> = self.family.valid_indices(epoch).into_iter().collect();
-            let theta_q = self.family.params().theta_q();
-            for (i, t) in times.into_iter().enumerate() {
-                let client = ClientId((epoch as u32) << 20 | i as u32);
-                let mut bot_rng = ChaCha12Rng::seed_from_u64(
-                    seeds.fork(epoch).fork(1 + i as u64).seed(),
-                );
-                let lookups = match self
-                    .evasion
-                    .colluded_start(epoch, pool.len(), &mut bot_rng)
-                {
-                    Some(start) => {
-                        let barrel: Vec<usize> =
-                            (0..theta_q.min(pool.len())).map(|k| (start + k) % pool.len()).collect();
-                        replay_barrel(
-                            &self.family, &pool, &valid, barrel, t, client, &mut bot_rng,
-                        )
-                    }
-                    None => simulate_activation(
-                        &self.family, epoch, &pool, &valid, t, client, &mut bot_rng,
-                    ),
-                };
-                raw.extend(lookups);
-            }
+            let bots = times
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let client = ClientId((epoch as u32) << 20 | i as u32);
+                    (t, client, seeds.fork(epoch).fork(1 + i as u64).seed())
+                })
+                .collect();
+            plans.push(EpochPlan {
+                epoch,
+                pool,
+                valid,
+                bots,
+            });
         }
-        raw.sort_by_key(|l| (l.t, l.client));
-
-        let mut topology = Topology::single_local(self.ttl);
-        let observed: Vec<ObservedLookup> = raw
-            .iter()
-            .filter_map(|l| {
-                topology
-                    .process(l, &authority)
-                    .expect("single-local topology routes every client")
-            })
-            .map(|mut o| {
-                o.t = o.t.quantize(self.granularity);
-                o
-            })
-            .collect();
-
-        ScenarioOutcome {
-            family: self.family.clone(),
-            ttl: self.ttl,
-            granularity: self.granularity,
-            num_epochs: self.num_epochs,
-            raw,
-            observed,
-            ground_truth,
-        }
+        (plans, ground_truth)
     }
+}
+
+/// One epoch's replay plan: the materialised pool, the registered indices
+/// and one `(activation time, client, rng seed)` triple per active bot.
+struct EpochPlan {
+    epoch: u64,
+    pool: Vec<botmeter_dns::DomainName>,
+    valid: HashSet<usize>,
+    bots: Vec<(SimInstant, ClientId, u64)>,
 }
 
 impl ScenarioSpecBuilder {

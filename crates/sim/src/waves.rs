@@ -67,8 +67,7 @@ impl WaveConfig {
             "decay must be in (0, 1)"
         );
         let outbreak = Bernoulli::new(self.outbreak_prob).expect("validated above");
-        let peak = LogNormal::new(self.peak_median.ln(), self.peak_sigma)
-            .expect("validated above");
+        let peak = LogNormal::new(self.peak_median.ln(), self.peak_sigma).expect("validated above");
         let mut level = 0.0f64;
         let mut out = Vec::with_capacity(days);
         for _ in 0..days {

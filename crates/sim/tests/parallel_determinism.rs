@@ -1,0 +1,105 @@
+//! The parallel pipeline's determinism contract: for a fixed seed,
+//! [`ScenarioSpec::run`] (parallel bot replay, parallel sort, sharded cache
+//! filtering) must be **bit-identical** to
+//! [`ScenarioSpec::run_sequential`] — across families, activation models
+//! and evasion strategies.
+
+use botmeter_dga::DgaFamily;
+use botmeter_sim::{ActivationModel, EvasionStrategy, ScenarioSpec};
+
+/// Pins the worker count so the parallel code paths actually run even on
+/// single-core machines (where `num_threads()` would fall back to 1 and
+/// `run` would degenerate into the sequential path).
+fn force_parallel() {
+    std::env::set_var("BOTMETER_THREADS", "4");
+}
+
+fn assert_runs_match(spec: &ScenarioSpec, what: &str) {
+    let parallel = spec.run();
+    let sequential = spec.run_sequential();
+    assert_eq!(
+        parallel.raw(),
+        sequential.raw(),
+        "raw trace diverged: {what}"
+    );
+    assert_eq!(
+        parallel.observed(),
+        sequential.observed(),
+        "observed trace diverged: {what}"
+    );
+    assert_eq!(
+        parallel.ground_truth(),
+        sequential.ground_truth(),
+        "ground truth diverged: {what}"
+    );
+}
+
+#[test]
+fn parallel_run_is_bit_identical_across_families_and_activations() {
+    force_parallel();
+    // One family per barrel class the estimators care about: AU
+    // (Murofet), AR (newGoZ), AS (Conficker.C) — plus Necurs for the
+    // sampling/irregular-timing corner.
+    let families = [
+        DgaFamily::murofet,
+        DgaFamily::new_goz,
+        DgaFamily::conficker_c,
+        DgaFamily::necurs,
+    ];
+    let activations = [
+        ActivationModel::ConstantRate,
+        ActivationModel::DynamicRate { sigma: 1.5 },
+    ];
+    for family in families {
+        for activation in activations {
+            let family = family();
+            let name = family.name().to_owned();
+            let spec = ScenarioSpec::builder(family)
+                .population(48)
+                .num_epochs(2)
+                .activation(activation)
+                .seed(7)
+                .build()
+                .expect("valid spec");
+            assert_runs_match(&spec, &format!("{name} / {activation:?}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_run_is_bit_identical_across_seeds() {
+    force_parallel();
+    for seed in [0u64, 1, 99, 0xdead_beef] {
+        let spec = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(64)
+            .seed(seed)
+            .build()
+            .expect("valid spec");
+        assert_runs_match(&spec, &format!("newGoZ seed {seed}"));
+    }
+}
+
+#[test]
+fn parallel_run_is_bit_identical_under_evasion() {
+    force_parallel();
+    // Evasion draws extra rng values both from the epoch rng (activation
+    // adjustment) and the per-bot rng (collusion) — the exact split the
+    // parallel refactor has to preserve.
+    let strategies = [
+        EvasionStrategy::None,
+        EvasionStrategy::DutyCycle { active_prob: 0.5 },
+        EvasionStrategy::CoordinatedBurst {
+            window_fraction: 0.25,
+        },
+        EvasionStrategy::StartCollusion { shared_starts: 4 },
+    ];
+    for evasion in strategies {
+        let spec = ScenarioSpec::builder(DgaFamily::conficker_c())
+            .population(32)
+            .evasion(evasion)
+            .seed(11)
+            .build()
+            .expect("valid spec");
+        assert_runs_match(&spec, &format!("{evasion:?}"));
+    }
+}

@@ -119,8 +119,13 @@ fn constant_rate_gaps_are_exponential() {
     let lambda_per_ms = population as f64 / day.as_millis() as f64;
     let mut gaps = Vec::new();
     for _ in 0..20 {
-        let times =
-            ActivationModel::ConstantRate.sample_times(population, day, SimInstant::ZERO, day, &mut rng);
+        let times = ActivationModel::ConstantRate.sample_times(
+            population,
+            day,
+            SimInstant::ZERO,
+            day,
+            &mut rng,
+        );
         for w in times.windows(2) {
             gaps.push((w[1].as_millis() - w[0].as_millis()) as f64);
         }

@@ -291,8 +291,8 @@ impl std::error::Error for ParamError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand_chacha::ChaCha12Rng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
 
     fn rng(seed: u64) -> ChaCha12Rng {
         ChaCha12Rng::seed_from_u64(seed)

@@ -5,9 +5,7 @@
 //! cargo run --release --example enterprise_landscape
 //! ```
 
-use botmeter::core::{
-    BernoulliEstimator, EstimationContext, Estimator, PoissonEstimator,
-};
+use botmeter::core::{BernoulliEstimator, EstimationContext, Estimator, PoissonEstimator};
 use botmeter::dga::{BarrelClass, DgaFamily};
 use botmeter::matcher::{match_stream, ExactMatcher};
 use botmeter::sim::{EnterpriseSpec, Infection, WaveConfig};
@@ -18,7 +16,10 @@ fn main() {
         Infection::new(DgaFamily::new_goz(), WaveConfig::brisk()),
         Infection::new(DgaFamily::ramnit(), WaveConfig::brisk()),
     ]);
-    println!("simulating {} days of enterprise DNS traffic...", spec.days());
+    println!(
+        "simulating {} days of enterprise DNS traffic...",
+        spec.days()
+    );
     let outcome = spec.run();
     println!(
         "raw lookups: {}, border-visible: {}\n",
@@ -27,12 +28,11 @@ fn main() {
     );
 
     for (fi, family) in outcome.families().iter().enumerate() {
-        let primary: Box<dyn Estimator> =
-            if family.barrel_class() == BarrelClass::RandomCut {
-                Box::new(BernoulliEstimator::default())
-            } else {
-                Box::new(PoissonEstimator::new())
-            };
+        let primary: Box<dyn Estimator> = if family.barrel_class() == BarrelClass::RandomCut {
+            Box::new(BernoulliEstimator::default())
+        } else {
+            Box::new(PoissonEstimator::new())
+        };
         println!(
             "== {} ({}) — daily populations via the {} estimator ==",
             family.name(),
@@ -43,8 +43,7 @@ fn main() {
         let matcher = ExactMatcher::from_family(family, 0..outcome.days() + 1);
         let matched = match_stream(outcome.observed(), &matcher);
         let lookups = matched.for_server(botmeter::dns::ServerId(1));
-        let ctx =
-            EstimationContext::new(family.clone(), outcome.ttl(), outcome.granularity());
+        let ctx = EstimationContext::new(family.clone(), outcome.ttl(), outcome.granularity());
 
         println!("day  actual  estimate");
         for day in 0..outcome.days() {

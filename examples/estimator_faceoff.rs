@@ -51,11 +51,7 @@ fn main() {
             print!("{n:>6} {actual:>8}");
             for est in &estimators {
                 let e = est.estimate(outcome.observed(), &ctx);
-                print!(
-                    " {:>12.1} {:>8.3}",
-                    e,
-                    absolute_relative_error(e, actual)
-                );
+                print!(" {:>12.1} {:>8.3}", e, absolute_relative_error(e, actual));
             }
             println!();
         }

@@ -22,7 +22,10 @@ fn main() {
         .expect("valid scenario");
     let outcome = spec.run();
 
-    println!("simulated ground truth : {} active bots", outcome.ground_truth()[0]);
+    println!(
+        "simulated ground truth : {} active bots",
+        outcome.ground_truth()[0]
+    );
     println!("raw lookups issued     : {}", outcome.raw().len());
     println!(
         "border-visible lookups : {} (cache-filtered)",

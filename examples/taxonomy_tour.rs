@@ -16,7 +16,12 @@ fn main() {
         } else {
             cell.families.join(", ")
         };
-        println!("  {:<20} × {:<18} {}", cell.pool.to_string(), cell.barrel.to_string(), families);
+        println!(
+            "  {:<20} × {:<18} {}",
+            cell.pool.to_string(),
+            cell.barrel.to_string(),
+            families
+        );
     }
 
     println!("\nPer-family presets and cache-visibility (16 bots, one epoch):\n");

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints, build and tests.
+#
+# Usage: scripts/check.sh
+# The workspace vendors all third-party crates, so every step runs offline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

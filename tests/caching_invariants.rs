@@ -55,7 +55,9 @@ fn first_sighting_of_every_domain_is_never_masked() {
     let o = outcome(DgaFamily::new_goz(), TtlPolicy::paper_default(), 3);
     let mut first_raw: HashMap<&str, u64> = HashMap::new();
     for l in o.raw() {
-        first_raw.entry(l.domain.as_str()).or_insert(l.t.as_millis());
+        first_raw
+            .entry(l.domain.as_str())
+            .or_insert(l.t.as_millis());
     }
     let mut seen_observed: HashSet<&str> = HashSet::new();
     for l in o.observed() {

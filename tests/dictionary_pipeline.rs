@@ -2,9 +2,7 @@
 //! plain-list feed format — exercising the analyst workflow the paper's
 //! Fig. 2 describes with real exported domain lists.
 
-use botmeter::core::{
-    absolute_relative_error, EstimationContext, Estimator, PoissonEstimator,
-};
+use botmeter::core::{absolute_relative_error, EstimationContext, Estimator, PoissonEstimator};
 use botmeter::dga::{DgaFamily, NameStyle};
 use botmeter::dns::ServerId;
 use botmeter::matcher::{match_stream, DomainMatcher, ExactMatcher, PatternMatcher};

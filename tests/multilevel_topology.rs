@@ -3,9 +3,7 @@
 
 use botmeter::core::{BotMeter, BotMeterConfig, ModelKind};
 use botmeter::dga::DgaFamily;
-use botmeter::dns::{
-    ClientId, ObservedLookup, RawLookup, ServerId, TopologyBuilder, TtlPolicy,
-};
+use botmeter::dns::{ClientId, ObservedLookup, RawLookup, ServerId, TopologyBuilder, TtlPolicy};
 use botmeter::sim::ScenarioSpec;
 
 /// Routes a simulated raw trace through a two-level tree: two sites under
@@ -106,9 +104,8 @@ fn landscape_ranks_the_heavier_site_first() {
     let (observed, site_a, site_b) = route_through_tree(&outcome);
 
     // Two of three floors (≈ 2/3 of bots) hang under site A.
-    let meter = BotMeter::new(
-        BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage),
-    );
+    let meter =
+        BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage));
     let landscape = meter.chart(&observed, 0..1);
     let a = landscape.estimate(site_a, 0);
     let b = landscape.estimate(site_b, 0);

@@ -50,7 +50,14 @@ fn claim_mt_degrades_with_population_on_au() {
         mt_large > mt_small + 0.2,
         "MT should degrade on AU: {mt_small} -> {mt_large}"
     );
-    let mp_large = mean_are(&PoissonEstimator::new(), DgaFamily::murofet, 256, ttl, act, 0..4);
+    let mp_large = mean_are(
+        &PoissonEstimator::new(),
+        DgaFamily::murofet,
+        256,
+        ttl,
+        act,
+        0..4,
+    );
     assert!(
         mp_large < mt_large,
         "MP ({mp_large}) should beat MT ({mt_large}) at N=256"
@@ -88,10 +95,38 @@ fn claim_rate_dynamics_hurt_mp_not_mb() {
     let calm = ActivationModel::ConstantRate;
     let wild = ActivationModel::DynamicRate { sigma: 2.5 };
 
-    let mp_calm = mean_are(&PoissonEstimator::new(), DgaFamily::murofet, 64, ttl, calm, 0..6);
-    let mp_wild = mean_are(&PoissonEstimator::new(), DgaFamily::murofet, 64, ttl, wild, 0..6);
-    let mb_calm = mean_are(&BernoulliEstimator::default(), DgaFamily::new_goz, 64, ttl, calm, 0..6);
-    let mb_wild = mean_are(&BernoulliEstimator::default(), DgaFamily::new_goz, 64, ttl, wild, 0..6);
+    let mp_calm = mean_are(
+        &PoissonEstimator::new(),
+        DgaFamily::murofet,
+        64,
+        ttl,
+        calm,
+        0..6,
+    );
+    let mp_wild = mean_are(
+        &PoissonEstimator::new(),
+        DgaFamily::murofet,
+        64,
+        ttl,
+        wild,
+        0..6,
+    );
+    let mb_calm = mean_are(
+        &BernoulliEstimator::default(),
+        DgaFamily::new_goz,
+        64,
+        ttl,
+        calm,
+        0..6,
+    );
+    let mb_wild = mean_are(
+        &BernoulliEstimator::default(),
+        DgaFamily::new_goz,
+        64,
+        ttl,
+        wild,
+        0..6,
+    );
 
     let mp_delta = mp_wild - mp_calm;
     let mb_delta = mb_wild - mb_calm;
@@ -118,12 +153,8 @@ fn claim_missing_rate_hurts_set_statistics() {
             let window = DetectionWindow::new(&exact, missing, seed);
             let matched = match_stream(outcome.observed(), &window);
             let lookups = matched.for_server(ServerId(1));
-            let ctx = EstimationContext::new(
-                family.clone(),
-                outcome.ttl(),
-                outcome.granularity(),
-            )
-            .with_detection_window(window.known_domains().clone());
+            let ctx = EstimationContext::new(family.clone(), outcome.ttl(), outcome.granularity())
+                .with_detection_window(window.known_domains().clone());
             let est = estimator.estimate(lookups, &ctx);
             sum += absolute_relative_error(est, outcome.ground_truth()[0] as f64);
         }
@@ -132,8 +163,16 @@ fn claim_missing_rate_hurts_set_statistics() {
 
     // The paper-faithful (window-naive) MB degrades steeply with the
     // missing rate, as Fig. 6(e) reports...
-    let naive_full = run_with_window(DgaFamily::new_goz(), &BernoulliEstimator::window_naive(), 0.0);
-    let naive_half = run_with_window(DgaFamily::new_goz(), &BernoulliEstimator::window_naive(), 0.5);
+    let naive_full = run_with_window(
+        DgaFamily::new_goz(),
+        &BernoulliEstimator::window_naive(),
+        0.0,
+    );
+    let naive_half = run_with_window(
+        DgaFamily::new_goz(),
+        &BernoulliEstimator::window_naive(),
+        0.5,
+    );
     assert!(
         naive_half > naive_full + 0.5,
         "50% missing domains should break naive MB: {naive_full} -> {naive_half}"
@@ -173,10 +212,8 @@ fn claim_mt_collapses_on_irregular_timing() {
             outcome.granularity(),
         );
         let actual = outcome.ground_truth()[0] as f64;
-        mt_sum += absolute_relative_error(
-            TimingEstimator.estimate(outcome.observed(), &ctx),
-            actual,
-        );
+        mt_sum +=
+            absolute_relative_error(TimingEstimator.estimate(outcome.observed(), &ctx), actual);
         mp_sum += absolute_relative_error(
             PoissonEstimator::new().estimate(outcome.observed(), &ctx),
             actual,

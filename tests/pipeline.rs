@@ -40,9 +40,8 @@ fn full_pipeline_recovers_ar_population_via_coverage() {
     let mut errors = Vec::new();
     for seed in 0..5 {
         let outcome = run(DgaFamily::new_goz(), 128, 100 + seed);
-        let meter = BotMeter::new(
-            BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage),
-        );
+        let meter =
+            BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage));
         let landscape = meter.chart(outcome.observed(), 0..1);
         errors.push(absolute_relative_error(
             landscape.total_for_epoch(0),
@@ -119,8 +118,7 @@ fn landscape_separates_servers_in_star_topology() {
     assert!(observed.iter().any(|o| o.server == servers[0]));
     assert!(observed.iter().any(|o| o.server == servers[1]));
 
-    let meter =
-        BotMeter::new(BotMeterConfig::new(family).model(ModelKind::Coverage));
+    let meter = BotMeter::new(BotMeterConfig::new(family).model(ModelKind::Coverage));
     let landscape = meter.chart(&observed, 0..1);
     assert!(landscape.estimate(servers[0], 0) > 0.0);
     assert!(landscape.estimate(servers[1], 0) > 0.0);

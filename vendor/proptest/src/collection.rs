@@ -1,0 +1,18 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::{BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+/// Generates `Vec`s with a size drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    crate::vec_strategy(element, size)
+}
+
+/// Generates `BTreeSet`s. If the element domain is too small to reach the
+/// drawn size, the set saturates at the number of distinct values found.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    crate::btree_set_strategy(element, size)
+}

@@ -1,0 +1,164 @@
+//! String generation from a small regex-like pattern language.
+//!
+//! Supports the constructs the workspace's tests use: literal characters,
+//! character classes `[a-z0-9_]`, and the quantifiers `{m}`, `{m,n}`, `?`,
+//! `+`, `*` (the unbounded ones are capped at 8 repetitions). Anything more
+//! exotic panics with a clear message rather than silently misgenerating.
+
+use crate::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("proptest stub: unterminated character class"));
+        match c {
+            ']' => break,
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let start = prev.take().unwrap();
+                let end = chars.next().unwrap();
+                assert!(
+                    start <= end,
+                    "proptest stub: inverted class range {start}-{end}"
+                );
+                // `start` is already in the set; add the rest of the range.
+                let mut ch = start as u32 + 1;
+                while ch <= end as u32 {
+                    set.push(char::from_u32(ch).unwrap());
+                    ch += 1;
+                }
+            }
+            c => {
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(!set.is_empty(), "proptest stub: empty character class");
+    set
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    const UNBOUNDED_CAP: usize = 8;
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parts: Vec<&str> = spec.split(',').collect();
+            match parts.as_slice() {
+                [n] => {
+                    let n = n.trim().parse().expect("proptest stub: bad {n} quantifier");
+                    (n, n)
+                }
+                [m, n] => (
+                    m.trim()
+                        .parse()
+                        .expect("proptest stub: bad {m,n} quantifier"),
+                    n.trim()
+                        .parse()
+                        .expect("proptest stub: bad {m,n} quantifier"),
+                ),
+                _ => panic!("proptest stub: malformed quantifier {{{spec}}}"),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("proptest stub: dangling escape")),
+            ),
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!("proptest stub: unsupported regex construct `{c}` in {pattern:?}")
+            }
+            c => Atom::Literal(c),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse_pattern(pattern) {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domain_label_pattern() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z][a-z0-9]{2,20}", &mut rng);
+            assert!(s.len() >= 3 && s.len() <= 21, "len was {}", s.len());
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(2);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+        let s = generate_from_pattern("a{3}b?", &mut rng);
+        assert!(s.starts_with("aaa"));
+    }
+}

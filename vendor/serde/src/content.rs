@@ -1,0 +1,41 @@
+//! The self-describing data model every vendored format converts through.
+
+/// A serialized value in a JSON-like shape.
+///
+/// Maps preserve insertion order (field declaration order for derived
+/// structs), which is what gives the JSON codec its stable, test-visible
+/// field ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (always `< 0`; non-negative values use `U64`).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short human-readable description for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}

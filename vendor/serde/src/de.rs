@@ -1,0 +1,154 @@
+//! Deserialization half of the vendored serde surface.
+
+use crate::content::Content;
+use crate::ContentError;
+use std::fmt;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + fmt::Display + fmt::Debug {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce the [`Content`] model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Parses the input into a [`Content`] tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A [`Deserializer`] fed directly from a [`Content`] tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes any owned value from a [`Content`] tree.
+pub fn from_content<T: DeserializeOwned>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!(
+        "invalid type: expected {expected}, found {}",
+        got.kind()
+    ))
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected("a string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(unexpected("a boolean", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom("integer out of range")),
+                    other => Err(unexpected("an unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let wide: i64 = match content {
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| D::Error::custom("integer out of range"))?,
+                    Content::I64(v) => v,
+                    other => return Err(unexpected("an integer", &other)),
+                };
+                <$t>::try_from(wide).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_unsigned!(u8, u16, u32, u64, usize);
+impl_deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(unexpected("a number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| from_content(item).map_err(D::Error::custom))
+                .collect(),
+            other => Err(unexpected("a sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => s
+                .parse()
+                .map_err(|e| D::Error::custom(format!("invalid IPv4 address: {e}"))),
+            other => Err(unexpected("an IPv4 address string", &other)),
+        }
+    }
+}

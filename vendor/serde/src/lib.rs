@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds with no access to a crates registry, so this crate
+//! vendors the slice of the serde API the repo actually uses: the
+//! [`Serialize`]/[`Deserialize`] traits (and their derive macros from the
+//! sibling `serde_derive` stub), driven through a self-describing
+//! [`Content`] data model instead of serde's visitor machinery. Formats
+//! (here: the vendored `serde_json`) implement [`Serializer`] /
+//! [`Deserializer`] by converting to and from [`Content`].
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use content::Content;
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+// The derive macros share names with the traits; macros live in a separate
+// namespace so both `use`s coexist (mirroring real serde's re-export).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error raised while converting through the [`Content`] model.
+#[derive(Debug, Clone)]
+pub struct ContentError(pub String);
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Glue used by the generated derive code. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::content::Content;
+    pub use crate::de::from_content;
+    pub use crate::ser::to_content;
+    pub use crate::ContentError;
+
+    /// Re-exported for generated code.
+    pub use std::result::Result;
+}

@@ -1,0 +1,181 @@
+//! Serialization half of the vendored serde surface.
+
+use crate::content::Content;
+use crate::ContentError;
+use std::fmt;
+
+/// Errors produced by a [`Serializer`].
+pub trait Error: Sized + fmt::Display + fmt::Debug {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can consume the [`Content`] model.
+///
+/// All scalar entry points default to routing through
+/// [`Serializer::serialize_content`], so formats implement one method and
+/// hand-written `Serialize` impls keep their familiar
+/// `serializer.serialize_str(...)` shape.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a fully built [`Content`] tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::U64(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if v >= 0 {
+            self.serialize_content(Content::U64(v as u64))
+        } else {
+            self.serialize_content(Content::I64(v))
+        }
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+
+    /// Serializes a unit value as `null`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+}
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self
+            .iter()
+            .map(to_content)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(S::Error::custom)?;
+        serializer.serialize_content(Content::Seq(items))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+/// The serializer that materialises a [`Content`] tree.
+struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Serializes any value into the [`Content`] model.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the item
+//! shapes this workspace uses — non-generic named-field structs, tuple
+//! structs, and enums with unit / tuple / struct variants — by walking the
+//! raw `proc_macro` token stream directly (no `syn`/`quote`, which are not
+//! available offline). The generated code targets the vendored `serde`
+//! crate's [`Content`] data model:
+//!
+//! * named structs ⇢ ordered maps keyed by field name;
+//! * one-field tuple structs ⇢ transparent newtypes;
+//! * enums ⇢ externally tagged (`"Variant"` or `{"Variant": ...}`),
+//!   matching real serde's JSON representation.
+//!
+//! `#[serde(...)]` attributes are not supported (the workspace uses none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The field layout of a struct or enum variant.
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Consumes leading outer attributes (`#[...]`, including doc comments).
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments don't split (e.g. `BTreeMap<K, V>`).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parses the contents of a `{ ... }` fields group into field names.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group)
+        .into_iter()
+        .filter_map(|field_tokens| {
+            let i = skip_attributes(&field_tokens, 0);
+            let i = skip_visibility(&field_tokens, i);
+            match field_tokens.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parses the contents of an `enum { ... }` body.
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attributes(group, i);
+        let name = match group.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive stub: unexpected token in enum body: {other}"),
+            None => break,
+        };
+        i += 1;
+        let fields = match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_top_level_commas(&inner).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Optional discriminant (`= expr`) is unsupported; skip to the comma.
+        while i < group.len() {
+            if let TokenTree::Punct(p) = &group[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let i = skip_attributes(&tokens, 0);
+    let i = skip_visibility(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (item `{name}`)");
+        }
+    }
+    let body = tokens.get(i + 2);
+    let kind = match keyword.as_str() {
+        "struct" => match body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemKind::Struct(Fields::Named(parse_named_fields(&inner)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemKind::Struct(Fields::Tuple(split_top_level_commas(&inner).len()))
+            }
+            _ => ItemKind::Struct(Fields::Unit),
+        },
+        "enum" => match body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                ItemKind::Enum(parse_variants(&inner))
+            }
+            other => panic!("serde_derive stub: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+const SER_ERR: &str = "<S::Error as serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as serde::de::Error>::custom";
+
+/// `to_content(expr)` mapped into the outer serializer's error type.
+fn ser_field(expr: &str) -> String {
+    format!("serde::__private::to_content({expr}).map_err({SER_ERR})?")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => {
+            "serializer.serialize_content(serde::__private::Content::Null)".to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("serializer.serialize_content({})", ser_field("&self.0"))
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n).map(|i| ser_field(&format!("&self.{i}"))).collect();
+            format!(
+                "serializer.serialize_content(serde::__private::Content::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut __map = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.push((\"{f}\".to_string(), {}));\n",
+                    ser_field(&format!("&self.{f}"))
+                ));
+            }
+            s.push_str("serializer.serialize_content(serde::__private::Content::Map(__map))");
+            s
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_content(\
+                         serde::__private::Content::Str(\"{vname}\".to_string())),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__0) => serializer.serialize_content(\
+                         serde::__private::Content::Map(vec![(\"{vname}\".to_string(), {})])),\n",
+                        ser_field("__0")
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__{i}")).collect();
+                        let items: Vec<String> = binders.iter().map(|b| ser_field(b)).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serializer.serialize_content(\
+                             serde::__private::Content::Map(vec![(\"{vname}\".to_string(), \
+                             serde::__private::Content::Seq(vec![{}]))])),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut inner = String::from("let mut __fields = Vec::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{f}\".to_string(), {}));\n",
+                                ser_field(f)
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => {{ {inner} \
+                             serializer.serialize_content(serde::__private::Content::Map(vec![\
+                             (\"{vname}\".to_string(), serde::__private::Content::Map(__fields))\
+                             ])) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Generates the shared "collect named fields out of `__entries`" fragment.
+/// `constructor` receives `field_name -> unwrapped expr` pairs.
+fn gen_named_field_extraction(path: &str, fields: &[String]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        s.push_str(&format!("let mut __f_{f} = None;\n"));
+    }
+    s.push_str("for (__k, __v) in __entries {\nmatch __k.as_str() {\n");
+    for f in fields {
+        s.push_str(&format!(
+            "\"{f}\" => {{ __f_{f} = Some(serde::__private::from_content(__v)\
+             .map_err({DE_ERR})?); }}\n"
+        ));
+    }
+    // Unknown fields are ignored, matching serde's default for JSON maps.
+    s.push_str("_ => {}\n}\n}\n");
+    s.push_str(&format!("Ok({path} {{\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: __f_{f}.ok_or_else(|| {DE_ERR}(\"missing field `{f}`\"))?,\n"
+        ));
+    }
+    s.push_str("})\n");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("let _ = __content; Ok({name})"),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(serde::__private::from_content(__content).map_err({DE_ERR})?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let mut s =
+                String::from("match __content {\nserde::__private::Content::Seq(__items) => {\n");
+            s.push_str(&format!(
+                "if __items.len() != {n} {{ return Err({DE_ERR}(\"wrong tuple length\")); }}\n\
+                 let mut __it = __items.into_iter();\n"
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    format!(
+                        "serde::__private::from_content(__it.next().unwrap())\
+                         .map_err({DE_ERR})?"
+                    )
+                })
+                .collect();
+            s.push_str(&format!("Ok({name}({}))\n}}\n", items.join(", ")));
+            s.push_str(&format!(
+                "__other => Err({DE_ERR}(format!(\"invalid type: expected sequence, \
+                 found {{}}\", __other.kind()))),\n}}"
+            ));
+            s
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let extraction = gen_named_field_extraction(name, fields);
+            format!(
+                "match __content {{\nserde::__private::Content::Map(__entries) => {{\n\
+                 {extraction}}}\n\
+                 __other => Err({DE_ERR}(format!(\"invalid type: expected map, \
+                 found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            // Unit variants arrive as plain strings; data variants as
+            // single-entry maps keyed by the variant name.
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        str_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        map_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         serde::__private::from_content(__v).map_err({DE_ERR})?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "serde::__private::from_content(__it.next().unwrap())\
+                                     .map_err({DE_ERR})?"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => match __v {{\n\
+                             serde::__private::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                             let mut __it = __items.into_iter();\n\
+                             Ok({name}::{vname}({}))\n}}\n\
+                             _ => Err({DE_ERR}(\"invalid data for variant `{vname}`\")),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let extraction =
+                            gen_named_field_extraction(&format!("{name}::{vname}"), fields);
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => match __v {{\n\
+                             serde::__private::Content::Map(__entries) => {{\n{extraction}}}\n\
+                             _ => Err({DE_ERR}(\"invalid data for variant `{vname}`\")),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                 serde::__private::Content::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err({DE_ERR}(format!(\"unknown variant `{{__other}}`\"))),\n}},\n\
+                 serde::__private::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = __entries.into_iter().next().unwrap();\n\
+                 match __k.as_str() {{\n{map_arms}\
+                 __other => Err({DE_ERR}(format!(\"unknown variant `{{__other}}`\"))),\n}}\n}}\n\
+                 __other => Err({DE_ERR}(format!(\"invalid type: expected enum, \
+                 found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n\
+                 let __content = serde::de::Deserializer::deserialize_content(deserializer)?;\n\
+                 {body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` through the vendored [`Content`] model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` through the vendored [`Content`] model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
