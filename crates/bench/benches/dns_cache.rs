@@ -6,6 +6,7 @@ use botmeter_dns::{
     Answer, ClientId, DnsCache, DomainName, RawLookup, SimDuration, SimInstant, StaticAuthority,
     Topology, TtlPolicy,
 };
+use botmeter_exec::ExecPolicy;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn domains(n: usize) -> Vec<DomainName> {
@@ -85,7 +86,7 @@ fn bench_topology_filtering(c: &mut Criterion) {
     group.bench_function("process_trace_50k", |b| {
         b.iter(|| {
             let mut topo = Topology::single_local(TtlPolicy::paper_default());
-            topo.process_trace(&raws, &authority)
+            topo.process_trace(&raws, &authority, ExecPolicy::Sequential)
                 .expect("routable")
                 .len()
         })

@@ -10,6 +10,7 @@ use botmeter_core::{
 };
 use botmeter_dga::DgaFamily;
 use botmeter_dns::ObservedLookup;
+use botmeter_exec::ExecPolicy;
 use botmeter_sim::ScenarioSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -19,7 +20,7 @@ fn trace(family: DgaFamily, population: u64) -> (Vec<ObservedLookup>, Estimation
         .seed(42)
         .build()
         .expect("valid scenario")
-        .run();
+        .run(ExecPolicy::default());
     let ctx = EstimationContext::new(
         outcome.family().clone(),
         outcome.ttl(),

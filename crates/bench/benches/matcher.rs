@@ -3,6 +3,7 @@
 
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{DomainName, ObservedLookup, ServerId, SimInstant};
+use botmeter_exec::ExecPolicy;
 use botmeter_matcher::{match_stream, DomainMatcher, ExactMatcher, PatternMatcher};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -33,10 +34,24 @@ fn bench_matchers(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(stream.len() as u64));
     group.bench_function("exact_50k_pool", |b| {
-        b.iter(|| match_stream(std::hint::black_box(&stream), &exact).total_matched())
+        b.iter(|| {
+            match_stream(
+                std::hint::black_box(&stream),
+                &exact,
+                ExecPolicy::Sequential,
+            )
+            .total_matched()
+        })
     });
     group.bench_function("pattern", |b| {
-        b.iter(|| match_stream(std::hint::black_box(&stream), &pattern).total_matched())
+        b.iter(|| {
+            match_stream(
+                std::hint::black_box(&stream),
+                &pattern,
+                ExecPolicy::Sequential,
+            )
+            .total_matched()
+        })
     });
     group.finish();
 

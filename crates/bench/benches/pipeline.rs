@@ -2,37 +2,39 @@
 //! newGoZ, 10 000 bots, 3 epochs — generation, replay, cache filtering,
 //! matching and per-cell estimation.
 //!
-//! Two variants run back to back: the parallel pipeline
-//! ([`ScenarioSpec::run`] + [`BotMeter::chart_parallel`]) and the
-//! single-threaded reference ([`ScenarioSpec::run_sequential`] +
-//! [`BotMeter::chart`]). Their ratio is the speedup the tokenized hot path
-//! and the worker pool buy on this machine; the determinism tests guarantee
-//! the two compute the same landscape.
+//! Variants run back to back under the unified [`ExecPolicy`] API: the
+//! parallel pipeline, the single-threaded reference, and the parallel
+//! pipeline with a collecting [`Obs`] recorder attached. The
+//! parallel/sequential ratio is the speedup the tokenized hot path and the
+//! worker pool buy on this machine; the parallel/collecting ratio is the
+//! cost of metrics collection (budget: <2% on the no-op default, which the
+//! plain variants exercise). The determinism tests guarantee every variant
+//! computes the same landscape.
 
 use botmeter_core::{BotMeter, BotMeterConfig};
 use botmeter_dga::DgaFamily;
-use botmeter_sim::{ScenarioOutcome, ScenarioSpec};
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
+use botmeter_sim::{ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const POPULATION: u64 = 10_000;
 const EPOCHS: u64 = 3;
 
-fn spec() -> ScenarioSpec {
+fn spec_builder() -> ScenarioSpecBuilder {
     ScenarioSpec::builder(DgaFamily::new_goz())
         .population(POPULATION)
         .num_epochs(EPOCHS)
         .seed(42)
-        .build()
-        .expect("valid scenario")
 }
 
-fn chart(outcome: &ScenarioOutcome, parallel: bool) -> f64 {
-    let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-    let landscape = if parallel {
-        meter.chart_parallel(outcome.observed(), 0..EPOCHS)
-    } else {
-        meter.chart(outcome.observed(), 0..EPOCHS)
-    };
+fn spec() -> ScenarioSpec {
+    spec_builder().build().expect("valid scenario")
+}
+
+fn chart(outcome: &ScenarioOutcome, policy: ExecPolicy, obs: Obs) -> f64 {
+    let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
+    let landscape = meter.chart(outcome.observed(), 0..EPOCHS, policy);
     landscape.total_for_epoch(0)
 }
 
@@ -40,9 +42,23 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_simulate_10k");
     group.sample_size(10);
     let spec = spec();
-    group.bench_function("parallel", |b| b.iter(|| spec.run().observed().len()));
+    group.bench_function("parallel", |b| {
+        b.iter(|| spec.run(ExecPolicy::parallel()).observed().len())
+    });
     group.bench_function("sequential", |b| {
-        b.iter(|| spec.run_sequential().observed().len())
+        b.iter(|| spec.run(ExecPolicy::Sequential).observed().len())
+    });
+    group.bench_function("parallel_collecting", |b| {
+        b.iter(|| {
+            let (obs, _registry) = Obs::collecting();
+            spec_builder()
+                .obs(obs)
+                .build()
+                .expect("valid scenario")
+                .run(ExecPolicy::parallel())
+                .observed()
+                .len()
+        })
     });
     group.finish();
 }
@@ -50,12 +66,30 @@ fn bench_simulation(c: &mut Criterion) {
 fn bench_charting(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_chart_10k");
     group.sample_size(10);
-    let outcome = spec().run();
+    let outcome = spec().run(ExecPolicy::parallel());
     group.bench_function("parallel", |b| {
-        b.iter(|| chart(std::hint::black_box(&outcome), true))
+        b.iter(|| {
+            chart(
+                std::hint::black_box(&outcome),
+                ExecPolicy::parallel(),
+                Obs::noop(),
+            )
+        })
     });
     group.bench_function("sequential", |b| {
-        b.iter(|| chart(std::hint::black_box(&outcome), false))
+        b.iter(|| {
+            chart(
+                std::hint::black_box(&outcome),
+                ExecPolicy::Sequential,
+                Obs::noop(),
+            )
+        })
+    });
+    group.bench_function("parallel_collecting", |b| {
+        b.iter(|| {
+            let (obs, _registry) = Obs::collecting();
+            chart(std::hint::black_box(&outcome), ExecPolicy::parallel(), obs)
+        })
     });
     group.finish();
 }

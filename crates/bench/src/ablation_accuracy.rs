@@ -20,6 +20,7 @@ use botmeter_core::{
 };
 use botmeter_dga::DgaFamily;
 use botmeter_dns::ServerId;
+use botmeter_exec::ExecPolicy;
 use botmeter_matcher::{match_stream, DetectionWindow, ExactMatcher};
 use botmeter_sim::ScenarioSpec;
 use botmeter_stats::SeedSequence;
@@ -81,15 +82,15 @@ fn windowed_mean_are(
             .seed(seeds.fork(trial as u64).seed())
             .build()
             .expect("valid scenario")
-            .run();
+            .run(ExecPolicy::default());
         let exact = ExactMatcher::from_family(&family, 0..2);
         let mut ctx = EstimationContext::new(family.clone(), outcome.ttl(), outcome.granularity());
         let lookups = if missing > 0.0 {
             let window = DetectionWindow::new(&exact, missing, trial as u64);
             ctx = ctx.with_detection_window(window.known_domains().clone());
-            match_stream(outcome.observed(), &window)
+            match_stream(outcome.observed(), &window, ExecPolicy::default())
         } else {
-            match_stream(outcome.observed(), &exact)
+            match_stream(outcome.observed(), &exact, ExecPolicy::default())
         };
         let est = estimator.estimate(lookups.for_server(ServerId(1)), &ctx);
         absolute_relative_error(est, outcome.ground_truth()[0] as f64)
@@ -130,7 +131,7 @@ fn mp_regularisation(opts: &AblationOptions) -> Vec<AblationRow> {
                     .seed(seeds.fork(population).fork(trial as u64).seed())
                     .build()
                     .expect("valid scenario")
-                    .run();
+                    .run(ExecPolicy::default());
                 let actual = outcome.ground_truth()[0];
                 if actual == 0 {
                     return 0.0; // quiet draw: both variants answer 0-ish
@@ -168,7 +169,7 @@ fn hybrid_composition(opts: &AblationOptions) -> Vec<AblationRow> {
                 .seed(seeds.fork(trial as u64).seed())
                 .build()
                 .expect("valid scenario")
-                .run();
+                .run(ExecPolicy::default());
             let ctx = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),

@@ -13,6 +13,7 @@
 use botmeter_core::{BotMeter, BotMeterConfig, ModelKind};
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{trace, ObservedLookup, SimDuration, TtlPolicy};
+use botmeter_exec::ExecPolicy;
 use std::io;
 
 fn main() {
@@ -69,7 +70,7 @@ fn main() {
         .ttl(TtlPolicy::paper_default().with_negative(SimDuration::from_mins(neg_ttl_mins)))
         .granularity(SimDuration::from_millis(granularity_ms));
     let meter = BotMeter::new(config);
-    let landscape = meter.chart(&observed, 0..epochs);
+    let landscape = meter.chart(&observed, 0..epochs, ExecPolicy::default());
     print!("{landscape}");
     if epochs > 1 {
         println!("\nlandscape heatmap (rows: servers worst-first, columns: epochs):");

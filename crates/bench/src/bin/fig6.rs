@@ -1,15 +1,22 @@
 //! Regenerates Fig. 6: estimation accuracy over synthetic traces.
 //!
-//! Usage: `fig6 [a|b|c|d|e|all] [--trials N] [--seed S] [--json PATH]`
-//! (default: all subplots, 15 trials).
+//! Usage: `fig6 [a|b|c|d|e|all] [--trials N] [--seed S] [--json PATH]
+//! [--metrics-out PATH]` (default: all subplots, 15 trials).
+//!
+//! With `--metrics-out`, the whole sweep runs with a collecting recorder
+//! attached and its [`MetricsSnapshot`](botmeter_obs::MetricsSnapshot) —
+//! per-server cache counters, matcher probe/match totals, scheduler task
+//! counts — is written as JSON next to the figure artifacts.
 
 use botmeter_bench::fig6::{render_panels, run_subplot, Fig6Options, Subplot};
+use botmeter_obs::Obs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut subplots: Vec<Subplot> = Vec::new();
     let mut opts = Fig6Options::default();
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -17,6 +24,10 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).cloned().expect("--json needs a path"));
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_path = Some(args.get(i).cloned().expect("--metrics-out needs a path"));
             }
             "--trials" => {
                 i += 1;
@@ -36,7 +47,10 @@ fn main() {
             letter => match Subplot::from_letter(letter) {
                 Some(s) => subplots.push(s),
                 None => {
-                    eprintln!("usage: fig6 [a|b|c|d|e|all] [--trials N] [--seed S] [--json PATH]");
+                    eprintln!(
+                        "usage: fig6 [a|b|c|d|e|all] [--trials N] [--seed S] [--json PATH] \
+                         [--metrics-out PATH]"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -46,6 +60,11 @@ fn main() {
     if subplots.is_empty() {
         subplots.extend(Subplot::ALL);
     }
+    let registry = metrics_path.as_ref().map(|_| {
+        let (obs, registry) = Obs::collecting();
+        opts.obs = obs;
+        registry
+    });
 
     println!(
         "Fig. 6 — estimation accuracy of BotMeter ({} trials per point; \
@@ -68,5 +87,10 @@ fn main() {
         let json = serde_json::to_string_pretty(&all_panels).expect("panels serialise");
         std::fs::write(&path, json).expect("write json artifact");
         eprintln!("[fig6] wrote machine-readable results to {path}");
+    }
+    if let (Some(path), Some(registry)) = (metrics_path, registry) {
+        let json = serde_json::to_string_pretty(&registry.snapshot()).expect("metrics serialise");
+        std::fs::write(&path, format!("{json}\n")).expect("write metrics artifact");
+        eprintln!("[fig6] wrote metrics snapshot to {path}");
     }
 }

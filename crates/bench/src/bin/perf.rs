@@ -1,13 +1,20 @@
-//! Measures the end-to-end pipeline (newGoZ, 10 000 bots, 3 epochs) in
-//! parallel and sequential form and writes the evidence to
+//! Measures the end-to-end pipeline (newGoZ, 10 000 bots, 3 epochs) under
+//! both execution policies and writes the evidence to
 //! `BENCH_pipeline.json`: wall times, lookup throughput, speedup and the
-//! worker-thread count the run used.
+//! worker-thread count the run used. A third, instrumented pass runs with a
+//! collecting [`Obs`] recorder attached and dumps the full
+//! [`MetricsSnapshot`] — per-server cache hits/misses, border filter
+//! counts, matcher probes/matches, per-epoch estimate latency histograms —
+//! to `METRICS_pipeline.json`.
 //!
-//! Usage: `perf [--population N] [--epochs E] [--seed S] [--out PATH]`.
+//! Usage: `perf [--population N] [--epochs E] [--seed S] [--out PATH]
+//! [--metrics-out PATH]`.
 
-use botmeter_core::{BotMeter, BotMeterConfig};
+use botmeter_core::{BotMeter, BotMeterConfig, Landscape};
 use botmeter_dga::DgaFamily;
-use botmeter_sim::{ScenarioOutcome, ScenarioSpec};
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::{MetricsSnapshot, Obs};
+use botmeter_sim::{ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -35,6 +42,17 @@ struct Variant {
     raw_lookups_per_sec: f64,
 }
 
+#[derive(Serialize)]
+struct MetricsReport {
+    benchmark: &'static str,
+    family: &'static str,
+    population: u64,
+    epochs: u64,
+    seed: u64,
+    threads: usize,
+    metrics: MetricsSnapshot,
+}
+
 struct Measurement {
     simulate_secs: f64,
     chart_secs: f64,
@@ -43,30 +61,46 @@ struct Measurement {
     landscape_cells: usize,
 }
 
-fn measure(spec: &ScenarioSpec, epochs: u64, parallel: bool) -> Measurement {
-    let started = Instant::now();
-    let outcome: ScenarioOutcome = if parallel {
-        spec.run()
-    } else {
-        spec.run_sequential()
-    };
-    let simulate_secs = started.elapsed().as_secs_f64();
+struct Bench {
+    population: u64,
+    epochs: u64,
+    seed: u64,
+}
 
-    let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-    let started = Instant::now();
-    let landscape = if parallel {
-        meter.chart_parallel(outcome.observed(), 0..epochs)
-    } else {
-        meter.chart(outcome.observed(), 0..epochs)
-    };
-    let chart_secs = started.elapsed().as_secs_f64();
+impl Bench {
+    fn builder(&self) -> ScenarioSpecBuilder {
+        ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(self.population)
+            .num_epochs(self.epochs)
+            .seed(self.seed)
+    }
 
-    Measurement {
-        simulate_secs,
-        chart_secs,
-        raw_lookups: outcome.raw().len(),
-        observed_lookups: outcome.observed().len(),
-        landscape_cells: landscape.len(),
+    fn pipeline(&self, policy: ExecPolicy, obs: Obs) -> (ScenarioOutcome, Landscape, f64, f64) {
+        let spec = self
+            .builder()
+            .obs(obs.clone())
+            .build()
+            .expect("valid scenario");
+        let started = Instant::now();
+        let outcome = spec.run(policy);
+        let simulate_secs = started.elapsed().as_secs_f64();
+
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
+        let started = Instant::now();
+        let landscape = meter.chart(outcome.observed(), 0..self.epochs, policy);
+        let chart_secs = started.elapsed().as_secs_f64();
+        (outcome, landscape, simulate_secs, chart_secs)
+    }
+
+    fn measure(&self, policy: ExecPolicy) -> Measurement {
+        let (outcome, landscape, simulate_secs, chart_secs) = self.pipeline(policy, Obs::noop());
+        Measurement {
+            simulate_secs,
+            chart_secs,
+            raw_lookups: outcome.raw().len(),
+            observed_lookups: outcome.observed().len(),
+            landscape_cells: landscape.len(),
+        }
     }
 }
 
@@ -76,6 +110,7 @@ fn main() {
     let mut epochs = 3u64;
     let mut seed = 42u64;
     let mut out = String::from("BENCH_pipeline.json");
+    let mut metrics_out = String::from("METRICS_pipeline.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -99,26 +134,28 @@ fn main() {
                     .unwrap_or_else(|| usage("--seed needs a number"))
             }
             "--out" => out = value.unwrap_or_else(|| usage("--out needs a path")),
+            "--metrics-out" => {
+                metrics_out = value.unwrap_or_else(|| usage("--metrics-out needs a path"))
+            }
             other => usage(&format!("unknown flag {other}")),
         }
         i += 1;
     }
 
     let threads = botmeter_exec::num_threads();
-    let spec = ScenarioSpec::builder(DgaFamily::new_goz())
-        .population(population)
-        .num_epochs(epochs)
-        .seed(seed)
-        .build()
-        .expect("valid scenario");
+    let bench = Bench {
+        population,
+        epochs,
+        seed,
+    };
 
     eprintln!("perf: newGoZ, {population} bots, {epochs} epochs, {threads} worker thread(s)");
     // One untimed warmup run: the first pipeline execution pays for page
     // faults and allocator growth over the trace's full footprint, which
     // would otherwise be billed to whichever variant runs first.
-    let _ = measure(&spec, epochs, true);
-    let par = measure(&spec, epochs, true);
-    let seq = measure(&spec, epochs, false);
+    let _ = bench.measure(ExecPolicy::parallel());
+    let par = bench.measure(ExecPolicy::parallel());
+    let seq = bench.measure(ExecPolicy::Sequential);
     assert_eq!(
         par.raw_lookups, seq.raw_lookups,
         "parallel and sequential runs must agree"
@@ -154,10 +191,30 @@ fn main() {
     std::fs::write(&out, format!("{rendered}\n")).expect("write report");
     println!("{rendered}");
     eprintln!("perf: wrote {out}");
+
+    // Instrumented pass: same pipeline with a collecting recorder. Kept out
+    // of the timed variants above so the reported wall times stay on the
+    // no-op hot path.
+    let (observer, registry) = Obs::collecting();
+    let _ = bench.pipeline(ExecPolicy::parallel(), observer);
+    let metrics = MetricsReport {
+        benchmark: "pipeline",
+        family: "newGoZ",
+        population,
+        epochs,
+        seed,
+        threads,
+        metrics: registry.snapshot(),
+    };
+    let rendered = serde_json::to_string_pretty(&metrics).expect("metrics serialise");
+    std::fs::write(&metrics_out, format!("{rendered}\n")).expect("write metrics");
+    eprintln!("perf: wrote {metrics_out}");
 }
 
 fn usage(message: &str) -> ! {
     eprintln!("perf: {message}");
-    eprintln!("usage: perf [--population N] [--epochs E] [--seed S] [--out PATH]");
+    eprintln!(
+        "usage: perf [--population N] [--epochs E] [--seed S] [--out PATH] [--metrics-out PATH]"
+    );
     std::process::exit(2);
 }

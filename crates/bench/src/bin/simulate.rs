@@ -12,6 +12,7 @@
 
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{trace, SimDuration, TtlPolicy};
+use botmeter_exec::ExecPolicy;
 use botmeter_sim::ScenarioSpec;
 use std::io::{self, Write};
 
@@ -62,7 +63,7 @@ fn main() {
         .seed(seed)
         .build()
         .unwrap_or_else(|e| usage(&e.to_string()))
-        .run();
+        .run(ExecPolicy::default());
 
     let stdout = io::stdout();
     trace::write_jsonl(outcome.observed(), stdout.lock()).unwrap_or_else(|e| usage(&e.to_string()));

@@ -22,6 +22,7 @@ use botmeter_core::{
     PoissonEstimator, TimingEstimator,
 };
 use botmeter_dga::{BarrelClass, DgaFamily};
+use botmeter_exec::ExecPolicy;
 use botmeter_sim::{EvasionStrategy, ScenarioSpec};
 use botmeter_stats::SeedSequence;
 
@@ -104,7 +105,7 @@ pub fn run_study(opts: &EvasionOptions) -> Vec<EvasionRow> {
                     .seed(seeds.fork(trial as u64).seed())
                     .build()
                     .expect("study parameters are valid")
-                    .run();
+                    .run(ExecPolicy::default());
                 let ctx = EstimationContext::new(
                     outcome.family().clone(),
                     outcome.ttl(),

@@ -15,14 +15,16 @@
 //! cross-check) on `AR` — exactly the paper's assignment (§V-A).
 
 use crate::render::TextTable;
-use crate::sweep::{run_trials, SweepPoint};
+use crate::sweep::{run_trials_with, SweepPoint};
 use botmeter_core::{
     absolute_relative_error, BernoulliEstimator, CoverageEstimator, EstimationContext, Estimator,
     PoissonEstimator, SamplingEstimator, TimingEstimator, WindowOccupancyEstimator,
 };
 use botmeter_dga::{BarrelClass, DgaFamily};
 use botmeter_dns::{ObservedLookup, SimDuration, TtlPolicy};
-use botmeter_matcher::{match_stream, DetectionWindow, ExactMatcher};
+use botmeter_exec::ExecPolicy;
+use botmeter_matcher::{match_stream_recorded, DetectionWindow, ExactMatcher};
+use botmeter_obs::Obs;
 use botmeter_sim::{ActivationModel, ScenarioSpec};
 use botmeter_stats::SeedSequence;
 
@@ -98,7 +100,7 @@ impl Subplot {
 }
 
 /// Harness options (trial counts scale runtime linearly).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Fig6Options {
     /// Independent trials per sweep point (the paper draws quartile error
     /// bars; 15+ trials make them stable).
@@ -107,6 +109,10 @@ pub struct Fig6Options {
     pub seed: u64,
     /// Default population for subplots (b)–(e).
     pub default_population: u64,
+    /// Observability handle: every trial's pipeline (simulation, cache
+    /// filtering, matching) and the sweep scheduler report into it. Counter
+    /// totals are order-independent, so the sweep stays reproducible.
+    pub obs: Obs,
 }
 
 impl Default for Fig6Options {
@@ -115,6 +121,7 @@ impl Default for Fig6Options {
             trials: 15,
             seed: 0x0000_F166,
             default_population: 64,
+            obs: Obs::noop(),
         }
     }
 }
@@ -192,16 +199,17 @@ fn run_panel(subplot: Subplot, family: DgaFamily, family_idx: u64, opts: &Fig6Op
     for (xi, &x) in subplot.values().iter().enumerate() {
         let trial_seeds = root.fork(xi as u64);
         // Each trial returns one ARE per estimator.
-        let per_trial: Vec<Vec<f64>> = run_trials(opts.trials, |trial| {
-            run_one_trial(
-                subplot,
-                &family,
-                &estimators,
-                x,
-                trial_seeds.fork(trial as u64).seed(),
-                opts,
-            )
-        });
+        let per_trial: Vec<Vec<f64>> =
+            run_trials_with(ExecPolicy::default(), &opts.obs, opts.trials, |trial| {
+                run_one_trial(
+                    subplot,
+                    &family,
+                    &estimators,
+                    x,
+                    trial_seeds.fork(trial as u64).seed(),
+                    opts,
+                )
+            });
         for (ei, est) in estimators.iter().enumerate() {
             let errors: Vec<f64> = per_trial.iter().map(|t| t[ei]).collect();
             points.push(SweepPoint::from_errors(x, est.name(), &errors));
@@ -243,9 +251,10 @@ fn run_one_trial(
         .ttl(ttl)
         .activation(activation)
         .seed(seed)
+        .obs(opts.obs.clone())
         .build()
         .expect("sweep parameters are valid")
-        .run();
+        .run(ExecPolicy::default());
 
     // D3 matching, with an imperfect window for subplot (e).
     let exact = ExactMatcher::from_family(family, 0..num_epochs + 1);
@@ -255,8 +264,8 @@ fn run_one_trial(
         None
     };
     let matched = match window.as_ref() {
-        Some(w) => match_stream(outcome.observed(), w),
-        None => match_stream(outcome.observed(), &exact),
+        Some(w) => match_stream_recorded(outcome.observed(), w, ExecPolicy::default(), &opts.obs),
+        None => match_stream_recorded(outcome.observed(), &exact, ExecPolicy::default(), &opts.obs),
     };
     let lookups = matched.for_server(botmeter_dns::ServerId(1));
 
@@ -328,6 +337,7 @@ mod tests {
             trials: 2,
             seed: 1,
             default_population: 16,
+            obs: Obs::noop(),
         }
     }
 

@@ -19,6 +19,7 @@ use botmeter_core::{
 };
 use botmeter_dga::{BarrelClass, DgaFamily};
 use botmeter_dns::ObservedLookup;
+use botmeter_exec::ExecPolicy;
 use botmeter_matcher::{match_stream, ExactMatcher};
 use botmeter_sim::{EnterpriseOutcome, EnterpriseSpec};
 use botmeter_stats::{OnlineMoments, Summary};
@@ -146,7 +147,7 @@ fn evaluate_family(
 ) -> FamilySeries {
     let days = outcome.days();
     let matcher = ExactMatcher::from_family(family, 0..days + 1);
-    let matched = match_stream(outcome.observed(), &matcher);
+    let matched = match_stream(outcome.observed(), &matcher, ExecPolicy::default());
     let lookups = matched.for_server(botmeter_dns::ServerId(1));
     let epoch_len = family.epoch_len();
 

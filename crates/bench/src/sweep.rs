@@ -1,5 +1,7 @@
 //! Parallel trial execution and aggregation for parameter sweeps.
 
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
 use botmeter_stats::Summary;
 
 /// Runs `trials` independent trials of `f` (given the trial index) across
@@ -24,7 +26,19 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    botmeter_exec::run_indexed(trials, f)
+    run_trials_with(ExecPolicy::default(), &Obs::noop(), trials, f)
+}
+
+/// [`run_trials`] with an explicit [`ExecPolicy`] and an [`Obs`] recorder:
+/// scheduling metrics (`sched.exec.*` tasks, steals, queue high-water) land
+/// in the recorder, so a sweep harness can emit a
+/// [`MetricsSnapshot`](botmeter_obs::MetricsSnapshot) next to its results.
+pub fn run_trials_with<T, F>(policy: ExecPolicy, obs: &Obs, trials: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    botmeter_exec::run_indexed_with(policy, obs, trials, f)
 }
 
 /// A single aggregated sweep point: the x value, a series label and the

@@ -237,7 +237,7 @@ mod tests {
                 .seed(seed)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let c = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),
@@ -261,7 +261,7 @@ mod tests {
                 .seed(77)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let c = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),

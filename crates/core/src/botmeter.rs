@@ -13,7 +13,9 @@ use crate::poisson::PoissonEstimator;
 use crate::timing::TimingEstimator;
 use botmeter_dga::{BarrelClass, DgaFamily};
 use botmeter_dns::{ObservedLookup, ServerId, SimDuration, TtlPolicy};
-use botmeter_matcher::{match_stream, match_stream_parallel, DomainMatcher, ExactMatcher};
+use botmeter_exec::ExecPolicy;
+use botmeter_matcher::{match_stream_recorded, DomainMatcher, ExactMatcher};
+use botmeter_obs::{saturating_ns, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -145,7 +147,9 @@ impl Landscape {
     }
 
     /// Servers ranked by their peak per-epoch estimate, worst first — the
-    /// remediation priority list the paper motivates.
+    /// remediation priority list the paper motivates. Equal peaks break
+    /// ties by ascending [`ServerId`], so the ordering is fully
+    /// deterministic regardless of entry order.
     pub fn ranked_servers(&self) -> Vec<(ServerId, f64)> {
         let mut peaks: Vec<(ServerId, f64)> = Vec::new();
         for e in &self.entries {
@@ -154,7 +158,7 @@ impl Landscape {
                 None => peaks.push((e.server, e.estimate)),
             }
         }
-        peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
+        peaks.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         peaks
     }
 
@@ -233,9 +237,9 @@ impl fmt::Display for Landscape {
 ///     .population(64)
 ///     .seed(4)
 ///     .build()?
-///     .run();
+///     .run(botmeter_exec::ExecPolicy::default());
 /// let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-/// let landscape = meter.chart(outcome.observed(), 0..1);
+/// let landscape = meter.chart(outcome.observed(), 0..1, botmeter_exec::ExecPolicy::default());
 /// let total = landscape.total_for_epoch(0);
 /// assert!(total > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -244,6 +248,7 @@ impl fmt::Display for Landscape {
 pub struct BotMeter {
     config: BotMeterConfig,
     detection_window: Option<HashSet<botmeter_dns::DomainName>>,
+    obs: Obs,
 }
 
 impl BotMeter {
@@ -252,6 +257,7 @@ impl BotMeter {
         BotMeter {
             config,
             detection_window: None,
+            obs: Obs::noop(),
         }
     }
 
@@ -260,6 +266,16 @@ impl BotMeter {
     #[must_use]
     pub fn with_detection_window(mut self, known: HashSet<botmeter_dns::DomainName>) -> Self {
         self.detection_window = Some(known);
+        self
+    }
+
+    /// Attaches an observability handle; [`chart`](Self::chart) then
+    /// reports `matcher.*` and `chart.*` counters plus the per-cell
+    /// `chart.estimate_ns` / `chart.epoch{e}.estimate_ns` latency
+    /// histograms through it (default: the no-op handle).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -285,29 +301,21 @@ impl BotMeter {
         }
     }
 
-    /// Charts the landscape: matches `observed` against the configured
-    /// family's pools over `epochs`, groups per forwarding server, slices
-    /// per epoch and estimates every cell.
-    pub fn chart(&self, observed: &[ObservedLookup], epochs: Range<u64>) -> Landscape {
-        self.chart_impl(observed, epochs, false)
-    }
-
-    /// Parallel [`chart`](Self::chart): matches the stream in parallel
-    /// chunks, then fans the non-empty (server, epoch) cells out across the
-    /// worker threads, one estimator call per cell.
+    /// Charts the landscape under `policy`: matches `observed` against the
+    /// configured family's pools over `epochs`, groups per forwarding
+    /// server, slices per epoch and estimates every cell.
     ///
-    /// Each cell's estimate is a pure function of that cell's matched
-    /// lookups, so the landscape is identical to the sequential one — entry
-    /// for entry, bit for bit — for any model and detection window.
-    pub fn chart_parallel(&self, observed: &[ObservedLookup], epochs: Range<u64>) -> Landscape {
-        self.chart_impl(observed, epochs, true)
-    }
-
-    fn chart_impl(
+    /// Under a parallel policy the stream is matched in parallel chunks and
+    /// the non-empty (server, epoch) cells fan out across the worker
+    /// threads, one estimator call per cell. Each cell's estimate is a pure
+    /// function of that cell's matched lookups, so the landscape is
+    /// identical to the sequential one — entry for entry, bit for bit — for
+    /// any model and detection window.
+    pub fn chart(
         &self,
         observed: &[ObservedLookup],
         epochs: Range<u64>,
-        parallel: bool,
+        policy: ExecPolicy,
     ) -> Landscape {
         let matcher = ExactMatcher::from_family(&self.config.family, epochs.clone());
         let estimator = self.resolve_model();
@@ -329,11 +337,7 @@ impl BotMeter {
             inner: &matcher,
             window,
         };
-        let filtered = if parallel {
-            match_stream_parallel(observed, &windowed)
-        } else {
-            match_stream(observed, &windowed)
-        };
+        let filtered = match_stream_recorded(observed, &windowed, policy, &self.obs);
 
         // Slice every server's matched traffic per epoch. Cells are
         // collected in (server asc, epoch asc) order, which fixes the entry
@@ -352,13 +356,30 @@ impl BotMeter {
             }
         }
 
-        let estimates: Vec<f64> = if parallel && cells.len() > 1 {
-            botmeter_exec::run_indexed(cells.len(), |i| estimator.estimate(&cells[i].2, &ctx))
+        if self.obs.enabled() {
+            self.obs.counter_add("chart.cells", cells.len() as u64);
+            self.obs
+                .counter_add(&format!("chart.model.{}", estimator.name()), 1);
+        }
+
+        // One estimator call per cell; the per-cell latency lands in the
+        // global and the per-epoch `estimate_ns` histograms.
+        let estimate_cell = |i: usize| -> f64 {
+            let (_, epoch, ref slice) = cells[i];
+            let start = self.obs.clock();
+            let estimate = estimator.estimate(slice, &ctx);
+            if let Some(start) = start {
+                let ns = saturating_ns(start.elapsed());
+                self.obs.observe_ns("chart.estimate_ns", ns);
+                self.obs
+                    .observe_ns(&format!("chart.epoch{epoch}.estimate_ns"), ns);
+            }
+            estimate
+        };
+        let estimates: Vec<f64> = if !policy.is_sequential() && cells.len() > 1 {
+            botmeter_exec::run_indexed_with(policy, &self.obs, cells.len(), estimate_cell)
         } else {
-            cells
-                .iter()
-                .map(|(_, _, slice)| estimator.estimate(slice, &ctx))
-                .collect()
+            (0..cells.len()).map(estimate_cell).collect()
         };
         Landscape {
             entries: cells
@@ -371,6 +392,15 @@ impl BotMeter {
                 })
                 .collect(),
         }
+    }
+
+    /// Parallel [`chart`](Self::chart).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `chart(observed, epochs, ExecPolicy::parallel())`"
+    )]
+    pub fn chart_parallel(&self, observed: &[ObservedLookup], epochs: Range<u64>) -> Landscape {
+        self.chart(observed, epochs, ExecPolicy::parallel())
     }
 }
 
@@ -417,9 +447,9 @@ mod tests {
             .seed(8)
             .build()
             .unwrap()
-            .run();
+            .run(ExecPolicy::default());
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-        let landscape = meter.chart(outcome.observed(), 0..1);
+        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
         assert!(!landscape.is_empty());
         // The single-local topology forwards through server 1.
         assert!(landscape.estimate(ServerId(1), 0) > 0.0);
@@ -432,7 +462,7 @@ mod tests {
     }
 
     #[test]
-    fn chart_parallel_matches_chart_bit_for_bit() {
+    fn chart_parallel_policy_matches_sequential_bit_for_bit() {
         // Pin the worker count so the parallel paths actually run on
         // single-core machines.
         std::env::set_var("BOTMETER_THREADS", "4");
@@ -448,23 +478,83 @@ mod tests {
                 .seed(13)
                 .build()
                 .unwrap()
-                .run();
-            let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(model));
-            let sequential = meter.chart(outcome.observed(), 0..2);
-            let parallel = meter.chart_parallel(outcome.observed(), 0..2);
+                .run(ExecPolicy::default());
+            let config = BotMeterConfig::new(outcome.family().clone()).model(model);
+            let (obs_seq, reg_seq) = Obs::collecting();
+            let (obs_par, reg_par) = Obs::collecting();
+            let sequential = BotMeter::new(config.clone()).with_obs(obs_seq).chart(
+                outcome.observed(),
+                0..2,
+                ExecPolicy::Sequential,
+            );
+            let parallel = BotMeter::new(config).with_obs(obs_par).chart(
+                outcome.observed(),
+                0..2,
+                ExecPolicy::parallel(),
+            );
             assert_eq!(
                 parallel,
                 sequential,
                 "landscape diverged: {} / {model:?}",
                 outcome.family().name()
             );
+            // All non-scheduling counters (matcher probes/matches, cell and
+            // model counts) must agree between the two policies too.
+            assert_eq!(
+                reg_par.snapshot().deterministic_counters(),
+                reg_seq.snapshot().deterministic_counters(),
+                "metrics counters diverged: {} / {model:?}",
+                outcome.family().name()
+            );
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_chart_parallel_shim_still_works() {
+        std::env::set_var("BOTMETER_THREADS", "4");
+        let outcome = ScenarioSpec::builder(DgaFamily::murofet())
+            .population(24)
+            .seed(5)
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+        assert_eq!(
+            meter.chart_parallel(outcome.observed(), 0..1),
+            meter.chart(outcome.observed(), 0..1, ExecPolicy::Sequential)
+        );
+    }
+
+    #[test]
+    fn chart_records_cells_models_and_latency() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .seed(8)
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        let (obs, registry) = Obs::collecting();
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
+        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::Sequential);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("chart.cells"), Some(landscape.len() as u64));
+        assert_eq!(snap.counter("chart.model.Bernoulli"), Some(1));
+        assert!(snap.counter("matcher.probes").unwrap_or(0) >= outcome.observed().len() as u64);
+        let hist = snap
+            .histogram("chart.estimate_ns")
+            .expect("latency recorded");
+        assert_eq!(hist.count, landscape.len() as u64);
+        assert_eq!(
+            snap.histogram("chart.epoch0.estimate_ns").map(|h| h.count),
+            Some(landscape.len() as u64)
+        );
     }
 
     #[test]
     fn chart_empty_stream_is_empty_landscape() {
         let meter = BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()));
-        let landscape = meter.chart(&[], 0..3);
+        let landscape = meter.chart(&[], 0..3, ExecPolicy::default());
         assert!(landscape.is_empty());
         assert_eq!(landscape.estimate(ServerId(1), 0), 0.0);
         assert_eq!(landscape.total_for_epoch(1), 0.0);
@@ -477,20 +567,22 @@ mod tests {
             .seed(3)
             .build()
             .unwrap()
-            .run();
+            .run(ExecPolicy::default());
         let family = outcome.family().clone();
         // A window that knows nothing sees nothing.
         let empty = BotMeter::new(BotMeterConfig::new(family.clone()))
             .with_detection_window(HashSet::new());
-        assert!(empty.chart(outcome.observed(), 0..1).is_empty());
+        assert!(empty
+            .chart(outcome.observed(), 0..1, ExecPolicy::default())
+            .is_empty());
         // A full window matches everything the plain meter does.
         let full_set: HashSet<_> = family.pool_for_epoch(0).into_iter().collect();
         let full =
             BotMeter::new(BotMeterConfig::new(family.clone())).with_detection_window(full_set);
         let plain = BotMeter::new(BotMeterConfig::new(family));
         assert_eq!(
-            full.chart(outcome.observed(), 0..1),
-            plain.chart(outcome.observed(), 0..1)
+            full.chart(outcome.observed(), 0..1, ExecPolicy::default()),
+            plain.chart(outcome.observed(), 0..1, ExecPolicy::default())
         );
     }
 
@@ -569,5 +661,31 @@ mod tests {
         let ranked = landscape.ranked_servers();
         assert_eq!(ranked[0], (ServerId(1), 80.0));
         assert_eq!(ranked[1], (ServerId(2), 50.0));
+    }
+
+    #[test]
+    fn ranked_servers_breaks_peak_ties_by_server_id() {
+        let landscape = Landscape {
+            entries: vec![
+                LandscapeEntry {
+                    server: ServerId(9),
+                    epoch: 0,
+                    estimate: 10.0,
+                },
+                LandscapeEntry {
+                    server: ServerId(2),
+                    epoch: 0,
+                    estimate: 10.0,
+                },
+                LandscapeEntry {
+                    server: ServerId(5),
+                    epoch: 0,
+                    estimate: 10.0,
+                },
+            ],
+        };
+        let ranked = landscape.ranked_servers();
+        let order: Vec<ServerId> = ranked.iter().map(|(s, _)| *s).collect();
+        assert_eq!(order, vec![ServerId(2), ServerId(5), ServerId(9)]);
     }
 }

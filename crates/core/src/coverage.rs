@@ -59,7 +59,7 @@ impl CoverageEstimator {
     /// use botmeter_sim::ScenarioSpec;
     ///
     /// let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
-    ///     .population(64).seed(1).build()?.run();
+    ///     .population(64).seed(1).build()?.run(botmeter_exec::ExecPolicy::default());
     /// let ctx = EstimationContext::new(
     ///     outcome.family().clone(), outcome.ttl(), outcome.granularity());
     /// let (lo, est, hi) = CoverageEstimator.estimate_with_interval(
@@ -258,7 +258,7 @@ mod tests {
                     .seed(1000 + seed)
                     .build()
                     .unwrap()
-                    .run();
+                    .run(botmeter_exec::ExecPolicy::default());
                 let c = EstimationContext::new(
                     outcome.family().clone(),
                     outcome.ttl(),
@@ -286,7 +286,7 @@ mod tests {
                 .seed(9)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let c = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),
@@ -317,7 +317,7 @@ mod tests {
                 .seed(7000 + seed)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let c = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),
@@ -358,7 +358,7 @@ mod tests {
             .seed(3)
             .build()
             .unwrap()
-            .run();
+            .run(botmeter_exec::ExecPolicy::default());
         let c = EstimationContext::new(
             outcome.family().clone(),
             outcome.ttl(),

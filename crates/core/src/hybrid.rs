@@ -163,7 +163,7 @@ mod tests {
             .seed(8)
             .build()
             .unwrap()
-            .run();
+            .run(botmeter_exec::ExecPolicy::default());
         let ctx = EstimationContext::new(
             outcome.family().clone(),
             outcome.ttl(),
@@ -184,7 +184,7 @@ mod tests {
                 .seed(5000 + seed)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let ctx = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),
@@ -212,7 +212,7 @@ mod tests {
             .seed(17)
             .build()
             .unwrap()
-            .run();
+            .run(botmeter_exec::ExecPolicy::default());
         let ctx = EstimationContext::new(
             outcome.family().clone(),
             outcome.ttl(),

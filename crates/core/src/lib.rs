@@ -32,6 +32,7 @@
 //! use botmeter_core::{absolute_relative_error, EstimationContext, Estimator,
 //!                     PoissonEstimator};
 //! use botmeter_dga::DgaFamily;
+//! use botmeter_exec::ExecPolicy;
 //! use botmeter_sim::ScenarioSpec;
 //!
 //! // Simulate one day of a Murofet (AU) infection...
@@ -39,7 +40,7 @@
 //!     .population(64)
 //!     .seed(3)
 //!     .build()?
-//!     .run();
+//!     .run(ExecPolicy::default());
 //! // ...and recover the population from the cache-filtered stream alone.
 //! let ctx = EstimationContext::new(
 //!     outcome.family().clone(), outcome.ttl(), outcome.granularity());

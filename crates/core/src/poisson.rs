@@ -202,7 +202,7 @@ mod tests {
                 .seed(seed)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let ctx = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),
@@ -229,7 +229,7 @@ mod tests {
                 .seed(100 + seed)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let ctx = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),
@@ -277,7 +277,7 @@ mod tests {
                 .seed(200 + seed)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let c = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),

@@ -159,7 +159,7 @@ mod tests {
                     .seed(3000 + seed)
                     .build()
                     .unwrap()
-                    .run();
+                    .run(botmeter_exec::ExecPolicy::default());
                 let c = EstimationContext::new(
                     outcome.family().clone(),
                     outcome.ttl(),
@@ -185,7 +185,7 @@ mod tests {
                 .seed(5)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let c = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),

@@ -209,7 +209,7 @@ mod tests {
             .seed(5)
             .build()
             .unwrap()
-            .run();
+            .run(botmeter_exec::ExecPolicy::default());
         let ctx = EstimationContext::new(
             outcome.family().clone(),
             outcome.ttl(),

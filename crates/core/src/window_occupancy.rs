@@ -121,7 +121,7 @@ mod tests {
                 .seed(4000 + seed)
                 .build()
                 .unwrap()
-                .run();
+                .run(botmeter_exec::ExecPolicy::default());
             let actual = outcome.ground_truth()[0];
             if actual == 0 {
                 continue;

@@ -24,10 +24,18 @@ pub struct CachedAnswer {
 }
 
 /// Hit/miss counters for a cache (useful in tests and benchmark reports).
+///
+/// Hits are split by answer polarity — a positive hit masks a successful
+/// resolution, a negative hit masks an NXDOMAIN retry — because the two
+/// distort BotMeter's visibility model differently (§II-B). These counters
+/// are the source of truth the observability layer snapshots into
+/// `cache.s{id}.*` metrics after each trace batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups answered from a live entry.
-    pub hits: u64,
+    /// Lookups answered from a live positive (address) entry.
+    pub positive_hits: u64,
+    /// Lookups answered from a live negative (NXDOMAIN) entry.
+    pub negative_hits: u64,
     /// Lookups that found no live entry.
     pub misses: u64,
     /// Entries that were found expired and dropped lazily.
@@ -37,13 +45,18 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total lookups answered from a live entry (positive + negative).
+    pub fn hits(&self) -> u64 {
+        self.positive_hits + self.negative_hits
+    }
+
     /// Fraction of lookups answered from cache (`0.0` when empty).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits() + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits() as f64 / total as f64
         }
     }
 }
@@ -108,7 +121,10 @@ impl DnsCache {
     pub fn lookup(&mut self, t: SimInstant, domain: &DomainName) -> Option<CachedAnswer> {
         match self.entries.get(domain) {
             Some(entry) if t < entry.expires_at => {
-                self.stats.hits += 1;
+                match entry.answer {
+                    Answer::Address(_) => self.stats.positive_hits += 1,
+                    Answer::NxDomain => self.stats.negative_hits += 1,
+                }
                 Some(*entry)
             }
             Some(entry) => {
@@ -257,7 +273,8 @@ impl DnsCache {
                 self.entries.insert(d, e);
             }
         }
-        self.stats.hits += shard.stats.hits - base.hits;
+        self.stats.positive_hits += shard.stats.positive_hits - base.positive_hits;
+        self.stats.negative_hits += shard.stats.negative_hits - base.negative_hits;
         self.stats.misses += shard.stats.misses - base.misses;
         self.stats.expired_evictions += shard.stats.expired_evictions - base.expired_evictions;
     }
@@ -360,13 +377,23 @@ mod tests {
         let t0 = SimInstant::ZERO;
         c.lookup(t0, &d("a.example")); // miss
         c.store(t0, d("a.example"), Answer::NxDomain, &ttl());
-        c.lookup(t0 + SimDuration::from_mins(1), &d("a.example")); // hit
+        c.lookup(t0 + SimDuration::from_mins(1), &d("a.example")); // negative hit
         c.lookup(t0 + SimDuration::from_hours(5), &d("a.example")); // expired -> miss+evict
+        let ip = Answer::Address(std::net::Ipv4Addr::new(192, 0, 2, 7));
+        c.store(
+            t0 + SimDuration::from_hours(5),
+            d("live.example"),
+            ip,
+            &ttl(),
+        );
+        c.lookup(t0 + SimDuration::from_hours(6), &d("live.example")); // positive hit
         let s = c.stats();
-        assert_eq!(s.hits, 1);
+        assert_eq!(s.positive_hits, 1);
+        assert_eq!(s.negative_hits, 1);
+        assert_eq!(s.hits(), 2);
         assert_eq!(s.misses, 2);
         assert_eq!(s.expired_evictions, 1);
-        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -131,7 +131,7 @@ mod tests {
         r.process(SimInstant::from_millis(5), &d("a.example"), &auth);
         let s = r.cache_stats();
         assert_eq!(s.misses, 1);
-        assert_eq!(s.hits, 1);
+        assert_eq!(s.hits(), 1);
         assert_eq!(r.cache_len(), 1);
         r.clear_cache();
         assert_eq!(r.cache_len(), 0);

@@ -14,6 +14,8 @@ use crate::name::DomainName;
 use crate::record::{ClientId, ObservedLookup, RawLookup, ServerId};
 use crate::time::SimInstant;
 use crate::ttl::TtlPolicy;
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -119,6 +121,7 @@ impl TopologyBuilder {
             nodes: self.nodes,
             client_map: HashMap::new(),
             default_leaf: None,
+            obs: Obs::noop(),
         }
     }
 }
@@ -150,6 +153,7 @@ pub struct Topology {
     nodes: Vec<Node>,
     client_map: HashMap<ClientId, ServerId>,
     default_leaf: Option<ServerId>,
+    obs: Obs,
 }
 
 impl Topology {
@@ -293,13 +297,68 @@ impl Topology {
         answer
     }
 
+    /// Attaches an observability handle; subsequent
+    /// [`process_trace`](Self::process_trace) calls report per-server cache
+    /// deltas (`cache.s{id}.*`) and border admission counters
+    /// (`topology.lookups` / `topology.admitted` / `topology.filtered`)
+    /// through it. The default handle is the no-op one.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     /// Runs a whole raw trace (assumed time-ordered) through the hierarchy
-    /// and returns the border-visible sub-trace.
+    /// under `policy` and returns the border-visible sub-trace. Sequential
+    /// and parallel policies produce bit-identical output and cache state.
+    ///
+    /// The parallel path shards the trace by
+    /// [`DomainId`](crate::DomainId): cache visibility is a per-domain
+    /// property when every cache is unbounded (the simulated topologies),
+    /// because entries are domain-keyed and never evicted by other domains'
+    /// traffic. All lookups for one domain land in one shard with relative
+    /// order preserved, which reproduces the sequential outcome
+    /// bit-for-bit; the shards' observed lookups are stitched back into
+    /// trace order afterwards, the shards' cache entries and stat deltas
+    /// merged into `self`. It falls back to sequential processing when a
+    /// capacity-bounded cache is present (evictions couple domains), when
+    /// only one worker thread is configured, or when the trace is too short
+    /// to be worth sharding.
     ///
     /// # Errors
     ///
-    /// Fails on the first unroutable client.
-    pub fn process_trace<A: Authority + Copy>(
+    /// Fails if any lookup's client is unroutable. (The parallel path
+    /// pre-routes and leaves the caches unchanged on error, whereas
+    /// sequential processing stops mid-trace.)
+    pub fn process_trace<A: Authority + Copy + Sync>(
+        &mut self,
+        raws: &[RawLookup],
+        authority: A,
+        policy: ExecPolicy,
+    ) -> Result<Vec<ObservedLookup>, TopologyError> {
+        const MIN_PARALLEL_TRACE: usize = 2048;
+        let base_stats: Option<Vec<CacheStats>> = self
+            .obs
+            .enabled()
+            .then(|| self.nodes.iter().map(|n| n.cache.stats()).collect());
+
+        let shards = policy.worker_threads();
+        let bounded = self.nodes.iter().any(|n| n.cache.capacity().is_some());
+        let out = if shards <= 1 || bounded || raws.len() < MIN_PARALLEL_TRACE {
+            self.process_trace_seq(raws, authority)?
+        } else {
+            self.process_trace_sharded(raws, authority, shards)?
+        };
+
+        if let Some(base) = base_stats {
+            self.push_cache_deltas(&base);
+            self.obs.counter_add("topology.lookups", raws.len() as u64);
+            self.obs.counter_add("topology.admitted", out.len() as u64);
+            self.obs
+                .counter_add("topology.filtered", (raws.len() - out.len()) as u64);
+        }
+        Ok(out)
+    }
+
+    fn process_trace_seq<A: Authority + Copy>(
         &mut self,
         raws: &[RawLookup],
         authority: A,
@@ -313,40 +372,12 @@ impl Topology {
         Ok(out)
     }
 
-    /// Runs a whole raw trace through the hierarchy in parallel, sharded by
-    /// domain, and returns exactly the sub-trace
-    /// [`process_trace`](Self::process_trace) would.
-    ///
-    /// Cache visibility is a per-domain property when every cache is
-    /// unbounded (the simulated topologies): whether lookup *i* is absorbed
-    /// depends only on earlier lookups for the *same domain*, because cache
-    /// entries are domain-keyed and never evicted by other domains'
-    /// traffic. Sharding the trace by [`DomainId`](crate::DomainId) (all
-    /// lookups for one domain land in one shard, relative order preserved)
-    /// therefore reproduces the sequential outcome bit-for-bit; the shards'
-    /// observed lookups are stitched back into trace order afterwards, the
-    /// shards' cache entries and stat deltas merged into `self`.
-    ///
-    /// Falls back to the sequential path when a capacity-bounded cache is
-    /// present (evictions couple domains), when only one worker thread is
-    /// configured, or when the trace is too short to be worth sharding.
-    ///
-    /// # Errors
-    ///
-    /// Fails if any lookup's client is unroutable, like the sequential
-    /// path. (On error the caches are left unchanged, whereas sequential
-    /// processing stops mid-trace.)
-    pub fn process_trace_parallel<A: Authority + Copy + Sync>(
+    fn process_trace_sharded<A: Authority + Copy + Sync>(
         &mut self,
         raws: &[RawLookup],
         authority: A,
+        shards: usize,
     ) -> Result<Vec<ObservedLookup>, TopologyError> {
-        const MIN_PARALLEL_TRACE: usize = 2048;
-        let shards = botmeter_exec::num_threads();
-        let bounded = self.nodes.iter().any(|n| n.cache.capacity().is_some());
-        if shards <= 1 || bounded || raws.len() < MIN_PARALLEL_TRACE {
-            return self.process_trace(raws, authority);
-        }
         for raw in raws {
             self.route(raw.client)?;
         }
@@ -359,19 +390,24 @@ impl Topology {
         let base_stats: Vec<CacheStats> = self.nodes.iter().map(|n| n.cache.stats()).collect();
         let template: &Topology = self;
         let shard_results: Vec<(Topology, Vec<(usize, ObservedLookup)>)> =
-            botmeter_exec::run_indexed(shards, |s| {
-                let mut topo = template.clone();
-                let mut out = Vec::new();
-                for &i in &parts[s] {
-                    let visible = topo
-                        .process(&raws[i], authority)
-                        .expect("every client pre-routed");
-                    if let Some(obs) = visible {
-                        out.push((i, obs));
+            botmeter_exec::run_indexed_with(
+                ExecPolicy::with_threads(shards),
+                &self.obs,
+                shards,
+                |s| {
+                    let mut topo = template.clone();
+                    let mut out = Vec::new();
+                    for &i in &parts[s] {
+                        let visible = topo
+                            .process(&raws[i], authority)
+                            .expect("every client pre-routed");
+                        if let Some(obs) = visible {
+                            out.push((i, obs));
+                        }
                     }
-                }
-                (topo, out)
-            });
+                    (topo, out)
+                },
+            );
 
         // Stitch observations back into trace order. Each shard's list is
         // already ascending in trace index, so this is a k-way merge; a sort
@@ -393,6 +429,52 @@ impl Topology {
             }
         }
         Ok(indexed.into_iter().map(|(_, obs)| obs).collect())
+    }
+
+    /// Pushes the difference between the current per-node cache stats and
+    /// `base` into the recorder as `cache.s{id}.*` counters. Batched at
+    /// trace-batch boundaries so the per-lookup hot path stays free of
+    /// recording calls; only non-zero deltas are pushed.
+    fn push_cache_deltas(&self, base: &[CacheStats]) {
+        for (n, node) in self.nodes.iter().enumerate() {
+            let now = node.cache.stats();
+            let prev = base[n];
+            let fields = [
+                ("pos_hits", now.positive_hits - prev.positive_hits),
+                ("neg_hits", now.negative_hits - prev.negative_hits),
+                ("misses", now.misses - prev.misses),
+                (
+                    "expired_evictions",
+                    now.expired_evictions - prev.expired_evictions,
+                ),
+                (
+                    "capacity_evictions",
+                    now.capacity_evictions - prev.capacity_evictions,
+                ),
+            ];
+            for (field, delta) in fields {
+                if delta > 0 {
+                    self.obs.counter_add(&format!("cache.s{n}.{field}"), delta);
+                }
+            }
+        }
+    }
+
+    /// Runs a whole raw trace through the hierarchy in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`process_trace`](Self::process_trace).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `process_trace(raws, authority, ExecPolicy::parallel())`"
+    )]
+    pub fn process_trace_parallel<A: Authority + Copy + Sync>(
+        &mut self,
+        raws: &[RawLookup],
+        authority: A,
+    ) -> Result<Vec<ObservedLookup>, TopologyError> {
+        self.process_trace(raws, authority, ExecPolicy::parallel())
     }
 
     /// Cache statistics of one node.
@@ -546,7 +628,9 @@ mod tests {
             raw(20, 2, "a.example"), // absorbed
             raw(30, 2, "c.example"),
         ];
-        let obs = topo.process_trace(&trace, &auth).unwrap();
+        let obs = topo
+            .process_trace(&trace, &auth, ExecPolicy::Sequential)
+            .unwrap();
         let names: Vec<&str> = obs.iter().map(|o| o.domain.as_str()).collect();
         assert_eq!(names, vec!["a.example", "b.example", "c.example"]);
     }
@@ -567,6 +651,50 @@ mod tests {
     }
 
     #[test]
+    fn cache_stats_survive_clear_caches_and_stay_counter_consistent() {
+        let (obs, registry) = Obs::collecting();
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        topo.set_obs(obs);
+        let auth = StaticAuthority::empty();
+        let trace: Vec<RawLookup> = (0..64u64)
+            .map(|i| raw(i * 10, 1, &format!("d{}.example", i % 8)))
+            .collect();
+        topo.process_trace(&trace, &auth, ExecPolicy::Sequential)
+            .unwrap();
+        let local = topo.local_servers()[0];
+        let before = topo.cache_stats(local);
+        assert!(before.hits() > 0 && before.misses > 0);
+
+        // Clearing drops cached entries but not the lifetime statistics —
+        // they track the same totals the pushed obs counters do.
+        topo.clear_caches();
+        assert_eq!(topo.cache_stats(local), before);
+        let snap = registry.snapshot();
+        let prefix = format!("cache.s{}.", local.0);
+        assert_eq!(
+            snap.counter(&format!("{prefix}neg_hits")),
+            Some(before.negative_hits)
+        );
+        assert_eq!(
+            snap.counter(&format!("{prefix}misses")),
+            Some(before.misses)
+        );
+
+        // Further traffic keeps the cumulative stats and the pushed deltas
+        // in lock-step: counter totals equal the stats totals at all times.
+        topo.process_trace(&trace, &auth, ExecPolicy::Sequential)
+            .unwrap();
+        let after = topo.cache_stats(local);
+        assert!(after.misses > before.misses);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(&format!("{prefix}neg_hits")),
+            Some(after.negative_hits)
+        );
+        assert_eq!(snap.counter(&format!("{prefix}misses")), Some(after.misses));
+    }
+
+    #[test]
     fn parallel_trace_matches_sequential_exactly() {
         // A trace long enough to clear the parallel threshold, with heavy
         // domain re-use so cache state actually matters.
@@ -581,11 +709,13 @@ mod tests {
         let auth = StaticAuthority::from_domains([d("d3.example"), d("d55.example")]);
 
         let mut seq_topo = Topology::single_local(TtlPolicy::paper_default());
-        let seq = seq_topo.process_trace(&build_trace(), &auth).unwrap();
+        let seq = seq_topo
+            .process_trace(&build_trace(), &auth, ExecPolicy::Sequential)
+            .unwrap();
 
         let mut par_topo = Topology::single_local(TtlPolicy::paper_default());
         let par = par_topo
-            .process_trace_parallel(&build_trace(), &auth)
+            .process_trace(&build_trace(), &auth, ExecPolicy::with_threads(4))
             .unwrap();
 
         assert_eq!(seq, par, "parallel filtering must be bit-identical");
@@ -607,7 +737,8 @@ mod tests {
         }
         let auth = StaticAuthority::empty();
         let mut topo = Topology::single_local(TtlPolicy::paper_default());
-        topo.process_trace_parallel(&trace, &auth).unwrap();
+        topo.process_trace(&trace, &auth, ExecPolicy::parallel())
+            .unwrap();
         // Every one of the 11 domains is now negatively cached.
         let t_after = 3000 + 10;
         for k in 0..11 {
@@ -623,9 +754,51 @@ mod tests {
         let auth = StaticAuthority::empty();
         let mut topo = Topology::single_local(TtlPolicy::paper_default());
         let obs = topo
+            .process_trace(&[raw(0, 1, "a.example")], &auth, ExecPolicy::parallel())
+            .unwrap();
+        assert_eq!(obs.len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_shim_still_works() {
+        let auth = StaticAuthority::empty();
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        let obs = topo
             .process_trace_parallel(&[raw(0, 1, "a.example")], &auth)
             .unwrap();
         assert_eq!(obs.len(), 1);
+    }
+
+    #[test]
+    fn trace_metrics_report_cache_deltas_and_admission() {
+        let (handle, registry) = Obs::collecting();
+        let mut topo = Topology::single_local(TtlPolicy::paper_default());
+        topo.set_obs(handle);
+        let auth = StaticAuthority::from_domains([d("live.example")]);
+        let trace = vec![
+            raw(0, 1, "live.example"),
+            raw(10, 2, "live.example"), // positive cache hit at the local
+            raw(20, 1, "nx.example"),
+            raw(30, 2, "nx.example"), // negative cache hit at the local
+        ];
+        let seen = topo
+            .process_trace(&trace, &auth, ExecPolicy::Sequential)
+            .unwrap();
+        assert_eq!(seen.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("topology.lookups"), Some(4));
+        assert_eq!(snap.counter("topology.admitted"), Some(2));
+        assert_eq!(snap.counter("topology.filtered"), Some(2));
+        // The local resolver is node 1.
+        assert_eq!(snap.counter("cache.s1.pos_hits"), Some(1));
+        assert_eq!(snap.counter("cache.s1.neg_hits"), Some(1));
+        assert_eq!(snap.counter("cache.s1.misses"), Some(2));
+        // Counters agree with the in-cache source of truth.
+        let stats = topo.cache_stats(topo.local_servers()[0]);
+        assert_eq!(stats.positive_hits, 1);
+        assert_eq!(stats.negative_hits, 1);
+        assert_eq!(stats.misses, 2);
     }
 
     #[test]
@@ -636,7 +809,7 @@ mod tests {
         topo.process(&raw(1, 1, "a.example"), &auth).unwrap();
         let local = topo.local_servers()[0];
         let s = topo.cache_stats(local);
-        assert_eq!(s.hits, 1);
+        assert_eq!(s.hits(), 1);
         assert_eq!(s.misses, 1);
     }
 }

@@ -120,6 +120,6 @@ proptest! {
             }
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits + s.misses, lookups);
+        prop_assert_eq!(s.hits() + s.misses, lookups);
     }
 }

@@ -5,6 +5,12 @@
 //! `botmeter-core`, trial sweeps in `botmeter-bench` — funnels through this
 //! crate, so the threading policy lives in one place:
 //!
+//! * **One execution policy.** Since the sequential/parallel API
+//!   unification, pipeline entry points take an [`ExecPolicy`]
+//!   (`Sequential` or `Parallel { threads }`) instead of forking into
+//!   `*_parallel` twins. [`ExecPolicy::default`] resolves the worker count
+//!   from the `BOTMETER_THREADS` environment variable (see
+//!   [`num_threads`]).
 //! * **Self-scheduling, bounded dispatch.** Jobs are handed out through a
 //!   single atomic counter (a "job dispenser"), not a pre-filled queue:
 //!   memory for in-flight coordination is `O(workers)`, and an idle worker
@@ -14,23 +20,101 @@
 //! * **Determinism by index.** Workers write each job's result into its own
 //!   slot, so outputs are returned in job order no matter which thread ran
 //!   what. Callers keep the contract that job `i` is a pure function of `i`.
-//! * **One thread-count policy.** [`num_threads`] honours the
-//!   `BOTMETER_THREADS` environment variable and falls back to the machine's
-//!   available parallelism; every stage sizes itself from it.
+//! * **Observability.** The `*_with` entry points accept a
+//!   [`botmeter_obs::Obs`] handle and report batch/task/steal counts and a
+//!   queue-depth high-water mark under the scheduling-dependent `sched.`
+//!   prefix (see `botmeter-obs` for why those counters are exempt from the
+//!   sequential-vs-parallel determinism contract).
 //!
 //! ```
+//! use botmeter_exec::ExecPolicy;
 //! let squares = botmeter_exec::run_indexed(8, |i| i * i);
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! // Same jobs, explicit policy and metrics:
+//! let (obs, registry) = botmeter_obs::Obs::collecting();
+//! let again = botmeter_exec::run_indexed_with(ExecPolicy::default(), &obs, 8, |i| i * i);
+//! assert_eq!(again, squares);
+//! assert_eq!(registry.snapshot().counter("sched.exec.tasks"), Some(8));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use botmeter_obs::Obs;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-/// The number of worker threads parallel stages use.
+/// How a pipeline stage should execute: single-threaded, or fanned out
+/// across a worker pool.
+///
+/// Every unified pipeline entry point (`ScenarioSpec::run`,
+/// `Topology::process_trace`, `match_stream`, `BotMeter::chart`) takes one
+/// of these; the former `*_parallel`/`run_sequential` twins are deprecated
+/// shims over it. Both variants produce bit-identical pipeline results —
+/// the policy only chooses how the work is scheduled.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_exec::ExecPolicy;
+/// assert_eq!(ExecPolicy::Sequential.worker_threads(), 1);
+/// assert_eq!(ExecPolicy::with_threads(4).worker_threads(), 4);
+/// // The default resolves from BOTMETER_THREADS / available parallelism:
+/// assert!(ExecPolicy::default().worker_threads() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecPolicy {
+    /// Run everything inline on the calling thread. This is also the
+    /// reference behaviour the determinism tests compare against.
+    Sequential,
+    /// Fan out across worker threads. `threads: None` resolves the count
+    /// at call time via [`num_threads`] (the `BOTMETER_THREADS`
+    /// environment variable, falling back to the machine's available
+    /// parallelism).
+    Parallel {
+        /// Explicit worker count; `None` means auto-detect.
+        threads: Option<usize>,
+    },
+}
+
+impl Default for ExecPolicy {
+    /// Parallel with auto-detected worker count.
+    fn default() -> Self {
+        ExecPolicy::parallel()
+    }
+}
+
+impl ExecPolicy {
+    /// Parallel execution with the worker count resolved at call time.
+    pub fn parallel() -> Self {
+        ExecPolicy::Parallel { threads: None }
+    }
+
+    /// Parallel execution pinned to `threads` workers (clamped to ≥ 1;
+    /// `1` behaves exactly like [`ExecPolicy::Sequential`]).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy::Parallel {
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    /// The number of worker threads this policy resolves to right now.
+    pub fn worker_threads(self) -> usize {
+        match self {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Parallel { threads: Some(n) } => n.max(1),
+            ExecPolicy::Parallel { threads: None } => num_threads(),
+        }
+    }
+
+    /// Whether the policy resolves to inline, single-threaded execution.
+    pub fn is_sequential(self) -> bool {
+        self.worker_threads() <= 1
+    }
+}
+
+/// The number of worker threads parallel stages use by default.
 ///
 /// Set `BOTMETER_THREADS` to pin it (values below 1 are clamped to 1);
 /// otherwise it is the machine's available parallelism.
@@ -45,14 +129,30 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs `jobs` independent jobs of `f` (given the job index) across the
-/// configured worker threads and returns the results in index order.
+/// Runs `jobs` independent jobs of `f` (given the job index) with the
+/// default policy and no metrics. See [`run_indexed_with`].
+pub fn run_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(ExecPolicy::default(), &Obs::noop(), jobs, f)
+}
+
+/// Runs `jobs` independent jobs of `f` (given the job index) under
+/// `policy` and returns the results in index order.
 ///
 /// Jobs must be deterministic functions of their index; scheduling order is
 /// unobservable in the output. With one worker (or one job) everything runs
 /// inline on the calling thread, which is also the sequential reference
 /// behaviour the determinism tests compare against.
-pub fn run_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
+///
+/// Scheduling metrics reported through `obs` (all under the `sched.`
+/// prefix, so they are exempt from the determinism contract):
+/// `sched.exec.batches`, `sched.exec.tasks`, `sched.exec.steals` (jobs a
+/// worker took beyond its even share) and `sched.exec.queue_high_water`
+/// (the deepest dispatch queue any single batch presented).
+pub fn run_indexed_with<T, F>(policy: ExecPolicy, obs: &Obs, jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -60,7 +160,10 @@ where
     if jobs == 0 {
         return Vec::new();
     }
-    let workers = num_threads().min(jobs);
+    let workers = policy.worker_threads().min(jobs);
+    obs.counter_add("sched.exec.batches", 1);
+    obs.counter_add("sched.exec.tasks", jobs as u64);
+    obs.gauge_max("sched.exec.queue_high_water", jobs as u64);
     if workers <= 1 {
         return (0..jobs).map(f).collect();
     }
@@ -68,19 +171,32 @@ where
     // Bounded coordination state: one atomic dispenser + one slot per job.
     // No job queue is materialised at all.
     let next_job = AtomicUsize::new(0);
+    let steals = AtomicU64::new(0);
+    let even_share = jobs / workers;
     let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let mut taken = 0u64;
+                loop {
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    taken += 1;
+                    let value = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
                 }
-                let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
+                // Anything beyond the even split is load the worker
+                // "stole" from slower peers through the dispenser.
+                let stolen = taken.saturating_sub(even_share as u64);
+                if stolen > 0 {
+                    steals.fetch_add(stolen, Ordering::Relaxed);
+                }
             });
         }
     });
+    obs.counter_add("sched.exec.steals", steals.into_inner());
     slots
         .into_iter()
         .map(|slot| {
@@ -91,19 +207,30 @@ where
         .collect()
 }
 
-/// Splits `items` into at most [`num_threads`] contiguous chunks of
-/// near-equal length and maps `f` over them in parallel, returning one
-/// result per chunk in chunk order. Empty input yields no chunks.
-///
-/// `f` receives `(chunk_index, chunk_slice)`.
+/// [`map_chunks_with`] under the default policy with no metrics.
 pub fn map_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
-    let bounds = chunk_bounds(items.len(), num_threads());
-    run_indexed(bounds.len(), |i| {
+    map_chunks_with(ExecPolicy::default(), &Obs::noop(), items, f)
+}
+
+/// Splits `items` into at most [`ExecPolicy::worker_threads`] contiguous
+/// chunks of near-equal length and maps `f` over them under `policy`,
+/// returning one result per chunk in chunk order. Empty input yields no
+/// chunks.
+///
+/// `f` receives `(chunk_index, chunk_slice)`.
+pub fn map_chunks_with<T, R, F>(policy: ExecPolicy, obs: &Obs, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let bounds = chunk_bounds(items.len(), policy.worker_threads());
+    run_indexed_with(policy, obs, bounds.len(), |i| {
         let (start, end) = bounds[i];
         f(i, &items[start..end])
     })
@@ -128,19 +255,29 @@ pub fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
-/// Stable parallel sort by key: chunk-sorts in parallel, then merges
-/// adjacent runs pairwise (also in parallel) until one run remains.
-///
-/// Produces exactly the same ordering as `slice::sort_by_key` (which is
-/// stable), so sequential and parallel pipelines agree bit-for-bit even when
-/// keys collide.
+/// [`par_sort_by_key_with`] under the default policy with no metrics.
 pub fn par_sort_by_key<T, K, F>(items: &mut Vec<T>, key: F)
 where
     T: Send,
     K: Ord,
     F: Fn(&T) -> K + Sync,
 {
-    let workers = num_threads();
+    par_sort_by_key_with(ExecPolicy::default(), &Obs::noop(), items, key)
+}
+
+/// Stable parallel sort by key: chunk-sorts in parallel, then merges
+/// adjacent runs pairwise (also in parallel) until one run remains.
+///
+/// Produces exactly the same ordering as `slice::sort_by_key` (which is
+/// stable), so sequential and parallel pipelines agree bit-for-bit even when
+/// keys collide.
+pub fn par_sort_by_key_with<T, K, F>(policy: ExecPolicy, obs: &Obs, items: &mut Vec<T>, key: F)
+where
+    T: Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let workers = policy.worker_threads();
     if workers <= 1 || items.len() < 2 {
         items.sort_by_key(key);
         return;
@@ -157,7 +294,7 @@ where
     chunks.reverse();
     let chunk_slots: Vec<Mutex<Option<Vec<T>>>> =
         chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let sorted: Vec<Vec<T>> = run_indexed(chunk_slots.len(), |i| {
+    let sorted: Vec<Vec<T>> = run_indexed_with(policy, obs, chunk_slots.len(), |i| {
         let mut chunk = chunk_slots[i]
             .lock()
             .expect("chunk slot poisoned")
@@ -184,7 +321,7 @@ where
             }
             pairs
         };
-        let mut merged: Vec<Vec<T>> = run_indexed(slots.len(), |i| {
+        let mut merged: Vec<Vec<T>> = run_indexed_with(policy, obs, slots.len(), |i| {
             let (a, b) = slots[i]
                 .lock()
                 .expect("merge slot poisoned")
@@ -246,6 +383,40 @@ mod tests {
     }
 
     #[test]
+    fn policy_resolution() {
+        assert_eq!(ExecPolicy::Sequential.worker_threads(), 1);
+        assert!(ExecPolicy::Sequential.is_sequential());
+        assert_eq!(ExecPolicy::with_threads(0).worker_threads(), 1);
+        assert_eq!(ExecPolicy::with_threads(6).worker_threads(), 6);
+        assert!(!ExecPolicy::with_threads(6).is_sequential());
+        assert!(ExecPolicy::parallel().worker_threads() >= 1);
+    }
+
+    #[test]
+    fn sequential_policy_matches_parallel_results() {
+        let seq = run_indexed_with(ExecPolicy::Sequential, &Obs::noop(), 64, |i| i * 3);
+        let par = run_indexed_with(ExecPolicy::with_threads(4), &Obs::noop(), 64, |i| i * 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn scheduling_metrics_are_reported() {
+        let (obs, registry) = botmeter_obs::Obs::collecting();
+        let out = run_indexed_with(ExecPolicy::with_threads(4), &obs, 32, |i| i);
+        assert_eq!(out.len(), 32);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sched.exec.batches"), Some(1));
+        assert_eq!(snap.counter("sched.exec.tasks"), Some(32));
+        assert_eq!(snap.counter("sched.exec.queue_high_water"), Some(32));
+        // Steal counts are scheduling-dependent; they exist but are
+        // excluded from the deterministic set.
+        assert!(snap
+            .deterministic_counters()
+            .iter()
+            .all(|c| !c.name.starts_with("sched.")));
+    }
+
+    #[test]
     fn chunk_bounds_cover_everything() {
         for len in [0usize, 1, 2, 7, 100, 101] {
             for chunks in [1usize, 2, 3, 8, 200] {
@@ -279,6 +450,25 @@ mod tests {
         a.sort_by_key(|&(k, _)| k);
         par_sort_by_key(&mut b, |&(k, _)| k);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_sort_with_explicit_policies_agrees() {
+        let build = || -> Vec<(u32, usize)> {
+            (0..3000)
+                .map(|i| ((i as u32).wrapping_mul(2654435761) % 13, i))
+                .collect()
+        };
+        let mut seq = build();
+        let mut par = build();
+        par_sort_by_key_with(ExecPolicy::Sequential, &Obs::noop(), &mut seq, |&(k, _)| k);
+        par_sort_by_key_with(
+            ExecPolicy::with_threads(4),
+            &Obs::noop(),
+            &mut par,
+            |&(k, _)| k,
+        );
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::DomainMatcher;
 use botmeter_dns::DomainName;
+use botmeter_obs::Obs;
 use std::collections::HashSet;
 
 /// A matcher wrapper that excludes known collision domains.
@@ -31,6 +32,7 @@ use std::collections::HashSet;
 pub struct CollisionFilter<M> {
     inner: M,
     collisions: HashSet<DomainName>,
+    obs: Obs,
 }
 
 impl<M: DomainMatcher> CollisionFilter<M> {
@@ -39,7 +41,17 @@ impl<M: DomainMatcher> CollisionFilter<M> {
         CollisionFilter {
             inner,
             collisions: collisions.into_iter().collect(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches an observability handle: every collision-list probe (i.e.
+    /// every domain the inner matcher accepted) bumps the
+    /// `matcher.collision_checks` counter, and exclusions bump
+    /// `matcher.collisions_excluded`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Number of known collisions.
@@ -55,7 +67,17 @@ impl<M: DomainMatcher> CollisionFilter<M> {
 
 impl<M: DomainMatcher> DomainMatcher for CollisionFilter<M> {
     fn matches(&self, domain: &DomainName) -> bool {
-        self.inner.matches(domain) && !self.collisions.contains(domain)
+        if !self.inner.matches(domain) {
+            return false;
+        }
+        let collided = self.collisions.contains(domain);
+        if self.obs.enabled() {
+            self.obs.counter_add("matcher.collision_checks", 1);
+            if collided {
+                self.obs.counter_add("matcher.collisions_excluded", 1);
+            }
+        }
+        !collided
     }
 }
 

@@ -42,7 +42,9 @@ mod window;
 pub use collision::CollisionFilter;
 pub use exact::{ExactMatcher, PlainListError};
 pub use pattern::PatternMatcher;
-pub use stream::{match_stream, match_stream_parallel, MatchedTraffic};
+#[allow(deprecated)]
+pub use stream::match_stream_parallel;
+pub use stream::{match_stream, match_stream_recorded, MatchedTraffic};
 pub use window::DetectionWindow;
 
 use botmeter_dns::DomainName;

@@ -3,6 +3,8 @@
 
 use crate::DomainMatcher;
 use botmeter_dns::{ObservedLookup, ServerId};
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
 use std::collections::BTreeMap;
 
 /// Below this stream length the parallel matcher falls back to the
@@ -82,13 +84,23 @@ impl MatchedTraffic {
     }
 }
 
-/// Matches an observed stream against `matcher`, grouping hits per
-/// forwarding server.
+/// Matches an observed stream against `matcher` under `policy`, grouping
+/// hits per forwarding server. Sequential and parallel policies produce
+/// identical results.
+///
+/// The parallel path splits the stream into contiguous chunks, matches each
+/// on its own worker and stitches the per-chunk groups back in chunk order:
+/// concatenating a server's hits chunk-by-chunk reproduces arrival order
+/// exactly, so the result equals the sequential scan for any matcher.
+/// Matching itself is pure (`matches(&domain)` takes `&self`), which is why
+/// `M: Sync` suffices. Short streams (or single-worker policies) fall back
+/// to the sequential scan.
 ///
 /// # Example
 ///
 /// ```
 /// use botmeter_dns::{ObservedLookup, ServerId, SimInstant};
+/// use botmeter_exec::ExecPolicy;
 /// use botmeter_matcher::{match_stream, ExactMatcher};
 ///
 /// let matcher = ExactMatcher::from_domains(["evil.example".parse()?]);
@@ -96,12 +108,49 @@ impl MatchedTraffic {
 ///     ObservedLookup::new(SimInstant::ZERO, ServerId(1), "evil.example".parse()?),
 ///     ObservedLookup::new(SimInstant::ZERO, ServerId(1), "ok.example".parse()?),
 /// ];
-/// let matched = match_stream(&stream, &matcher);
+/// let matched = match_stream(&stream, &matcher, ExecPolicy::Sequential);
 /// assert_eq!(matched.total_matched(), 1);
 /// assert_eq!(matched.for_server(ServerId(1)).len(), 1);
 /// # Ok::<(), botmeter_dns::ParseDomainError>(())
 /// ```
-pub fn match_stream<M: DomainMatcher>(observed: &[ObservedLookup], matcher: &M) -> MatchedTraffic {
+pub fn match_stream<M: DomainMatcher + Sync>(
+    observed: &[ObservedLookup],
+    matcher: &M,
+    policy: ExecPolicy,
+) -> MatchedTraffic {
+    match_stream_recorded(observed, matcher, policy, &Obs::noop())
+}
+
+/// [`match_stream`] with metrics: records `matcher.probes` (lookups
+/// scanned) and `matcher.matches` (hits) through `obs`, as single batched
+/// deltas at the end of the scan.
+pub fn match_stream_recorded<M: DomainMatcher + Sync>(
+    observed: &[ObservedLookup],
+    matcher: &M,
+    policy: ExecPolicy,
+    obs: &Obs,
+) -> MatchedTraffic {
+    let workers = policy.worker_threads();
+    let matched = if workers <= 1 || observed.len() < MIN_PARALLEL_MATCH {
+        scan(observed, matcher)
+    } else {
+        let chunks =
+            botmeter_exec::map_chunks_with(policy, obs, observed, |_, chunk| scan(chunk, matcher));
+        let mut merged = MatchedTraffic::default();
+        for chunk in chunks {
+            merged.append(chunk);
+        }
+        merged
+    };
+    if obs.enabled() {
+        obs.counter_add("matcher.probes", matched.total_scanned() as u64);
+        obs.counter_add("matcher.matches", matched.total_matched() as u64);
+    }
+    matched
+}
+
+/// The sequential scan both policies bottom out in.
+fn scan<M: DomainMatcher>(observed: &[ObservedLookup], matcher: &M) -> MatchedTraffic {
     let mut matched = MatchedTraffic::default();
     for lookup in observed {
         if matcher.matches(&lookup.domain) {
@@ -112,31 +161,16 @@ pub fn match_stream<M: DomainMatcher>(observed: &[ObservedLookup], matcher: &M) 
     matched
 }
 
-/// Parallel [`match_stream`]: splits the stream into contiguous chunks,
-/// matches each on its own worker and stitches the per-chunk groups back in
-/// chunk order.
-///
-/// Chunks are contiguous stream segments, so concatenating a server's hits
-/// chunk-by-chunk reproduces arrival order exactly — the result is equal to
-/// the sequential `match_stream` for any matcher. Matching itself is pure
-/// (`matches(&domain)` takes `&self`), which is why `M: Sync` suffices.
-///
-/// Short streams (or single-worker configurations, e.g.
-/// `BOTMETER_THREADS=1`) fall back to the sequential scan.
+/// Parallel [`match_stream`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `match_stream(observed, matcher, ExecPolicy::parallel())`"
+)]
 pub fn match_stream_parallel<M: DomainMatcher + Sync>(
     observed: &[ObservedLookup],
     matcher: &M,
 ) -> MatchedTraffic {
-    let workers = botmeter_exec::num_threads();
-    if workers <= 1 || observed.len() < MIN_PARALLEL_MATCH {
-        return match_stream(observed, matcher);
-    }
-    let chunks = botmeter_exec::map_chunks(observed, |_, chunk| match_stream(chunk, matcher));
-    let mut merged = MatchedTraffic::default();
-    for chunk in chunks {
-        merged.append(chunk);
-    }
-    merged
+    match_stream(observed, matcher, ExecPolicy::parallel())
 }
 
 #[cfg(test)]
@@ -168,7 +202,7 @@ mod tests {
             obs(2, 2, "b.evil.example"),
             obs(3, 1, "clean.example"),
         ];
-        let m = match_stream(&stream, &matcher());
+        let m = match_stream(&stream, &matcher(), ExecPolicy::Sequential);
         assert_eq!(m.total_scanned(), 4);
         assert_eq!(m.total_matched(), 3);
         assert_eq!(
@@ -183,13 +217,17 @@ mod tests {
 
     #[test]
     fn unseen_server_yields_empty_slice() {
-        let m = match_stream(&[obs(0, 1, "a.evil.example")], &matcher());
+        let m = match_stream(
+            &[obs(0, 1, "a.evil.example")],
+            &matcher(),
+            ExecPolicy::Sequential,
+        );
         assert!(m.for_server(ServerId(9)).is_empty());
     }
 
     #[test]
     fn empty_stream() {
-        let m = match_stream(&[], &matcher());
+        let m = match_stream(&[], &matcher(), ExecPolicy::Sequential);
         assert_eq!(m.total_matched(), 0);
         assert_eq!(m.match_rate(), 0.0);
         assert_eq!(m.servers().count(), 0);
@@ -198,7 +236,7 @@ mod tests {
     #[test]
     fn iter_matches_for_server() {
         let stream = vec![obs(0, 3, "a.evil.example"), obs(1, 4, "b.evil.example")];
-        let m = match_stream(&stream, &matcher());
+        let m = match_stream(&stream, &matcher(), ExecPolicy::Sequential);
         let collected: Vec<_> = m.iter().map(|(s, v)| (s, v.len())).collect();
         assert_eq!(collected, vec![(ServerId(3), 1), (ServerId(4), 1)]);
     }
@@ -220,8 +258,8 @@ mod tests {
             })
             .collect();
         let m = matcher();
-        let sequential = match_stream(&stream, &m);
-        let parallel = match_stream_parallel(&stream, &m);
+        let sequential = match_stream(&stream, &m, ExecPolicy::Sequential);
+        let parallel = match_stream(&stream, &m, ExecPolicy::with_threads(4));
         assert_eq!(parallel, sequential);
         assert_eq!(parallel.total_matched(), sequential.total_matched());
         assert_eq!(parallel.total_scanned(), 6000);
@@ -230,7 +268,53 @@ mod tests {
     #[test]
     fn parallel_short_stream_falls_back() {
         let stream = vec![obs(0, 1, "a.evil.example")];
+        let m = match_stream(&stream, &matcher(), ExecPolicy::parallel());
+        assert_eq!(m.total_matched(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_shim_still_works() {
+        let stream = vec![obs(0, 1, "a.evil.example")];
         let m = match_stream_parallel(&stream, &matcher());
         assert_eq!(m.total_matched(), 1);
+    }
+
+    #[test]
+    fn recorded_scan_counts_probes_and_matches() {
+        let stream = vec![
+            obs(0, 1, "a.evil.example"),
+            obs(1, 1, "clean.example"),
+            obs(2, 2, "b.evil.example"),
+        ];
+        let (handle, registry) = Obs::collecting();
+        let m = match_stream_recorded(&stream, &matcher(), ExecPolicy::Sequential, &handle);
+        assert_eq!(m.total_matched(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("matcher.probes"), Some(3));
+        assert_eq!(snap.counter("matcher.matches"), Some(2));
+    }
+
+    #[test]
+    fn recorded_counters_identical_across_policies() {
+        let stream: Vec<_> = (0..4000u64)
+            .map(|i| {
+                let name = if i % 4 == 0 {
+                    "a.evil.example"
+                } else {
+                    "clean.example"
+                };
+                obs(i, (i % 3) as u32, name)
+            })
+            .collect();
+        let m = matcher();
+        let (h_seq, r_seq) = Obs::collecting();
+        let (h_par, r_par) = Obs::collecting();
+        match_stream_recorded(&stream, &m, ExecPolicy::Sequential, &h_seq);
+        match_stream_recorded(&stream, &m, ExecPolicy::with_threads(4), &h_par);
+        assert_eq!(
+            r_seq.snapshot().deterministic_counters(),
+            r_par.snapshot().deterministic_counters()
+        );
     }
 }

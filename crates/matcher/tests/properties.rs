@@ -2,6 +2,7 @@
 
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{ObservedLookup, ServerId, SimInstant};
+use botmeter_exec::ExecPolicy;
 use botmeter_matcher::{
     match_stream, DetectionWindow, DomainMatcher, ExactMatcher, PatternMatcher,
 };
@@ -49,7 +50,7 @@ proptest! {
                 )
             })
             .collect();
-        let matched = match_stream(&stream, &evil);
+        let matched = match_stream(&stream, &evil, ExecPolicy::Sequential);
         prop_assert_eq!(matched.total_scanned(), stream.len());
         let expected = sorted.iter().filter(|e| e.2).count();
         prop_assert_eq!(matched.total_matched(), expected);

@@ -1,0 +1,287 @@
+//! Pipeline observability for BotMeter: counters, fixed-bucket latency
+//! histograms and named stage spans, with a no-op default that stays off
+//! the hot path.
+//!
+//! BotMeter's charting accuracy depends on pipeline stages that are
+//! otherwise invisible at runtime — cache-filter rates at local resolvers,
+//! matcher hit behaviour, per-(server, epoch) estimator cost. This crate is
+//! the substrate every layer reports through:
+//!
+//! * [`Recorder`] — the sink interface: monotonic counters, high-water
+//!   gauges and nanosecond latency observations;
+//! * [`Obs`] — the cloneable handle pipeline stages hold. The default
+//!   handle carries no recorder at all, so every recording call is a
+//!   single `Option` test that the optimiser folds away — disabled
+//!   observability costs (almost) nothing;
+//! * [`MetricsRegistry`] — the collecting [`Recorder`], aggregating into
+//!   atomic-free locked maps;
+//! * [`MetricsSnapshot`] — the JSON-serialisable export the `perf` bin
+//!   writes next to `BENCH_pipeline.json`.
+//!
+//! # Counter name conventions
+//!
+//! Names are dot-separated, lowest-level component first:
+//! `cache.s1.neg_hits`, `topology.admitted`, `matcher.probes`,
+//! `sim.activations`, `chart.cells`, `chart.epoch0.estimate_ns`.
+//!
+//! Counters under the **`sched.`** prefix (worker-pool task counts, steal
+//! counts, queue high-water marks) depend on thread scheduling and are the
+//! only ones allowed to differ between [`ExecPolicy::Sequential`] and
+//! parallel runs of the same pipeline; everything else must be
+//! bit-identical, and the determinism tests enforce it via
+//! [`MetricsSnapshot::deterministic_counters`].
+//!
+//! [`ExecPolicy::Sequential`]: https://docs.rs/botmeter-exec
+//!
+//! # Example
+//!
+//! ```
+//! use botmeter_obs::Obs;
+//!
+//! let (obs, registry) = Obs::collecting();
+//! obs.counter_add("matcher.probes", 128);
+//! obs.counter_add("matcher.matches", 17);
+//! let span = obs.span("estimate");
+//! // ... work ...
+//! drop(span); // records stage.estimate_ns
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("matcher.probes"), Some(128));
+//! assert!(snapshot.histogram("stage.estimate_ns").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod snapshot;
+
+pub use registry::{Histogram, MetricsRegistry};
+pub use snapshot::{BucketCount, CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Prefix of scheduling-dependent counters (see the crate docs): the only
+/// counters exempt from the sequential-vs-parallel determinism contract.
+pub const SCHED_PREFIX: &str = "sched.";
+
+/// A sink for pipeline metrics.
+///
+/// Implementations must be cheap and callable from any worker thread. The
+/// shipped implementations are [`NoopRecorder`] (does nothing) and
+/// [`MetricsRegistry`] (aggregates for a later [`MetricsSnapshot`]).
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &str, delta: u64);
+
+    /// Raises the named high-water gauge to `value` if it is larger than
+    /// everything recorded so far.
+    fn gauge_max(&self, name: &str, value: u64);
+
+    /// Records one latency observation, in nanoseconds, into the named
+    /// fixed-bucket histogram.
+    fn observe_ns(&self, name: &str, ns: u64);
+}
+
+/// A [`Recorder`] that discards everything.
+///
+/// Every method body is empty, so statically-dispatched calls compile to
+/// nothing. [`Obs::noop`] goes one step further and skips even the virtual
+/// call by carrying no recorder at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+    #[inline(always)]
+    fn gauge_max(&self, _name: &str, _value: u64) {}
+    #[inline(always)]
+    fn observe_ns(&self, _name: &str, _ns: u64) {}
+}
+
+/// The cloneable observability handle pipeline stages hold.
+///
+/// `Obs::default()` (= [`Obs::noop`]) carries no recorder: every recording
+/// method is then a single branch on a `None`, and [`Obs::span`] does not
+/// even read the clock. Attach a [`MetricsRegistry`] via
+/// [`Obs::collecting`] (or any custom [`Recorder`] via
+/// [`Obs::from_recorder`]) to start collecting.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl Obs {
+    /// The disabled handle (the default): records nothing, costs nothing.
+    pub fn noop() -> Self {
+        Obs::default()
+    }
+
+    /// Wraps an arbitrary recorder.
+    pub fn from_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        Obs {
+            inner: Some(recorder),
+        }
+    }
+
+    /// A fresh collecting handle plus the registry to snapshot later.
+    pub fn collecting() -> (Self, Arc<MetricsRegistry>) {
+        let registry = Arc::new(MetricsRegistry::default());
+        (Obs::from_recorder(registry.clone()), registry)
+    }
+
+    /// Whether a recorder is attached. Use this to skip *preparing*
+    /// metrics (e.g. reading the clock) when recording would go nowhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to a monotonic counter (no-op when disabled).
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(r) = &self.inner {
+            r.counter_add(name, delta);
+        }
+    }
+
+    /// Raises a high-water gauge (no-op when disabled).
+    #[inline]
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        if let Some(r) = &self.inner {
+            r.gauge_max(name, value);
+        }
+    }
+
+    /// Records one latency observation in nanoseconds (no-op when
+    /// disabled).
+    #[inline]
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        if let Some(r) = &self.inner {
+            r.observe_ns(name, ns);
+        }
+    }
+
+    /// Starts a named stage span. On drop it records the elapsed time into
+    /// the `stage.{name}_ns` histogram and bumps the `stage.{name}.calls`
+    /// counter. Disabled handles skip the clock read entirely.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> StageSpan<'_> {
+        StageSpan {
+            obs: self,
+            name,
+            start: if self.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Reads the clock only when enabled; pair with
+    /// [`observe_since`](Self::observe_since).
+    #[inline]
+    pub fn clock(&self) -> Option<Instant> {
+        if self.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Records the nanoseconds elapsed since a [`clock`](Self::clock)
+    /// reading into `name` (no-op when the reading was `None`).
+    #[inline]
+    pub fn observe_since(&self, name: &str, start: Option<Instant>) {
+        if let Some(start) = start {
+            self.observe_ns(name, saturating_ns(start.elapsed()));
+        }
+    }
+}
+
+/// Converts a duration to nanoseconds, clamping at `u64::MAX`.
+#[inline]
+pub fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A live stage span (see [`Obs::span`]); records on drop.
+#[derive(Debug)]
+pub struct StageSpan<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for StageSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = saturating_ns(start.elapsed());
+            self.obs.observe_ns(&format!("stage.{}_ns", self.name), ns);
+            self.obs
+                .counter_add(&format!("stage.{}.calls", self.name), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing_and_reports_disabled() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        obs.counter_add("x", 1);
+        obs.gauge_max("y", 9);
+        obs.observe_ns("z", 100);
+        assert!(obs.clock().is_none());
+        drop(obs.span("stage"));
+    }
+
+    #[test]
+    fn collecting_handle_aggregates() {
+        let (obs, registry) = Obs::collecting();
+        assert!(obs.enabled());
+        obs.counter_add("a.b", 2);
+        obs.counter_add("a.b", 3);
+        obs.gauge_max("hw", 7);
+        obs.gauge_max("hw", 4);
+        obs.observe_ns("lat", 1_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a.b"), Some(5));
+        assert_eq!(snap.counter("hw"), Some(7));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_records_histogram_and_counter() {
+        let (obs, registry) = Obs::collecting();
+        {
+            let _span = obs.span("match");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stage.match.calls"), Some(1));
+        assert_eq!(snap.histogram("stage.match_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let (obs, registry) = Obs::collecting();
+        let other = obs.clone();
+        obs.counter_add("shared", 1);
+        other.counter_add("shared", 1);
+        assert_eq!(registry.snapshot().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn observe_since_uses_elapsed_clock() {
+        let (obs, registry) = Obs::collecting();
+        let start = obs.clock();
+        assert!(start.is_some());
+        obs.observe_since("elapsed", start);
+        assert_eq!(registry.snapshot().histogram("elapsed").unwrap().count, 1);
+    }
+}

@@ -23,6 +23,7 @@
 //!
 //! ```
 //! use botmeter_dga::DgaFamily;
+//! use botmeter_exec::ExecPolicy;
 //! use botmeter_sim::ScenarioSpec;
 //!
 //! let outcome = ScenarioSpec::builder(DgaFamily::murofet())
@@ -30,7 +31,7 @@
 //!     .seed(11)
 //!     .build()
 //!     .expect("valid scenario")
-//!     .run();
+//!     .run(ExecPolicy::default());
 //! // Caching makes the observable stream a strict subset of the raw one.
 //! assert!(outcome.observed().len() < outcome.raw().len());
 //! assert_eq!(outcome.ground_truth().len(), 1); // one epoch by default

@@ -7,6 +7,8 @@ use botmeter_dga::DgaFamily;
 use botmeter_dns::{
     ClientId, ObservedLookup, RawLookup, SimDuration, SimInstant, Topology, TtlPolicy,
 };
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
 use botmeter_stats::SeedSequence;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -33,7 +35,7 @@ use std::fmt;
 ///     .activation(ActivationModel::DynamicRate { sigma: 1.5 })
 ///     .seed(42)
 ///     .build()?;
-/// let outcome = spec.run();
+/// let outcome = spec.run(botmeter_exec::ExecPolicy::default());
 /// assert_eq!(outcome.ground_truth().len(), 2);
 /// # Ok::<(), botmeter_sim::ScenarioBuildError>(())
 /// ```
@@ -47,6 +49,7 @@ pub struct ScenarioSpec {
     granularity: SimDuration,
     evasion: EvasionStrategy,
     seed: u64,
+    obs: Obs,
 }
 
 /// Builder for [`ScenarioSpec`].
@@ -60,6 +63,7 @@ pub struct ScenarioSpecBuilder {
     granularity: SimDuration,
     evasion: EvasionStrategy,
     seed: u64,
+    obs: Obs,
 }
 
 /// Invalid scenario configuration.
@@ -102,6 +106,7 @@ impl ScenarioSpec {
             granularity: SimDuration::from_millis(100),
             evasion: EvasionStrategy::None,
             seed: 0,
+            obs: Obs::noop(),
         }
     }
 
@@ -115,15 +120,19 @@ impl ScenarioSpec {
         self.population
     }
 
-    /// Runs the simulation: activations → raw lookups → cache filtering.
+    /// Runs the simulation under `policy`: activations → raw lookups →
+    /// cache filtering.
     ///
-    /// Bot replays run in parallel across the configured worker threads:
+    /// Under a parallel policy, bot replays fan out across the worker pool:
     /// every bot's RNG is an independently seeded ChaCha substream derived
     /// from the scenario's [`SeedSequence`], so no draw depends on which
     /// thread replays which bot. The outcome is bit-identical to
-    /// [`run_sequential`](Self::run_sequential) for the same spec — the
-    /// determinism tests enforce it.
-    pub fn run(&self) -> ScenarioOutcome {
+    /// `run(ExecPolicy::Sequential)` for the same spec — the determinism
+    /// tests enforce it, including on the metrics counters an attached
+    /// [`Obs`] collects (`sim.activations`, `sim.bots_replayed`,
+    /// `sim.raw_lookups`, `sim.observed_lookups`, plus the per-bot
+    /// `sim.bot_replay_ns` replay-latency histogram).
+    pub fn run(&self, policy: ExecPolicy) -> ScenarioOutcome {
         let authority = self.family.authority_for_epochs(self.num_epochs + 1);
 
         // Phase A — sequential per epoch: activation sampling and evasion
@@ -146,37 +155,41 @@ impl ScenarioSpec {
             let (p, b) = jobs[j];
             let plan = &plans[p];
             let (t, client, rng_seed) = plan.bots[b];
+            let replay_start = self.obs.clock();
             let mut bot_rng = ChaCha12Rng::seed_from_u64(rng_seed);
-            match self
-                .evasion
-                .colluded_start(plan.epoch, plan.pool.len(), &mut bot_rng)
-            {
-                Some(start) => {
-                    let barrel: Vec<usize> = (0..theta_q.min(plan.pool.len()))
-                        .map(|k| (start + k) % plan.pool.len())
-                        .collect();
-                    replay_barrel(
+            let lookups =
+                match self
+                    .evasion
+                    .colluded_start(plan.epoch, plan.pool.len(), &mut bot_rng)
+                {
+                    Some(start) => {
+                        let barrel: Vec<usize> = (0..theta_q.min(plan.pool.len()))
+                            .map(|k| (start + k) % plan.pool.len())
+                            .collect();
+                        replay_barrel(
+                            &self.family,
+                            &plan.pool,
+                            &plan.valid,
+                            barrel,
+                            t,
+                            client,
+                            &mut bot_rng,
+                        )
+                    }
+                    None => simulate_activation(
                         &self.family,
+                        plan.epoch,
                         &plan.pool,
                         &plan.valid,
-                        barrel,
                         t,
                         client,
                         &mut bot_rng,
-                    )
-                }
-                None => simulate_activation(
-                    &self.family,
-                    plan.epoch,
-                    &plan.pool,
-                    &plan.valid,
-                    t,
-                    client,
-                    &mut bot_rng,
-                ),
-            }
+                    ),
+                };
+            self.obs.observe_since("sim.bot_replay_ns", replay_start);
+            lookups
         };
-        let mut raw: Vec<RawLookup> = if botmeter_exec::num_threads() <= 1 {
+        let mut raw: Vec<RawLookup> = if policy.is_sequential() {
             // Single worker: stream each bot's lookups straight into the
             // trace instead of double-buffering 10k+ per-bot vectors.
             let mut raw = Vec::new();
@@ -185,20 +198,22 @@ impl ScenarioSpec {
             }
             raw
         } else {
-            let replays = botmeter_exec::run_indexed(jobs.len(), replay_job);
+            let replays =
+                botmeter_exec::run_indexed_with(policy, &self.obs, jobs.len(), replay_job);
             let mut raw = Vec::with_capacity(replays.iter().map(Vec::len).sum());
             for lookups in replays {
                 raw.extend(lookups);
             }
             raw
         };
-        botmeter_exec::par_sort_by_key(&mut raw, |l| (l.t, l.client));
+        botmeter_exec::par_sort_by_key_with(policy, &self.obs, &mut raw, |l| (l.t, l.client));
 
         // Phase C — cache filtering, sharded by domain inside the topology
-        // (bit-identical to the sequential scan; see `process_trace_parallel`).
+        // (bit-identical to the sequential scan; see `Topology::process_trace`).
         let mut topology = Topology::single_local(self.ttl);
+        topology.set_obs(self.obs.clone());
         let observed: Vec<ObservedLookup> = topology
-            .process_trace_parallel(&raw, &authority)
+            .process_trace(&raw, &authority, policy)
             .expect("single-local topology routes every client")
             .into_iter()
             .map(|mut o| {
@@ -206,6 +221,15 @@ impl ScenarioSpec {
                 o
             })
             .collect();
+
+        if self.obs.enabled() {
+            self.obs
+                .counter_add("sim.activations", ground_truth.iter().sum());
+            self.obs.counter_add("sim.bots_replayed", jobs.len() as u64);
+            self.obs.counter_add("sim.raw_lookups", raw.len() as u64);
+            self.obs
+                .counter_add("sim.observed_lookups", observed.len() as u64);
+        }
 
         ScenarioOutcome {
             family: self.family.clone(),
@@ -218,75 +242,10 @@ impl ScenarioSpec {
         }
     }
 
-    /// Single-threaded reference implementation of [`run`](Self::run): one
-    /// loop, one bot at a time, scanning the trace through the caches in
-    /// arrival order. The parallel path must reproduce this bit for bit.
+    /// Single-threaded reference run.
+    #[deprecated(since = "0.1.0", note = "use `run(ExecPolicy::Sequential)`")]
     pub fn run_sequential(&self) -> ScenarioOutcome {
-        let authority = self.family.authority_for_epochs(self.num_epochs + 1);
-        let (plans, ground_truth) = self.plan_epochs();
-
-        let theta_q = self.family.params().theta_q();
-        let mut raw: Vec<RawLookup> = Vec::new();
-        for plan in &plans {
-            for &(t, client, rng_seed) in &plan.bots {
-                let mut bot_rng = ChaCha12Rng::seed_from_u64(rng_seed);
-                let lookups =
-                    match self
-                        .evasion
-                        .colluded_start(plan.epoch, plan.pool.len(), &mut bot_rng)
-                    {
-                        Some(start) => {
-                            let barrel: Vec<usize> = (0..theta_q.min(plan.pool.len()))
-                                .map(|k| (start + k) % plan.pool.len())
-                                .collect();
-                            replay_barrel(
-                                &self.family,
-                                &plan.pool,
-                                &plan.valid,
-                                barrel,
-                                t,
-                                client,
-                                &mut bot_rng,
-                            )
-                        }
-                        None => simulate_activation(
-                            &self.family,
-                            plan.epoch,
-                            &plan.pool,
-                            &plan.valid,
-                            t,
-                            client,
-                            &mut bot_rng,
-                        ),
-                    };
-                raw.extend(lookups);
-            }
-        }
-        raw.sort_by_key(|l| (l.t, l.client));
-
-        let mut topology = Topology::single_local(self.ttl);
-        let observed: Vec<ObservedLookup> = raw
-            .iter()
-            .filter_map(|l| {
-                topology
-                    .process(l, &authority)
-                    .expect("single-local topology routes every client")
-            })
-            .map(|mut o| {
-                o.t = o.t.quantize(self.granularity);
-                o
-            })
-            .collect();
-
-        ScenarioOutcome {
-            family: self.family.clone(),
-            ttl: self.ttl,
-            granularity: self.granularity,
-            num_epochs: self.num_epochs,
-            raw,
-            observed,
-            ground_truth,
-        }
+        self.run(ExecPolicy::Sequential)
     }
 
     /// Phase A shared by both run paths: samples activations epoch by epoch
@@ -398,6 +357,15 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Attaches an observability handle; [`ScenarioSpec::run`] then reports
+    /// `sim.*` counters, the `sim.bot_replay_ns` histogram and the
+    /// topology's `cache.s{id}.*` / `topology.*` metrics through it
+    /// (default: the no-op handle).
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Validates and freezes the spec.
     ///
     /// # Errors
@@ -427,6 +395,7 @@ impl ScenarioSpecBuilder {
             granularity: self.granularity,
             evasion: self.evasion,
             seed: self.seed,
+            obs: self.obs,
         })
     }
 }
@@ -528,7 +497,7 @@ mod tests {
                 .seed(seed)
                 .build()
                 .unwrap()
-                .run()
+                .run(ExecPolicy::default())
         };
         let a = run(5);
         let b = run(5);
@@ -547,7 +516,7 @@ mod tests {
             .seed(1)
             .build()
             .unwrap()
-            .run();
+            .run(ExecPolicy::default());
         let raw = outcome.raw().len() as f64;
         let obs = outcome.observed().len() as f64;
         assert!(obs < raw * 0.5, "expected heavy masking: {obs} of {raw}");
@@ -561,7 +530,7 @@ mod tests {
             .seed(2)
             .build()
             .unwrap()
-            .run();
+            .run(ExecPolicy::default());
         let n = outcome.ground_truth()[0] as f64;
         assert!((n - 256.0).abs() < 80.0, "Poisson count {n} vs 256");
     }
@@ -573,7 +542,7 @@ mod tests {
             .seed(3)
             .build()
             .unwrap()
-            .run();
+            .run(ExecPolicy::default());
         assert!(outcome
             .observed()
             .iter()
@@ -588,7 +557,7 @@ mod tests {
             .seed(4)
             .build()
             .unwrap()
-            .run();
+            .run(ExecPolicy::default());
         assert_eq!(outcome.ground_truth().len(), 3);
         let total: usize = (0..3).map(|e| outcome.observed_in_epoch(e).len()).sum();
         // Activations late in an epoch can spill lookups into the next
@@ -605,7 +574,7 @@ mod tests {
             .seed(5)
             .build()
             .unwrap()
-            .run();
+            .run(ExecPolicy::default());
         for w in outcome.raw().windows(2) {
             assert!(w[0].t <= w[1].t);
         }
@@ -619,7 +588,7 @@ mod tests {
             .unwrap();
         assert_eq!(spec.population(), 10);
         assert_eq!(spec.family().name(), "Murofet");
-        let outcome = spec.run();
+        let outcome = spec.run(ExecPolicy::default());
         assert_eq!(outcome.family().name(), "Murofet");
         assert_eq!(outcome.num_epochs(), 1);
         assert_eq!(outcome.granularity(), SimDuration::from_millis(100));

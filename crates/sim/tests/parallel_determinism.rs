@@ -1,22 +1,35 @@
 //! The parallel pipeline's determinism contract: for a fixed seed,
-//! [`ScenarioSpec::run`] (parallel bot replay, parallel sort, sharded cache
-//! filtering) must be **bit-identical** to
-//! [`ScenarioSpec::run_sequential`] — across families, activation models
-//! and evasion strategies.
+//! [`ScenarioSpec::run`] with a parallel [`ExecPolicy`] (parallel bot
+//! replay, parallel sort, sharded cache filtering) must be
+//! **bit-identical** to `run(ExecPolicy::Sequential)` — across families,
+//! activation models and evasion strategies — including on every
+//! deterministic metrics counter an attached recorder collects.
 
 use botmeter_dga::DgaFamily;
-use botmeter_sim::{ActivationModel, EvasionStrategy, ScenarioSpec};
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
+use botmeter_sim::{ActivationModel, EvasionStrategy, ScenarioSpec, ScenarioSpecBuilder};
 
 /// Pins the worker count so the parallel code paths actually run even on
-/// single-core machines (where `num_threads()` would fall back to 1 and
-/// `run` would degenerate into the sequential path).
+/// single-core machines (where the auto-detected count would fall back to
+/// 1 and a parallel policy would degenerate into the sequential path).
 fn force_parallel() {
     std::env::set_var("BOTMETER_THREADS", "4");
 }
 
-fn assert_runs_match(spec: &ScenarioSpec, what: &str) {
-    let parallel = spec.run();
-    let sequential = spec.run_sequential();
+fn assert_runs_match(build: impl Fn() -> ScenarioSpecBuilder, what: &str) {
+    let (obs_par, reg_par) = Obs::collecting();
+    let (obs_seq, reg_seq) = Obs::collecting();
+    let parallel = build()
+        .obs(obs_par)
+        .build()
+        .expect("valid spec")
+        .run(ExecPolicy::parallel());
+    let sequential = build()
+        .obs(obs_seq)
+        .build()
+        .expect("valid spec")
+        .run(ExecPolicy::Sequential);
     assert_eq!(
         parallel.raw(),
         sequential.raw(),
@@ -31,6 +44,13 @@ fn assert_runs_match(spec: &ScenarioSpec, what: &str) {
         parallel.ground_truth(),
         sequential.ground_truth(),
         "ground truth diverged: {what}"
+    );
+    // Everything outside the `sched.` scheduling namespace must agree too:
+    // cache hit/miss deltas, admission counts, sim totals.
+    assert_eq!(
+        reg_par.snapshot().deterministic_counters(),
+        reg_seq.snapshot().deterministic_counters(),
+        "metrics counters diverged: {what}"
     );
 }
 
@@ -52,16 +72,15 @@ fn parallel_run_is_bit_identical_across_families_and_activations() {
     ];
     for family in families {
         for activation in activations {
-            let family = family();
-            let name = family.name().to_owned();
-            let spec = ScenarioSpec::builder(family)
-                .population(48)
-                .num_epochs(2)
-                .activation(activation)
-                .seed(7)
-                .build()
-                .expect("valid spec");
-            assert_runs_match(&spec, &format!("{name} / {activation:?}"));
+            let name = family().name().to_owned();
+            let build = || {
+                ScenarioSpec::builder(family())
+                    .population(48)
+                    .num_epochs(2)
+                    .activation(activation)
+                    .seed(7)
+            };
+            assert_runs_match(build, &format!("{name} / {activation:?}"));
         }
     }
 }
@@ -70,12 +89,12 @@ fn parallel_run_is_bit_identical_across_families_and_activations() {
 fn parallel_run_is_bit_identical_across_seeds() {
     force_parallel();
     for seed in [0u64, 1, 99, 0xdead_beef] {
-        let spec = ScenarioSpec::builder(DgaFamily::new_goz())
-            .population(64)
-            .seed(seed)
-            .build()
-            .expect("valid spec");
-        assert_runs_match(&spec, &format!("newGoZ seed {seed}"));
+        let build = || {
+            ScenarioSpec::builder(DgaFamily::new_goz())
+                .population(64)
+                .seed(seed)
+        };
+        assert_runs_match(build, &format!("newGoZ seed {seed}"));
     }
 }
 
@@ -84,7 +103,7 @@ fn parallel_run_is_bit_identical_under_evasion() {
     force_parallel();
     // Evasion draws extra rng values both from the epoch rng (activation
     // adjustment) and the per-bot rng (collusion) — the exact split the
-    // parallel refactor has to preserve.
+    // parallel paths have to preserve.
     let strategies = [
         EvasionStrategy::None,
         EvasionStrategy::DutyCycle { active_prob: 0.5 },
@@ -94,12 +113,26 @@ fn parallel_run_is_bit_identical_under_evasion() {
         EvasionStrategy::StartCollusion { shared_starts: 4 },
     ];
     for evasion in strategies {
-        let spec = ScenarioSpec::builder(DgaFamily::conficker_c())
-            .population(32)
-            .evasion(evasion)
-            .seed(11)
-            .build()
-            .expect("valid spec");
-        assert_runs_match(&spec, &format!("{evasion:?}"));
+        let build = || {
+            ScenarioSpec::builder(DgaFamily::conficker_c())
+                .population(32)
+                .evasion(evasion)
+                .seed(11)
+        };
+        assert_runs_match(build, &format!("{evasion:?}"));
     }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_sequential_matches_sequential_policy() {
+    let spec = ScenarioSpec::builder(DgaFamily::murofet())
+        .population(12)
+        .seed(3)
+        .build()
+        .expect("valid spec");
+    let via_shim = spec.run_sequential();
+    let via_policy = spec.run(ExecPolicy::Sequential);
+    assert_eq!(via_shim.raw(), via_policy.raw());
+    assert_eq!(via_shim.observed(), via_policy.observed());
 }

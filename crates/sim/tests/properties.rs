@@ -2,6 +2,7 @@
 
 use botmeter_dga::DgaFamily;
 use botmeter_dns::SimDuration;
+use botmeter_exec::ExecPolicy;
 use botmeter_sim::{ActivationModel, EvasionStrategy, ScenarioSpec, WaveConfig};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -19,7 +20,7 @@ proptest! {
             .seed(seed)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         for w in outcome.raw().windows(2) {
             prop_assert!(w[0].t <= w[1].t);
         }
@@ -61,14 +62,14 @@ proptest! {
             .seed(seed)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         let thinned = ScenarioSpec::builder(DgaFamily::torpig())
             .population(64)
             .evasion(EvasionStrategy::DutyCycle { active_prob: 0.2 })
             .seed(seed)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         prop_assert!(thinned.ground_truth()[0] <= base.ground_truth()[0]);
     }
 
@@ -83,7 +84,7 @@ proptest! {
             .seed(seed)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         let day_ms = SimDuration::from_days(1).as_millis();
         let bound = day_ms / 10
             + DgaFamily::torpig().params().max_activation_duration().as_millis();

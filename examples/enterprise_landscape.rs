@@ -7,6 +7,7 @@
 
 use botmeter::core::{BernoulliEstimator, EstimationContext, Estimator, PoissonEstimator};
 use botmeter::dga::{BarrelClass, DgaFamily};
+use botmeter::exec::ExecPolicy;
 use botmeter::matcher::{match_stream, ExactMatcher};
 use botmeter::sim::{EnterpriseSpec, Infection, WaveConfig};
 
@@ -41,7 +42,7 @@ fn main() {
         );
 
         let matcher = ExactMatcher::from_family(family, 0..outcome.days() + 1);
-        let matched = match_stream(outcome.observed(), &matcher);
+        let matched = match_stream(outcome.observed(), &matcher, ExecPolicy::default());
         let lookups = matched.for_server(botmeter::dns::ServerId(1));
         let ctx = EstimationContext::new(family.clone(), outcome.ttl(), outcome.granularity());
 

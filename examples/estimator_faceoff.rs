@@ -10,6 +10,7 @@ use botmeter::core::{
     PoissonEstimator, TimingEstimator,
 };
 use botmeter::dga::{BarrelClass, DgaFamily};
+use botmeter::exec::ExecPolicy;
 use botmeter::sim::ScenarioSpec;
 
 fn main() {
@@ -41,7 +42,7 @@ fn main() {
                 .seed(0xFACE ^ n)
                 .build()
                 .expect("valid scenario")
-                .run();
+                .run(ExecPolicy::default());
             let ctx = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),

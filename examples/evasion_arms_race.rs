@@ -10,6 +10,7 @@ use botmeter::core::{
     PoissonEstimator, TimingEstimator,
 };
 use botmeter::dga::DgaFamily;
+use botmeter::exec::ExecPolicy;
 use botmeter::sim::{EvasionStrategy, ScenarioSpec};
 
 fn main() {
@@ -49,7 +50,7 @@ fn main() {
                 .seed(0xA53)
                 .build()
                 .expect("valid scenario")
-                .run();
+                .run(ExecPolicy::default());
             let ctx = EstimationContext::new(
                 outcome.family().clone(),
                 outcome.ttl(),

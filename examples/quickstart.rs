@@ -10,6 +10,7 @@
 
 use botmeter::core::{absolute_relative_error, BotMeter, BotMeterConfig};
 use botmeter::dga::DgaFamily;
+use botmeter::exec::ExecPolicy;
 use botmeter::sim::ScenarioSpec;
 
 fn main() {
@@ -20,7 +21,7 @@ fn main() {
         .seed(2016)
         .build()
         .expect("valid scenario");
-    let outcome = spec.run();
+    let outcome = spec.run(ExecPolicy::default());
 
     println!(
         "simulated ground truth : {} active bots",
@@ -35,7 +36,7 @@ fn main() {
     // 2. Point BotMeter at the observable stream. Model selection is
     //    automatic: newGoZ is AR, so the Bernoulli estimator is used.
     let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-    let landscape = meter.chart(outcome.observed(), 0..1);
+    let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
 
     println!("\n{landscape}");
     let estimate = landscape.total_for_epoch(0);

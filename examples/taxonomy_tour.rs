@@ -6,6 +6,7 @@
 //! ```
 
 use botmeter::dga::{known_families, DgaFamily};
+use botmeter::exec::ExecPolicy;
 use botmeter::sim::ScenarioSpec;
 
 fn main() {
@@ -47,7 +48,7 @@ fn main() {
             .seed(1)
             .build()
             .expect("presets are valid")
-            .run();
+            .run(ExecPolicy::default());
         let raw = outcome.raw().len();
         let visible = outcome.observed().len();
         let p = family.params();

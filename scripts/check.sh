@@ -7,6 +7,30 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> deprecated entry-point grep gate"
+# The dual sequential/parallel entry points are deprecated shims; new code
+# must go through the unified ExecPolicy API. The only allowed occurrences
+# are the shim definitions themselves (and their shim-coverage tests) in
+# the four files below.
+pattern='chart_parallel|match_stream_parallel|process_trace_parallel|run_sequential'
+offenders=$(grep -rlE "$pattern" \
+  --include='*.rs' src crates tests examples \
+  | grep -vxF \
+      -e crates/sim/src/scenario.rs \
+      -e crates/sim/tests/parallel_determinism.rs \
+      -e crates/dns/src/topology.rs \
+      -e crates/matcher/src/stream.rs \
+      -e crates/matcher/src/lib.rs \
+      -e crates/core/src/botmeter.rs \
+      -e crates/exec/src/lib.rs \
+  || true)
+if [[ -n "$offenders" ]]; then
+  echo "error: deprecated dual entry points used outside their shim files:" >&2
+  echo "$offenders" >&2
+  echo "use the unified ExecPolicy-taking API instead." >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -15,7 +15,11 @@
 //! * [`sim`] — bot activation processes and network/trace simulators;
 //! * [`matcher`] — the D3 (DGA-domain detection) matching stage;
 //! * [`core`] — the estimator library (Timing `MT`, Poisson `MP`,
-//!   Bernoulli `MB`, Coverage `MC`) and the [`core::BotMeter`] facade.
+//!   Bernoulli `MB`, Coverage `MC`) and the [`core::BotMeter`] facade;
+//! * [`exec`] — the execution substrate behind the unified
+//!   [`exec::ExecPolicy`] API (every pipeline entry point takes one);
+//! * [`obs`] — the observability layer: attach an [`obs::Obs`] recorder to
+//!   any stage and pull a JSON-serialisable [`obs::MetricsSnapshot`].
 //!
 //! # Quickstart
 //!
@@ -29,7 +33,7 @@
 //!     .seed(7)
 //!     .build()
 //!     .expect("valid scenario");
-//! let outcome = spec.run();
+//! let outcome = spec.run(ExecPolicy::default());
 //!
 //! // ... and estimate the population from the border-visible stream alone.
 //! let ctx = EstimationContext::new(
@@ -42,7 +46,9 @@
 pub use botmeter_core as core;
 pub use botmeter_dga as dga;
 pub use botmeter_dns as dns;
+pub use botmeter_exec as exec;
 pub use botmeter_matcher as matcher;
+pub use botmeter_obs as obs;
 pub use botmeter_sim as sim;
 pub use botmeter_stats as stats;
 
@@ -57,6 +63,8 @@ pub mod prelude {
     pub use botmeter_dns::{
         DomainName, ObservedLookup, RawLookup, ServerId, SimDuration, SimInstant, TtlPolicy,
     };
+    pub use botmeter_exec::ExecPolicy;
     pub use botmeter_matcher::{DetectionWindow, DomainMatcher};
+    pub use botmeter_obs::{MetricsRegistry, MetricsSnapshot, Obs};
     pub use botmeter_sim::{ScenarioOutcome, ScenarioSpec};
 }

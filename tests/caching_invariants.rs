@@ -3,6 +3,7 @@
 
 use botmeter::dga::DgaFamily;
 use botmeter::dns::{SimDuration, TtlPolicy};
+use botmeter::exec::ExecPolicy;
 use botmeter::sim::ScenarioSpec;
 use std::collections::{HashMap, HashSet};
 
@@ -13,7 +14,7 @@ fn outcome(family: DgaFamily, ttl: TtlPolicy, seed: u64) -> botmeter::sim::Scena
         .seed(seed)
         .build()
         .expect("valid scenario")
-        .run()
+        .run(ExecPolicy::default())
 }
 
 #[test]
@@ -111,7 +112,7 @@ fn uniform_barrel_masking_grows_with_population() {
             .seed(6)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         o.observed().len() as f64 / o.raw().len() as f64
     };
     let small = visible_fraction(8);

@@ -5,6 +5,7 @@
 use botmeter::core::{absolute_relative_error, EstimationContext, Estimator, PoissonEstimator};
 use botmeter::dga::{DgaFamily, NameStyle};
 use botmeter::dns::ServerId;
+use botmeter::exec::ExecPolicy;
 use botmeter::matcher::{match_stream, DomainMatcher, ExactMatcher, PatternMatcher};
 use botmeter::sim::ScenarioSpec;
 
@@ -30,7 +31,7 @@ fn plain_list_feed_drives_the_full_pipeline() {
         .seed(11)
         .build()
         .expect("valid scenario")
-        .run();
+        .run(ExecPolicy::default());
 
     // ...export the day's pool as a DGArchive-style plain list, re-import
     // it, and run the estimation pipeline off the imported feed.
@@ -39,7 +40,7 @@ fn plain_list_feed_drives_the_full_pipeline() {
     exported.write_plain_list(&mut feed).expect("export");
     let imported = ExactMatcher::from_plain_list(feed.as_slice()).expect("import");
 
-    let matched = match_stream(outcome.observed(), &imported);
+    let matched = match_stream(outcome.observed(), &imported, ExecPolicy::default());
     assert!(matched.total_matched() > 0, "feed matched nothing");
     let lookups = matched.for_server(ServerId(1));
 

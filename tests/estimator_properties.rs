@@ -6,6 +6,7 @@ use botmeter::core::{
 };
 use botmeter::dga::{BarrelClass, DgaFamily, DgaParams, QueryTiming};
 use botmeter::dns::{DomainName, ObservedLookup, ServerId, SimDuration, SimInstant, TtlPolicy};
+use botmeter::exec::ExecPolicy;
 use botmeter::stats::StirlingTable;
 use proptest::prelude::*;
 
@@ -132,7 +133,7 @@ proptest! {
             .seed(seed)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         let c = EstimationContext::new(
             outcome.family().clone(), outcome.ttl(), outcome.granularity());
         let forward = BernoulliEstimator::default().estimate(outcome.observed(), &c);
@@ -155,7 +156,7 @@ proptest! {
             .seed(seed)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         let c = EstimationContext::new(
             outcome.family().clone(), outcome.ttl(), outcome.granularity());
         let full = CoverageEstimator.estimate(outcome.observed(), &c);

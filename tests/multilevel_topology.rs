@@ -4,6 +4,7 @@
 use botmeter::core::{BotMeter, BotMeterConfig, ModelKind};
 use botmeter::dga::DgaFamily;
 use botmeter::dns::{ClientId, ObservedLookup, RawLookup, ServerId, TopologyBuilder, TtlPolicy};
+use botmeter::exec::ExecPolicy;
 use botmeter::sim::ScenarioSpec;
 
 /// Routes a simulated raw trace through a two-level tree: two sites under
@@ -44,7 +45,7 @@ fn border_attributes_lookups_to_sites_not_floors() {
         .seed(13)
         .build()
         .expect("valid scenario")
-        .run();
+        .run(ExecPolicy::default());
     let (observed, site_a, site_b) = route_through_tree(&outcome);
     assert!(!observed.is_empty());
     // Everything the border sees is attributed to a *site* (its direct
@@ -70,7 +71,7 @@ fn intermediate_caches_absorb_cross_floor_duplicates() {
         .seed(14)
         .build()
         .expect("valid scenario")
-        .run();
+        .run(ExecPolicy::default());
     let (tree_observed, _, _) = route_through_tree(&outcome);
 
     // Against the flat single-local baseline on the same raw trace, each
@@ -100,13 +101,13 @@ fn landscape_ranks_the_heavier_site_first() {
         .seed(15)
         .build()
         .expect("valid scenario")
-        .run();
+        .run(ExecPolicy::default());
     let (observed, site_a, site_b) = route_through_tree(&outcome);
 
     // Two of three floors (≈ 2/3 of bots) hang under site A.
     let meter =
         BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage));
-    let landscape = meter.chart(&observed, 0..1);
+    let landscape = meter.chart(&observed, 0..1, ExecPolicy::default());
     let a = landscape.estimate(site_a, 0);
     let b = landscape.estimate(site_b, 0);
     assert!(a > 0.0 && b > 0.0);

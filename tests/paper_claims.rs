@@ -8,6 +8,7 @@ use botmeter::core::{
 };
 use botmeter::dga::DgaFamily;
 use botmeter::dns::{ServerId, SimDuration, TtlPolicy};
+use botmeter::exec::ExecPolicy;
 use botmeter::matcher::{match_stream, DetectionWindow, ExactMatcher};
 use botmeter::sim::{ActivationModel, ScenarioSpec};
 
@@ -29,7 +30,7 @@ fn mean_are<E: Estimator>(
             .seed(seed)
             .build()
             .expect("valid scenario")
-            .run();
+            .run(ExecPolicy::default());
         let ctx = EstimationContext::new(outcome.family().clone(), ttl, outcome.granularity());
         let est = estimator.estimate(outcome.observed(), &ctx);
         sum += absolute_relative_error(est, outcome.ground_truth()[0] as f64);
@@ -148,10 +149,10 @@ fn claim_missing_rate_hurts_set_statistics() {
                 .seed(900 + seed)
                 .build()
                 .expect("valid")
-                .run();
+                .run(ExecPolicy::default());
             let exact = ExactMatcher::from_family(&family, 0..2);
             let window = DetectionWindow::new(&exact, missing, seed);
-            let matched = match_stream(outcome.observed(), &window);
+            let matched = match_stream(outcome.observed(), &window, ExecPolicy::default());
             let lookups = matched.for_server(ServerId(1));
             let ctx = EstimationContext::new(family.clone(), outcome.ttl(), outcome.granularity())
                 .with_detection_window(window.known_domains().clone());
@@ -205,7 +206,7 @@ fn claim_mt_collapses_on_irregular_timing() {
             .seed(seed)
             .build()
             .expect("valid")
-            .run();
+            .run(ExecPolicy::default());
         let ctx = EstimationContext::new(
             outcome.family().clone(),
             outcome.ttl(),

@@ -7,6 +7,7 @@ use botmeter::core::{
 };
 use botmeter::dga::DgaFamily;
 use botmeter::dns::ServerId;
+use botmeter::exec::ExecPolicy;
 use botmeter::matcher::{match_stream, ExactMatcher};
 use botmeter::sim::ScenarioSpec;
 
@@ -16,7 +17,7 @@ fn run(family: DgaFamily, n: u64, seed: u64) -> botmeter::sim::ScenarioOutcome {
         .seed(seed)
         .build()
         .expect("valid scenario")
-        .run()
+        .run(ExecPolicy::default())
 }
 
 #[test]
@@ -25,7 +26,7 @@ fn full_pipeline_recovers_au_population() {
     for seed in 0..5 {
         let outcome = run(DgaFamily::murofet(), 64, seed);
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-        let landscape = meter.chart(outcome.observed(), 0..1);
+        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
         errors.push(absolute_relative_error(
             landscape.total_for_epoch(0),
             outcome.ground_truth()[0] as f64,
@@ -42,7 +43,7 @@ fn full_pipeline_recovers_ar_population_via_coverage() {
         let outcome = run(DgaFamily::new_goz(), 128, 100 + seed);
         let meter =
             BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage));
-        let landscape = meter.chart(outcome.observed(), 0..1);
+        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
         errors.push(absolute_relative_error(
             landscape.total_for_epoch(0),
             outcome.ground_truth()[0] as f64,
@@ -78,8 +79,8 @@ fn matcher_strips_foreign_traffic_before_estimation() {
     combined.sort_by_key(|l| l.t);
 
     let goz_matcher = ExactMatcher::from_family(goz.family(), 0..2);
-    let matched = match_stream(&combined, &goz_matcher);
-    let goz_only = match_stream(goz.observed(), &goz_matcher);
+    let matched = match_stream(&combined, &goz_matcher, ExecPolicy::default());
+    let goz_only = match_stream(goz.observed(), &goz_matcher, ExecPolicy::default());
     assert_eq!(
         matched.total_matched(),
         goz_only.total_matched(),
@@ -119,7 +120,7 @@ fn landscape_separates_servers_in_star_topology() {
     assert!(observed.iter().any(|o| o.server == servers[1]));
 
     let meter = BotMeter::new(BotMeterConfig::new(family).model(ModelKind::Coverage));
-    let landscape = meter.chart(&observed, 0..1);
+    let landscape = meter.chart(&observed, 0..1, ExecPolicy::default());
     assert!(landscape.estimate(servers[0], 0) > 0.0);
     assert!(landscape.estimate(servers[1], 0) > 0.0);
     let _ = SimInstant::ZERO;
@@ -132,8 +133,8 @@ fn pipeline_is_deterministic() {
     assert_eq!(a.observed(), b.observed());
     let meter = BotMeter::new(BotMeterConfig::new(a.family().clone()));
     assert_eq!(
-        meter.chart(a.observed(), 0..1),
-        meter.chart(b.observed(), 0..1)
+        meter.chart(a.observed(), 0..1, ExecPolicy::default()),
+        meter.chart(b.observed(), 0..1, ExecPolicy::default())
     );
 }
 
@@ -150,6 +151,7 @@ fn poisson_beats_timing_on_uniform_barrel_at_scale() {
     let matched = match_stream(
         outcome.observed(),
         &ExactMatcher::from_family(outcome.family(), 0..2),
+        ExecPolicy::default(),
     );
     let lookups = matched.for_server(ServerId(1));
     let mp = absolute_relative_error(PoissonEstimator::new().estimate(lookups, &ctx), actual);
