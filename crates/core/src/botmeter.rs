@@ -21,6 +21,69 @@ use std::collections::HashSet;
 use std::fmt;
 use std::ops::Range;
 
+/// Invalid analyst-supplied parameters, reported by
+/// [`BotMeter::try_chart`] instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The configured delivery rate is not a finite probability in
+    /// `(0, 1]` — dividing observed counts by it would be meaningless.
+    BadDeliveryRate {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// The epoch range selects no epochs, so there is nothing to chart.
+    EmptyEpochRange {
+        /// Range start.
+        start: u64,
+        /// Range end (exclusive).
+        end: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadDeliveryRate { rate } => write!(
+                f,
+                "delivery rate must be a finite probability in (0, 1], got {rate}"
+            ),
+            Error::EmptyEpochRange { start, end } => {
+                write!(f, "epoch range {start}..{end} selects no epochs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// How much a landscape cell's estimate should be trusted.
+///
+/// Ordered from best to worst, so the worst of two flags is their `max`.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[non_exhaustive]
+pub enum CellQuality {
+    /// Nothing suspicious: clean stream, full delivery.
+    #[default]
+    Ok,
+    /// The estimate was produced from a visibly degraded stream (ordering
+    /// or duplication anomalies) or rescaled for partial delivery — usable
+    /// but with widened error bars.
+    Degraded,
+    /// The raw estimate was non-finite or negative and has been clamped to
+    /// `0.0`; do not act on this cell.
+    Invalid,
+}
+
+impl CellQuality {
+    /// The worse of two flags.
+    pub fn worst(self, other: CellQuality) -> CellQuality {
+        self.max(other)
+    }
+}
+
 /// Which analytical model to run (Fig. 2, step 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ModelKind {
@@ -64,17 +127,20 @@ pub struct BotMeterConfig {
     ttl: TtlPolicy,
     granularity: SimDuration,
     model: ModelKind,
+    delivery_rate: f64,
 }
 
 impl BotMeterConfig {
     /// A configuration targeting `family` with paper-default TTLs,
-    /// 100 ms granularity and automatic model selection.
+    /// 100 ms granularity, automatic model selection and full (lossless)
+    /// record delivery.
     pub fn new(family: DgaFamily) -> Self {
         BotMeterConfig {
             family,
             ttl: TtlPolicy::paper_default(),
             granularity: SimDuration::from_millis(100),
             model: ModelKind::Auto,
+            delivery_rate: 1.0,
         }
     }
 
@@ -99,6 +165,20 @@ impl BotMeterConfig {
         self
     }
 
+    /// Declares the fraction of border records that actually reach the
+    /// analyst (known collector loss or sampling, e.g. 1-in-N mirroring).
+    /// [`BotMeter::chart`] divides every cell estimate by this rate and
+    /// flags the cells [`CellQuality::Degraded`] when it is below `1.0`.
+    ///
+    /// The value is validated when charting: [`BotMeter::try_chart`]
+    /// rejects anything outside `(0, 1]` (or non-finite) with
+    /// [`Error::BadDeliveryRate`].
+    #[must_use]
+    pub fn delivery_rate(mut self, rate: f64) -> Self {
+        self.delivery_rate = rate;
+        self
+    }
+
     /// The targeted family.
     pub fn family(&self) -> &DgaFamily {
         &self.family
@@ -115,6 +195,10 @@ pub struct LandscapeEntry {
     pub epoch: u64,
     /// Estimated active-bot population.
     pub estimate: f64,
+    /// How much this cell should be trusted (absent in pre-robustness
+    /// serialisations, defaulting to [`CellQuality::Ok`]).
+    #[serde(default)]
+    pub quality: CellQuality,
 }
 
 /// The DGA-botnet landscape: per-server, per-epoch population estimates.
@@ -173,8 +257,8 @@ impl Landscape {
     }
 
     /// Merges several landscapes cell-wise (estimates for the same
-    /// (server, epoch) add up) — e.g. charting multiple DGA families into
-    /// one remediation-priority view.
+    /// (server, epoch) add up, quality flags take the worst) — e.g.
+    /// charting multiple DGA families into one remediation-priority view.
     ///
     /// # Example
     ///
@@ -189,19 +273,24 @@ impl Landscape {
     /// ```
     pub fn merge<I: IntoIterator<Item = Landscape>>(landscapes: I) -> Landscape {
         use std::collections::BTreeMap;
-        let mut cells: BTreeMap<(ServerId, u64), f64> = BTreeMap::new();
+        let mut cells: BTreeMap<(ServerId, u64), (f64, CellQuality)> = BTreeMap::new();
         for landscape in landscapes {
             for e in landscape.entries {
-                *cells.entry((e.server, e.epoch)).or_insert(0.0) += e.estimate;
+                let cell = cells
+                    .entry((e.server, e.epoch))
+                    .or_insert((0.0, CellQuality::Ok));
+                cell.0 += e.estimate;
+                cell.1 = cell.1.worst(e.quality);
             }
         }
         Landscape {
             entries: cells
                 .into_iter()
-                .map(|((server, epoch), estimate)| LandscapeEntry {
+                .map(|((server, epoch), (estimate, quality))| LandscapeEntry {
                     server,
                     epoch,
                     estimate,
+                    quality,
                 })
                 .collect(),
         }
@@ -212,9 +301,16 @@ impl fmt::Display for Landscape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "server      epoch   estimated bots")?;
         for e in &self.entries {
+            let marker = match e.quality {
+                CellQuality::Ok => "",
+                CellQuality::Degraded => "  (degraded)",
+                CellQuality::Invalid => "  (invalid)",
+                #[allow(unreachable_patterns)]
+                _ => "  (?)",
+            };
             writeln!(
                 f,
-                "{:<11} {:<7} {:>10.1}",
+                "{:<11} {:<7} {:>10.1}{marker}",
                 e.server.to_string(),
                 e.epoch,
                 e.estimate
@@ -311,12 +407,52 @@ impl BotMeter {
     /// function of that cell's matched lookups, so the landscape is
     /// identical to the sequential one — entry for entry, bit for bit — for
     /// any model and detection window.
+    ///
+    /// Degradation handling: estimates are divided by the configured
+    /// [`delivery_rate`](BotMeterConfig::delivery_rate); cells estimated
+    /// under partial delivery or from a stream with ordering/duplication
+    /// anomalies are flagged [`CellQuality::Degraded`], and non-finite or
+    /// negative raw estimates are clamped to `0.0` and flagged
+    /// [`CellQuality::Invalid`] instead of leaking NaN/∞ into the chart.
+    ///
+    /// An empty `epochs` range yields an empty landscape. A delivery rate
+    /// outside `(0, 1]` panics — use [`try_chart`](Self::try_chart) to get
+    /// a typed [`Error`] instead.
     pub fn chart(
         &self,
         observed: &[ObservedLookup],
         epochs: Range<u64>,
         policy: ExecPolicy,
     ) -> Landscape {
+        if epochs.is_empty() {
+            return Landscape::default();
+        }
+        match self.try_chart(observed, epochs, policy) {
+            Ok(landscape) => landscape,
+            Err(e) => panic!("invalid BotMeter parameters: {e}"),
+        }
+    }
+
+    /// [`chart`](Self::chart) with parameter validation: rejects a
+    /// non-finite or out-of-range delivery rate and an empty epoch range
+    /// with a typed [`Error`] instead of panicking or silently returning
+    /// nothing.
+    pub fn try_chart(
+        &self,
+        observed: &[ObservedLookup],
+        epochs: Range<u64>,
+        policy: ExecPolicy,
+    ) -> Result<Landscape, Error> {
+        let rate = self.config.delivery_rate;
+        if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+            return Err(Error::BadDeliveryRate { rate });
+        }
+        if epochs.is_empty() {
+            return Err(Error::EmptyEpochRange {
+                start: epochs.start,
+                end: epochs.end,
+            });
+        }
         let matcher = ExactMatcher::from_family(&self.config.family, epochs.clone());
         let estimator = self.resolve_model();
         let epoch_len = self.config.family.epoch_len();
@@ -338,6 +474,7 @@ impl BotMeter {
             window,
         };
         let filtered = match_stream_recorded(observed, &windowed, policy, &self.obs);
+        let stream_quality = filtered.quality();
 
         // Slice every server's matched traffic per epoch. Cells are
         // collected in (server asc, epoch asc) order, which fixes the entry
@@ -381,17 +518,50 @@ impl BotMeter {
         } else {
             (0..cells.len()).map(estimate_cell).collect()
         };
-        Landscape {
-            entries: cells
-                .into_iter()
-                .zip(estimates)
-                .map(|((server, epoch, _), estimate)| LandscapeEntry {
+        // Loss-aware correction and per-cell quality flags: a raw estimate
+        // that is NaN, infinite or negative is clamped to zero and marked
+        // Invalid; otherwise the estimate is rescaled by the delivery rate,
+        // and any cell produced under partial delivery or from a degraded
+        // stream is marked Degraded.
+        let baseline = if rate < 1.0 || stream_quality.is_degraded() {
+            CellQuality::Degraded
+        } else {
+            CellQuality::Ok
+        };
+        let entries: Vec<LandscapeEntry> = cells
+            .into_iter()
+            .zip(estimates)
+            .map(|((server, epoch, _), raw)| {
+                let (estimate, quality) = if !raw.is_finite() || raw < 0.0 {
+                    (0.0, CellQuality::Invalid)
+                } else {
+                    (raw / rate, baseline)
+                };
+                LandscapeEntry {
                     server,
                     epoch,
                     estimate,
-                })
-                .collect(),
+                    quality,
+                }
+            })
+            .collect();
+        if self.obs.enabled() {
+            let degraded = entries
+                .iter()
+                .filter(|e| e.quality == CellQuality::Degraded)
+                .count() as u64;
+            let invalid = entries
+                .iter()
+                .filter(|e| e.quality == CellQuality::Invalid)
+                .count() as u64;
+            if degraded > 0 {
+                self.obs.counter_add("chart.cells.degraded", degraded);
+            }
+            if invalid > 0 {
+                self.obs.counter_add("chart.cells.invalid", invalid);
+            }
         }
+        Ok(Landscape { entries })
     }
 
     /// Parallel [`chart`](Self::chart).
@@ -419,6 +589,15 @@ impl<M: DomainMatcher> DomainMatcher for WindowedMatcher<'_, M> {
 mod tests {
     use super::*;
     use botmeter_sim::ScenarioSpec;
+
+    fn entry(server: u32, epoch: u64, estimate: f64) -> LandscapeEntry {
+        LandscapeEntry {
+            server: ServerId(server),
+            epoch,
+            estimate,
+            quality: CellQuality::Ok,
+        }
+    }
 
     #[test]
     fn auto_model_selection_follows_taxonomy() {
@@ -589,45 +768,27 @@ mod tests {
     #[test]
     fn landscape_display_renders_rows() {
         let landscape = Landscape {
-            entries: vec![LandscapeEntry {
-                server: ServerId(2),
-                epoch: 0,
-                estimate: 12.5,
-            }],
+            entries: vec![entry(2, 0, 12.5)],
         };
         let text = landscape.to_string();
         assert!(text.contains("server-2") && text.contains("12.5"));
+        assert!(!text.contains("(degraded)"));
+        let degraded = Landscape {
+            entries: vec![LandscapeEntry {
+                quality: CellQuality::Degraded,
+                ..entry(2, 0, 12.5)
+            }],
+        };
+        assert!(degraded.to_string().contains("(degraded)"));
     }
 
     #[test]
     fn merge_adds_cells_and_unions_servers() {
         let a = Landscape {
-            entries: vec![
-                LandscapeEntry {
-                    server: ServerId(1),
-                    epoch: 0,
-                    estimate: 5.0,
-                },
-                LandscapeEntry {
-                    server: ServerId(2),
-                    epoch: 0,
-                    estimate: 3.0,
-                },
-            ],
+            entries: vec![entry(1, 0, 5.0), entry(2, 0, 3.0)],
         };
         let b = Landscape {
-            entries: vec![
-                LandscapeEntry {
-                    server: ServerId(1),
-                    epoch: 0,
-                    estimate: 7.0,
-                },
-                LandscapeEntry {
-                    server: ServerId(1),
-                    epoch: 1,
-                    estimate: 2.0,
-                },
-            ],
+            entries: vec![entry(1, 0, 7.0), entry(1, 1, 2.0)],
         };
         let merged = Landscape::merge([a, b]);
         assert_eq!(merged.estimate(ServerId(1), 0), 12.0);
@@ -638,25 +799,30 @@ mod tests {
     }
 
     #[test]
+    fn merge_takes_worst_quality_per_cell() {
+        let clean = Landscape {
+            entries: vec![entry(1, 0, 5.0)],
+        };
+        let degraded = Landscape {
+            entries: vec![LandscapeEntry {
+                quality: CellQuality::Degraded,
+                ..entry(1, 0, 7.0)
+            }],
+        };
+        let merged = Landscape::merge([clean, degraded]);
+        assert_eq!(merged.entries()[0].quality, CellQuality::Degraded);
+        assert_eq!(merged.estimate(ServerId(1), 0), 12.0);
+        assert_eq!(
+            CellQuality::Invalid.worst(CellQuality::Degraded),
+            CellQuality::Invalid
+        );
+        assert_eq!(CellQuality::Ok.worst(CellQuality::Ok), CellQuality::Ok);
+    }
+
+    #[test]
     fn ranked_servers_orders_by_peak() {
         let landscape = Landscape {
-            entries: vec![
-                LandscapeEntry {
-                    server: ServerId(1),
-                    epoch: 0,
-                    estimate: 5.0,
-                },
-                LandscapeEntry {
-                    server: ServerId(2),
-                    epoch: 0,
-                    estimate: 50.0,
-                },
-                LandscapeEntry {
-                    server: ServerId(1),
-                    epoch: 1,
-                    estimate: 80.0,
-                },
-            ],
+            entries: vec![entry(1, 0, 5.0), entry(2, 0, 50.0), entry(1, 1, 80.0)],
         };
         let ranked = landscape.ranked_servers();
         assert_eq!(ranked[0], (ServerId(1), 80.0));
@@ -666,26 +832,107 @@ mod tests {
     #[test]
     fn ranked_servers_breaks_peak_ties_by_server_id() {
         let landscape = Landscape {
-            entries: vec![
-                LandscapeEntry {
-                    server: ServerId(9),
-                    epoch: 0,
-                    estimate: 10.0,
-                },
-                LandscapeEntry {
-                    server: ServerId(2),
-                    epoch: 0,
-                    estimate: 10.0,
-                },
-                LandscapeEntry {
-                    server: ServerId(5),
-                    epoch: 0,
-                    estimate: 10.0,
-                },
-            ],
+            entries: vec![entry(9, 0, 10.0), entry(2, 0, 10.0), entry(5, 0, 10.0)],
         };
         let ranked = landscape.ranked_servers();
         let order: Vec<ServerId> = ranked.iter().map(|(s, _)| *s).collect();
         assert_eq!(order, vec![ServerId(2), ServerId(5), ServerId(9)]);
+    }
+
+    #[test]
+    fn legacy_landscape_json_defaults_quality_to_ok() {
+        let back: Landscape =
+            serde_json::from_str(r#"{"entries":[{"server":3,"epoch":1,"estimate":9.5}]}"#).unwrap();
+        assert_eq!(back.entries()[0].quality, CellQuality::Ok);
+        let json = serde_json::to_string(&back).unwrap();
+        assert!(json.contains("\"quality\""));
+    }
+
+    #[test]
+    fn try_chart_rejects_bad_delivery_rate() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(16)
+            .seed(2)
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let meter =
+                BotMeter::new(BotMeterConfig::new(outcome.family().clone()).delivery_rate(bad));
+            let err = meter
+                .try_chart(outcome.observed(), 0..1, ExecPolicy::Sequential)
+                .unwrap_err();
+            match err {
+                Error::BadDeliveryRate { rate } => {
+                    assert!(rate.is_nan() == bad.is_nan() && (rate == bad || bad.is_nan()));
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+            assert!(err.to_string().contains("delivery rate"));
+        }
+    }
+
+    #[test]
+    fn try_chart_rejects_empty_epoch_range_but_chart_is_lenient() {
+        let meter = BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()));
+        let err = meter
+            .try_chart(&[], 5..5, ExecPolicy::Sequential)
+            .unwrap_err();
+        assert_eq!(err, Error::EmptyEpochRange { start: 5, end: 5 });
+        assert!(err.to_string().contains("selects no epochs"));
+        // The infallible facade keeps its historical behaviour.
+        assert!(meter.chart(&[], 5..5, ExecPolicy::Sequential).is_empty());
+    }
+
+    #[test]
+    fn delivery_rate_rescales_estimates_and_flags_degraded() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .seed(8)
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        let family = outcome.family().clone();
+        let plain = BotMeter::new(BotMeterConfig::new(family.clone()));
+        let rescaled = BotMeter::new(BotMeterConfig::new(family).delivery_rate(0.5));
+        let base = plain.chart(outcome.observed(), 0..1, ExecPolicy::default());
+        let loss_aware = rescaled.chart(outcome.observed(), 0..1, ExecPolicy::default());
+        assert_eq!(base.len(), loss_aware.len());
+        for (b, l) in base.entries().iter().zip(loss_aware.entries()) {
+            assert_eq!(l.estimate, b.estimate * 2.0, "exactly 2x under rate 0.5");
+            assert_eq!(b.quality, CellQuality::Ok);
+            assert_eq!(l.quality, CellQuality::Degraded);
+        }
+    }
+
+    #[test]
+    fn degraded_stream_flags_cells_and_counts_them() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .seed(8)
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        // Duplicate every observed lookup back-to-back: the matcher sees
+        // exact adjacent repeats and the chart must flag every cell.
+        let doubled: Vec<ObservedLookup> = outcome
+            .observed()
+            .iter()
+            .flat_map(|l| [l.clone(), l.clone()])
+            .collect();
+        let (obs, registry) = Obs::collecting();
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
+        let landscape = meter.chart(&doubled, 0..1, ExecPolicy::Sequential);
+        assert!(!landscape.is_empty());
+        assert!(landscape
+            .entries()
+            .iter()
+            .all(|e| e.quality == CellQuality::Degraded));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("chart.cells.degraded"),
+            Some(landscape.len() as u64)
+        );
+        assert!(snap.counter("matcher.duplicates").unwrap_or(0) > 0);
     }
 }

@@ -68,7 +68,9 @@ mod timing;
 mod window_occupancy;
 
 pub use bernoulli::BernoulliEstimator;
-pub use botmeter::{BotMeter, BotMeterConfig, Landscape, LandscapeEntry, ModelKind};
+pub use botmeter::{
+    BotMeter, BotMeterConfig, CellQuality, Error, Landscape, LandscapeEntry, ModelKind,
+};
 pub use config::EstimationContext;
 pub use coverage::CoverageEstimator;
 pub use estimator::Estimator;

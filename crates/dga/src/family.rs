@@ -587,10 +587,30 @@ impl DgaFamilyBuilder {
     ///   window size disagrees with `θ∅ + θ∃`;
     /// * [`FamilyError::BarrelExceedsPool`] — `θq` larger than the full
     ///   (steady-state) pool including noise components;
-    /// * [`FamilyError::ZeroEpoch`] — a zero epoch length.
+    /// * [`FamilyError::ZeroEpoch`] — a zero epoch length;
+    /// * [`FamilyError::BadLabelLength`] — a zero or inverted label length
+    ///   range;
+    /// * [`FamilyError::BadTld`] — a TLD that is not 1–16 lower-case ASCII
+    ///   letters.
     pub fn build(self) -> Result<DgaFamily, FamilyError> {
         if self.epoch_len.is_zero() {
             return Err(FamilyError::ZeroEpoch);
+        }
+        // Pre-empt the DomainGenerator constructor's assertions so a bad
+        // analyst-supplied range or TLD surfaces as a typed error instead
+        // of a panic.
+        let (min_len, max_len) = self.len_range;
+        if min_len == 0 || min_len > max_len {
+            return Err(FamilyError::BadLabelLength {
+                min: min_len,
+                max: max_len,
+            });
+        }
+        if self.tld.is_empty()
+            || self.tld.len() > 16
+            || !self.tld.chars().all(|c| c.is_ascii_lowercase())
+        {
+            return Err(FamilyError::BadTld);
         }
         let useful = self.params.pool_size();
         if let PoolModel::SlidingWindow {
@@ -636,6 +656,7 @@ impl DgaFamilyBuilder {
 
 /// Cross-field inconsistency detected when building a [`DgaFamily`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FamilyError {
     /// Sliding-window size and `θ∅ + θ∃` disagree.
     PoolSizeMismatch {
@@ -653,6 +674,15 @@ pub enum FamilyError {
     },
     /// Epoch length was zero.
     ZeroEpoch,
+    /// Generated-label length range was zero or inverted.
+    BadLabelLength {
+        /// Configured minimum label length.
+        min: usize,
+        /// Configured maximum label length.
+        max: usize,
+    },
+    /// The TLD is not a plausible label (1–16 lower-case ASCII letters).
+    BadTld,
 }
 
 impl fmt::Display for FamilyError {
@@ -666,6 +696,12 @@ impl fmt::Display for FamilyError {
                 write!(f, "θq = {theta_q} exceeds full pool of {pool}")
             }
             FamilyError::ZeroEpoch => write!(f, "epoch length must be positive"),
+            FamilyError::BadLabelLength { min, max } => {
+                write!(f, "label length range {min}..={max} is empty or zero")
+            }
+            FamilyError::BadTld => {
+                write!(f, "TLD must be 1-16 lower-case ASCII letters")
+            }
         }
     }
 }
@@ -815,6 +851,35 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, FamilyError::ZeroEpoch);
+    }
+
+    #[test]
+    fn builder_rejects_bad_label_range_and_tld_without_panicking() {
+        let params =
+            DgaParams::new(100, 2, 102, QueryTiming::Fixed(SimDuration::from_secs(1))).unwrap();
+        // Previously these reached DomainGenerator::new's assertions and
+        // aborted; a typed error must come back instead.
+        let err = DgaFamily::builder("x", params)
+            .label_len(0, 8)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, FamilyError::BadLabelLength { min: 0, max: 8 });
+        let err = DgaFamily::builder("x", params)
+            .label_len(9, 4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, FamilyError::BadLabelLength { min: 9, max: 4 });
+        for bad_tld in ["", "UPPER", "has.dot", "waaaaaaaaaytoolongtld"] {
+            let err = DgaFamily::builder("x", params)
+                .tld(bad_tld)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, FamilyError::BadTld, "tld {bad_tld:?}");
+        }
+        assert!(FamilyError::BadTld.to_string().contains("TLD"));
+        assert!(FamilyError::BadLabelLength { min: 9, max: 4 }
+            .to_string()
+            .contains("9..=4"));
     }
 
     #[test]

@@ -149,6 +149,7 @@ impl DgaParams {
 
 /// Invalid [`DgaParams`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ParamsError {
     /// `θ∅` was zero.
     EmptyPool,

@@ -21,6 +21,63 @@ proptest! {
         prop_assert_eq!(d, back);
     }
 
+    /// Fuzz: parsing arbitrary printable garbage never panics, and every
+    /// accepted name satisfies the documented invariants and round-trips
+    /// through its display form.
+    #[test]
+    fn domain_parse_total_on_printable_garbage(s in "[ -~]{0,80}") {
+        // Graceful rejection is the point; only accepted names carry proofs.
+        if let Ok(d) = s.parse::<DomainName>() {
+            let text = d.to_string();
+            prop_assert!(!text.is_empty() && text.len() <= 253);
+            prop_assert!(text.split('.').all(|l| !l.is_empty() && l.len() <= 63));
+            let back: DomainName = text.parse().expect("accepted names round-trip");
+            prop_assert_eq!(d, back);
+        }
+    }
+
+    /// Fuzz: dot-heavy inputs (leading/trailing/doubled dots) are rejected
+    /// gracefully — an empty label must never survive parsing.
+    #[test]
+    fn domain_parse_rejects_empty_labels(label in "[a-z]{1,10}") {
+        for bad in [
+            format!(".{label}.example"),
+            format!("{label}..example"),
+            format!("{label}.example."),
+            ".".to_string(),
+        ] {
+            prop_assert!(bad.parse::<DomainName>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// Fuzz: names over 253 bytes are rejected even when every label is
+    /// individually valid.
+    #[test]
+    fn domain_parse_rejects_oversize_names(labels in 6usize..12) {
+        let name = (0..labels).map(|_| "a".repeat(50)).collect::<Vec<_>>().join(".");
+        prop_assert!(name.len() > 253);
+        prop_assert!(name.parse::<DomainName>().is_err());
+    }
+
+    /// Fuzz: a single bad character anywhere poisons the whole name.
+    #[test]
+    fn domain_parse_rejects_bad_characters(
+        prefix in "[a-z]{1,8}",
+        bad in "[A-Z_!@#$%&* ]",
+        suffix in "[a-z]{1,8}",
+    ) {
+        let name = format!("{prefix}{bad}{suffix}.example");
+        prop_assert!(name.parse::<DomainName>().is_err(), "accepted {name:?}");
+    }
+
+    /// Fuzz: labels may contain interior hyphens but never edge hyphens.
+    #[test]
+    fn domain_parse_hyphen_placement(label in "[a-z]{1,8}") {
+        prop_assert!(format!("-{label}.example").parse::<DomainName>().is_err());
+        prop_assert!(format!("{label}-.example").parse::<DomainName>().is_err());
+        prop_assert!(format!("a-{label}.example").parse::<DomainName>().is_ok());
+    }
+
     /// A cache entry is served strictly before its expiry and never after.
     #[test]
     fn cache_expiry_boundary(

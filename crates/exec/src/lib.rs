@@ -41,8 +41,10 @@
 #![warn(missing_docs)]
 
 use botmeter_obs::Obs;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::thread;
 
 /// How a pipeline stage should execute: single-threaded, or fanned out
@@ -129,6 +131,42 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A structured record of one job's panic, produced by
+/// [`try_run_indexed_with`]: the batch keeps running, the pool stays
+/// usable, and the panicking job surfaces as this error instead of
+/// aborting the whole scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TaskPanic {
+    /// The index of the job that panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the overwhelmingly common
+    /// case); a placeholder otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Runs job `i` with per-task panic isolation.
+fn catch_job<T, F: Fn(usize) -> T>(f: &F, i: usize) -> Result<T, TaskPanic> {
+    catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        TaskPanic { index: i, message }
+    })
+}
+
 /// Runs `jobs` independent jobs of `f` (given the job index) with the
 /// default policy and no metrics. See [`run_indexed_with`].
 pub fn run_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
@@ -150,9 +188,44 @@ where
 /// Scheduling metrics reported through `obs` (all under the `sched.`
 /// prefix, so they are exempt from the determinism contract):
 /// `sched.exec.batches`, `sched.exec.tasks`, `sched.exec.steals` (jobs a
-/// worker took beyond its even share) and `sched.exec.queue_high_water`
-/// (the deepest dispatch queue any single batch presented).
+/// worker took beyond its even share), `sched.exec.queue_high_water`
+/// (the deepest dispatch queue any single batch presented) and
+/// `sched.exec.panics` (jobs that panicked — see [`try_run_indexed_with`]).
+///
+/// # Panics
+///
+/// If any job panics. Unlike a bare `thread::scope`, the panic is
+/// *contained* per task ([`try_run_indexed_with`] is the non-panicking
+/// form): every other job still runs to completion and the pool winds down
+/// cleanly before the first panicking job's error is re-raised here.
 pub fn run_indexed_with<T, F>(policy: ExecPolicy, obs: &Obs, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = Vec::with_capacity(jobs);
+    for result in try_run_indexed_with(policy, obs, jobs, f) {
+        match result {
+            Ok(value) => out.push(value),
+            Err(panic) => panic!("{panic}"),
+        }
+    }
+    out
+}
+
+/// [`run_indexed_with`] with per-task panic isolation: every job runs under
+/// `catch_unwind`, so a panicking job yields `Err(TaskPanic)` in its slot
+/// while the rest of the batch completes normally — no hang, no abort, and
+/// the calling thread (and any surrounding pool) stays usable.
+///
+/// Results come back in job index order, one `Result` per job. Panic counts
+/// are reported through `obs` as `sched.exec.panics`.
+pub fn try_run_indexed_with<T, F>(
+    policy: ExecPolicy,
+    obs: &Obs,
+    jobs: usize,
+    f: F,
+) -> Vec<Result<T, TaskPanic>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -164,47 +237,56 @@ where
     obs.counter_add("sched.exec.batches", 1);
     obs.counter_add("sched.exec.tasks", jobs as u64);
     obs.gauge_max("sched.exec.queue_high_water", jobs as u64);
-    if workers <= 1 {
-        return (0..jobs).map(f).collect();
-    }
-
-    // Bounded coordination state: one atomic dispenser + one slot per job.
-    // No job queue is materialised at all.
-    let next_job = AtomicUsize::new(0);
-    let steals = AtomicU64::new(0);
-    let even_share = jobs / workers;
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut taken = 0u64;
-                loop {
-                    let i = next_job.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs {
-                        break;
+    let results: Vec<Result<T, TaskPanic>> = if workers <= 1 {
+        (0..jobs).map(|i| catch_job(&f, i)).collect()
+    } else {
+        // Bounded coordination state: one atomic dispenser + one slot per
+        // job. No job queue is materialised at all.
+        let next_job = AtomicUsize::new(0);
+        let steals = AtomicU64::new(0);
+        let even_share = jobs / workers;
+        let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+            (0..jobs).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut taken = 0u64;
+                    loop {
+                        let i = next_job.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        taken += 1;
+                        let value = catch_job(&f, i);
+                        // catch_unwind already fenced the job, so the lock
+                        // cannot be poisoned by `f`; recover defensively
+                        // anyway instead of cascading a second panic.
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
                     }
-                    taken += 1;
-                    let value = f(i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(value);
-                }
-                // Anything beyond the even split is load the worker
-                // "stole" from slower peers through the dispenser.
-                let stolen = taken.saturating_sub(even_share as u64);
-                if stolen > 0 {
-                    steals.fetch_add(stolen, Ordering::Relaxed);
-                }
-            });
-        }
-    });
-    obs.counter_add("sched.exec.steals", steals.into_inner());
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job completed")
-        })
-        .collect()
+                    // Anything beyond the even split is load the worker
+                    // "stole" from slower peers through the dispenser.
+                    let stolen = taken.saturating_sub(even_share as u64);
+                    if stolen > 0 {
+                        steals.fetch_add(stolen, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        obs.counter_add("sched.exec.steals", steals.into_inner());
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every job completed")
+            })
+            .collect()
+    };
+    let panics = results.iter().filter(|r| r.is_err()).count();
+    if panics > 0 {
+        obs.counter_add("sched.exec.panics", panics as u64);
+    }
+    results
 }
 
 /// [`map_chunks_with`] under the default policy with no metrics.
@@ -414,6 +496,93 @@ mod tests {
             .deterministic_counters()
             .iter()
             .all(|c| !c.name.starts_with("sched.")));
+    }
+
+    /// Runs `f` with the default panic hook silenced, so deliberately
+    /// panicking jobs do not spray backtraces over the test output.
+    fn with_silent_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn one_panicking_task_in_a_thousand_fails_alone() {
+        with_silent_panics(|| {
+            let (obs, registry) = botmeter_obs::Obs::collecting();
+            let results = try_run_indexed_with(ExecPolicy::with_threads(4), &obs, 1000, |i| {
+                if i == 357 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            });
+            assert_eq!(results.len(), 1000, "no job may be lost");
+            for (i, r) in results.iter().enumerate() {
+                if i == 357 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 357);
+                    assert!(e.message.contains("boom at 357"), "{e}");
+                    assert!(e.to_string().contains("job 357 panicked"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "job {i} must complete");
+                }
+            }
+            assert_eq!(registry.snapshot().counter("sched.exec.panics"), Some(1));
+            // The pool stays usable: the very next batch runs clean.
+            let again = run_indexed_with(ExecPolicy::with_threads(4), &obs, 64, |i| i + 1);
+            assert_eq!(again.len(), 64);
+            assert_eq!(again[63], 64);
+        });
+    }
+
+    #[test]
+    fn sequential_policy_isolates_panics_too() {
+        with_silent_panics(|| {
+            let results = try_run_indexed_with(ExecPolicy::Sequential, &Obs::noop(), 5, |i| {
+                if i == 2 {
+                    panic!("odd one out");
+                }
+                i
+            });
+            assert!(results[2].is_err());
+            assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 4);
+        });
+    }
+
+    #[test]
+    fn run_indexed_repanics_after_batch_completes() {
+        with_silent_panics(|| {
+            let completed = AtomicUsize::new(0);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_indexed_with(ExecPolicy::with_threads(4), &Obs::noop(), 32, |i| {
+                    if i == 3 {
+                        panic!("resurfaced");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i
+                })
+            }));
+            let err = caught.expect_err("panic must resurface");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("job 3 panicked"), "{msg}");
+            assert!(msg.contains("resurfaced"), "{msg}");
+            // Isolation means the remaining 31 jobs all ran to completion
+            // before the panic was re-raised.
+            assert_eq!(completed.load(Ordering::Relaxed), 31);
+        });
+    }
+
+    #[test]
+    fn non_string_panic_payloads_are_reported() {
+        with_silent_panics(|| {
+            let results = try_run_indexed_with(ExecPolicy::Sequential, &Obs::noop(), 1, |_| {
+                std::panic::panic_any(42_u32);
+            });
+            let e = results[0].as_ref().unwrap_err();
+            assert_eq!(e.message, "non-string panic payload");
+        });
     }
 
     #[test]

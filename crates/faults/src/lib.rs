@@ -1,0 +1,750 @@
+//! Deterministic fault injection for BotMeter's observable trace stream.
+//!
+//! BotMeter's estimators (§IV of the paper) assume a lossless, well-ordered
+//! view of the cache-filtered lookup stream at the border vantage point. A
+//! production deployment never gets one: exporters sample, packets drop in
+//! bursts, collectors duplicate and reorder records, server clocks skew and
+//! whole vantage points blink out. This crate models exactly those
+//! degradations as **seeded, composable fault stages** so that robustness
+//! experiments are as reproducible as the clean pipeline:
+//!
+//! * [`FaultModel`] — one degradation: uniform record [`Drop`], bursty
+//!   Gilbert–Elliott [`BurstLoss`], record [`Duplicate`]ation, bounded
+//!   [`Reorder`]ing, timestamp [`Jitter`], per-server [`ClockSkew`],
+//!   per-server 1-in-N [`Sample`] export and vantage-point [`Outage`]
+//!   windows;
+//! * [`FaultPlan`] — an ordered stack of stages plus a root seed. Every
+//!   stage draws from its own `ChaCha` substream (forked from the plan seed
+//!   and the stage index), so inserting or removing one stage never
+//!   perturbs the randomness of the others;
+//! * [`FaultReport`] — what the plan actually did to a trace, including the
+//!   effective [`delivery_rate`](FaultReport::delivery_rate) estimators use
+//!   to rescale observed counts.
+//!
+//! [`FaultPlan::apply`] is a **pure sequential transform** of the trace: it
+//! never consults thread state, wall clocks or iteration order of unordered
+//! containers, so a faulted trace is bit-identical for a fixed `(plan,
+//! trace)` regardless of the [`ExecPolicy`] the surrounding pipeline runs
+//! under — the `parallel_determinism` suite enforces this per fault model.
+//!
+//! [`Drop`]: FaultModel::Drop
+//! [`BurstLoss`]: FaultModel::BurstLoss
+//! [`Duplicate`]: FaultModel::Duplicate
+//! [`Reorder`]: FaultModel::Reorder
+//! [`Jitter`]: FaultModel::Jitter
+//! [`ClockSkew`]: FaultModel::ClockSkew
+//! [`Sample`]: FaultModel::Sample
+//! [`Outage`]: FaultModel::Outage
+//! [`ExecPolicy`]: https://docs.rs/botmeter-exec
+//!
+//! # Example
+//!
+//! ```
+//! use botmeter_dns::{ObservedLookup, ServerId, SimInstant};
+//! use botmeter_faults::{FaultModel, FaultPlan};
+//!
+//! let trace: Vec<ObservedLookup> = (0..100)
+//!     .map(|i| {
+//!         ObservedLookup::new(
+//!             SimInstant::from_millis(i * 100),
+//!             ServerId(1),
+//!             "bot.example".parse().unwrap(),
+//!         )
+//!     })
+//!     .collect();
+//! let plan = FaultPlan::new(7).with(FaultModel::Drop { rate: 0.25 });
+//! plan.validate()?;
+//! let (faulted, report) = plan.apply(trace.clone());
+//! assert_eq!(report.input, 100);
+//! assert_eq!(report.output as usize, faulted.len());
+//! assert!(report.dropped > 0);
+//! // Same plan, same trace → bit-identical faulted stream.
+//! assert_eq!(plan.apply(trace).0, faulted);
+//! # Ok::<(), botmeter_faults::FaultPlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use botmeter_dns::{ObservedLookup, ServerId, SimDuration, SimInstant};
+use botmeter_stats::{mix64, SeedSequence};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One composable degradation of the observable trace.
+///
+/// Rates and probabilities are per-record; durations are virtual
+/// (simulation) time. See [`FaultPlan::validate`] for the accepted
+/// parameter domains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultModel {
+    /// Uniform record loss: each record is dropped independently with
+    /// probability `rate`.
+    Drop {
+        /// Per-record drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Bursty loss (Gilbert–Elliott): a two-state channel that is lossless
+    /// in the *good* state and drops records with probability `loss` in the
+    /// *bad* state, entering bursts with `p_enter` and leaving them with
+    /// `p_exit` per record.
+    BurstLoss {
+        /// Per-record probability of entering a loss burst, in `[0, 1]`.
+        p_enter: f64,
+        /// Per-record probability of leaving a burst, in `(0, 1]` (the
+        /// channel must be able to recover).
+        p_exit: f64,
+        /// Drop probability while inside a burst, in `[0, 1]`.
+        loss: f64,
+    },
+    /// Record duplication: each record is emitted twice (back to back) with
+    /// probability `rate` — the collector-retransmit artefact.
+    Duplicate {
+        /// Per-record duplication probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Bounded reordering: each record is independently selected with
+    /// probability `rate` and delayed past at most `max_displacement`
+    /// later records (timestamps are untouched, so the displaced records
+    /// arrive visibly out of order).
+    Reorder {
+        /// Per-record displacement probability in `[0, 1]`.
+        rate: f64,
+        /// Upper bound on how many positions a record can slip, ≥ 1.
+        max_displacement: usize,
+    },
+    /// Per-record timestamp jitter: each timestamp shifts by a uniform
+    /// offset in `[-max, +max]` (clamped at the epoch origin). Record
+    /// order is untouched, so jittered streams carry timestamp inversions.
+    Jitter {
+        /// Maximum absolute per-record shift.
+        max: SimDuration,
+    },
+    /// Constant per-server clock skew: every record of a server shifts by
+    /// the same offset in `[-max, +max]`, derived deterministically from
+    /// the plan seed and the server id.
+    ClockSkew {
+        /// Maximum absolute per-server offset.
+        max: SimDuration,
+    },
+    /// Per-server 1-in-N export sampling: each server keeps exactly every
+    /// `keep_one_in`-th record of its substream (with a per-server phase),
+    /// the deterministic sampling real exporters apply under load.
+    Sample {
+        /// Keep one record out of this many, ≥ 1 (1 = keep everything).
+        keep_one_in: u64,
+    },
+    /// Vantage-point outage: every record of `server` (or of all servers
+    /// when `None`) with a timestamp in `[from, until)` is lost.
+    Outage {
+        /// The affected server; `None` blacks out the whole vantage point.
+        server: Option<ServerId>,
+        /// Start of the outage window (inclusive).
+        from: SimInstant,
+        /// End of the outage window (exclusive).
+        until: SimInstant,
+    },
+}
+
+impl FaultModel {
+    /// A short stable name, used for seed derivation and reporting. Seeds
+    /// fork over the stage *index* and this name, so two stages of the same
+    /// kind in one plan still draw from distinct substreams.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::Drop { .. } => "drop",
+            FaultModel::BurstLoss { .. } => "burst_loss",
+            FaultModel::Duplicate { .. } => "duplicate",
+            FaultModel::Reorder { .. } => "reorder",
+            FaultModel::Jitter { .. } => "jitter",
+            FaultModel::ClockSkew { .. } => "clock_skew",
+            FaultModel::Sample { .. } => "sample",
+            FaultModel::Outage { .. } => "outage",
+        }
+    }
+
+    /// Checks this stage's parameters; see [`FaultPlanError`].
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let probability = |what: &'static str, p: f64| {
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(FaultPlanError::BadProbability {
+                    stage: self.name(),
+                    what,
+                    value: p,
+                })
+            }
+        };
+        match *self {
+            FaultModel::Drop { rate } | FaultModel::Duplicate { rate } => probability("rate", rate),
+            FaultModel::BurstLoss {
+                p_enter,
+                p_exit,
+                loss,
+            } => {
+                probability("p_enter", p_enter)?;
+                probability("p_exit", p_exit)?;
+                probability("loss", loss)?;
+                if p_exit <= 0.0 {
+                    return Err(FaultPlanError::BadProbability {
+                        stage: self.name(),
+                        what: "p_exit",
+                        value: p_exit,
+                    });
+                }
+                Ok(())
+            }
+            FaultModel::Reorder {
+                rate,
+                max_displacement,
+            } => {
+                probability("rate", rate)?;
+                if max_displacement == 0 {
+                    return Err(FaultPlanError::ZeroDisplacement);
+                }
+                Ok(())
+            }
+            FaultModel::Jitter { .. } | FaultModel::ClockSkew { .. } => Ok(()),
+            FaultModel::Sample { keep_one_in } => {
+                if keep_one_in == 0 {
+                    return Err(FaultPlanError::ZeroSamplingStride);
+                }
+                Ok(())
+            }
+            FaultModel::Outage { from, until, .. } => {
+                if until <= from {
+                    Err(FaultPlanError::EmptyOutageWindow { from, until })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Applies this stage in place. `stage_seed` is the fully-forked seed
+    /// for this stage (plan seed × stage index × stage name).
+    fn apply_stage(&self, trace: &mut Vec<ObservedLookup>, stage_seed: u64, rep: &mut FaultReport) {
+        match *self {
+            FaultModel::Drop { rate } => {
+                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
+                trace.retain(|_| {
+                    let lost = rng.gen_bool(rate);
+                    rep.dropped += u64::from(lost);
+                    !lost
+                });
+            }
+            FaultModel::BurstLoss {
+                p_enter,
+                p_exit,
+                loss,
+            } => {
+                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
+                let mut burst = false;
+                trace.retain(|_| {
+                    let lost = burst && rng.gen_bool(loss);
+                    // Transition after the record so a burst always has a
+                    // chance to claim at least one record.
+                    burst = if burst {
+                        !rng.gen_bool(p_exit)
+                    } else {
+                        rng.gen_bool(p_enter)
+                    };
+                    rep.dropped += u64::from(lost);
+                    !lost
+                });
+            }
+            FaultModel::Duplicate { rate } => {
+                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
+                let mut out = Vec::with_capacity(trace.len());
+                for lookup in trace.drain(..) {
+                    let dup = rng.gen_bool(rate);
+                    if dup {
+                        rep.duplicated += 1;
+                        out.push(lookup.clone());
+                    }
+                    out.push(lookup);
+                }
+                *trace = out;
+            }
+            FaultModel::Reorder {
+                rate,
+                max_displacement,
+            } => {
+                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
+                let mut keyed: Vec<(u64, ObservedLookup)> = trace
+                    .drain(..)
+                    .enumerate()
+                    .map(|(i, lookup)| {
+                        let displaced = rng.gen_bool(rate);
+                        let key = if displaced {
+                            rep.displaced += 1;
+                            i as u64 + rng.gen_range(1..=max_displacement as u64)
+                        } else {
+                            i as u64
+                        };
+                        (key, lookup)
+                    })
+                    .collect();
+                // Stable sort on the displaced index: a selected record
+                // slips past at most `max_displacement` neighbours.
+                keyed.sort_by_key(|&(key, _)| key);
+                trace.extend(keyed.into_iter().map(|(_, lookup)| lookup));
+            }
+            FaultModel::Jitter { max } => {
+                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
+                let span = max.as_millis();
+                for lookup in trace.iter_mut() {
+                    let offset = rng.gen_range(0..=2 * span) as i64 - span as i64;
+                    let shifted = shift(lookup.t, offset);
+                    rep.perturbed += u64::from(shifted != lookup.t);
+                    lookup.t = shifted;
+                }
+            }
+            FaultModel::ClockSkew { max } => {
+                let span = max.as_millis() as i64;
+                for lookup in trace.iter_mut() {
+                    // Per-server constant offset in [-max, +max], a pure
+                    // function of (stage seed, server) — independent of
+                    // record order.
+                    let r = mix64(stage_seed ^ mix64(u64::from(lookup.server.0)));
+                    let offset = (r % (2 * span as u64 + 1)) as i64 - span;
+                    let shifted = shift(lookup.t, offset);
+                    rep.perturbed += u64::from(shifted != lookup.t);
+                    lookup.t = shifted;
+                }
+            }
+            FaultModel::Sample { keep_one_in } => {
+                let mut position: HashMap<ServerId, u64> = HashMap::new();
+                trace.retain(|lookup| {
+                    let pos = position.entry(lookup.server).or_insert(0);
+                    let phase = mix64(stage_seed ^ mix64(u64::from(lookup.server.0))) % keep_one_in;
+                    let keep = *pos % keep_one_in == phase;
+                    *pos += 1;
+                    rep.dropped += u64::from(!keep);
+                    keep
+                });
+            }
+            FaultModel::Outage {
+                server,
+                from,
+                until,
+            } => {
+                trace.retain(|lookup| {
+                    let affected = server.is_none_or(|s| s == lookup.server)
+                        && lookup.t >= from
+                        && lookup.t < until;
+                    rep.dropped += u64::from(affected);
+                    !affected
+                });
+            }
+        }
+    }
+}
+
+/// Shifts an instant by a signed millisecond offset, clamping at time zero.
+fn shift(t: SimInstant, offset_ms: i64) -> SimInstant {
+    if offset_ms >= 0 {
+        t + SimDuration::from_millis(offset_ms as u64)
+    } else {
+        t - SimDuration::from_millis(offset_ms.unsigned_abs())
+    }
+}
+
+/// An ordered stack of fault stages plus the root seed they draw from.
+///
+/// Stages apply in insertion order — e.g. sampling *after* duplication
+/// models an exporter that samples the already-duplicated stream. Each
+/// stage's randomness forks from `(seed, stage index, stage name)`, so
+/// plans are stable under stage insertion/removal elsewhere in the stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    stages: Vec<FaultModel>,
+}
+
+impl FaultPlan {
+    /// An empty plan (applies nothing) rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a fault stage.
+    #[must_use]
+    pub fn with(mut self, stage: FaultModel) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stages in application order.
+    pub fn stages(&self) -> &[FaultModel] {
+        &self.stages
+    }
+
+    /// Whether the plan has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Validates every stage's parameters.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for stage in &self.stages {
+            stage.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Runs the trace through every stage and reports what happened.
+    ///
+    /// Pure and deterministic: the same `(plan, trace)` pair always yields
+    /// the same faulted trace, on any thread, under any execution policy.
+    /// Invalid stage parameters (see [`FaultPlan::validate`]) make the
+    /// stage rngs panic; validate plans built from untrusted input first.
+    pub fn apply(&self, trace: Vec<ObservedLookup>) -> (Vec<ObservedLookup>, FaultReport) {
+        let mut report = FaultReport {
+            input: trace.len() as u64,
+            ..FaultReport::default()
+        };
+        let seeds = SeedSequence::new(self.seed).fork_str("faults");
+        let mut trace = trace;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let stage_seed = seeds.fork(i as u64).fork_str(stage.name()).seed();
+            stage.apply_stage(&mut trace, stage_seed, &mut report);
+        }
+        report.output = trace.len() as u64;
+        (trace, report)
+    }
+}
+
+/// What a [`FaultPlan`] did to one trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Records entering the plan.
+    pub input: u64,
+    /// Records leaving the plan.
+    pub output: u64,
+    /// Records lost to drop, burst-loss, sampling and outage stages.
+    pub dropped: u64,
+    /// Extra copies emitted by duplication stages.
+    pub duplicated: u64,
+    /// Records moved out of arrival order by reordering stages.
+    pub displaced: u64,
+    /// Records whose timestamp changed under jitter or clock skew.
+    pub perturbed: u64,
+}
+
+impl FaultReport {
+    /// The effective delivery rate `output / input` — the factor estimators
+    /// divide by to rescale observed counts. `1.0` for an empty input;
+    /// above `1.0` when duplication outweighs loss.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.input == 0 {
+            1.0
+        } else {
+            self.output as f64 / self.input as f64
+        }
+    }
+}
+
+/// Invalid [`FaultPlan`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// A rate or probability was outside its domain (or not finite).
+    BadProbability {
+        /// The offending stage's [`FaultModel::name`].
+        stage: &'static str,
+        /// Which parameter was out of domain.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A reorder stage allowed zero displacement.
+    ZeroDisplacement,
+    /// A sampling stage had a zero stride.
+    ZeroSamplingStride,
+    /// An outage window ends at or before it starts.
+    EmptyOutageWindow {
+        /// Window start.
+        from: SimInstant,
+        /// Window end.
+        until: SimInstant,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::BadProbability { stage, what, value } => {
+                write!(f, "{stage}: {what} = {value} is outside its domain")
+            }
+            FaultPlanError::ZeroDisplacement => {
+                write!(f, "reorder: max_displacement must be at least 1")
+            }
+            FaultPlanError::ZeroSamplingStride => {
+                write!(f, "sample: keep_one_in must be at least 1")
+            }
+            FaultPlanError::EmptyOutageWindow { from, until } => {
+                write!(f, "outage: window [{from:?}, {until:?}) is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: u64) -> Vec<ObservedLookup> {
+        (0..n)
+            .map(|i| {
+                let server = ServerId((i % 3) as u32 + 1);
+                let domain = format!("d{i}.example").parse().unwrap();
+                ObservedLookup::new(SimInstant::from_millis(i * 100), server, domain)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let t = trace(50);
+        let (out, report) = FaultPlan::new(1).apply(t.clone());
+        assert_eq!(out, t);
+        assert_eq!(report.input, 50);
+        assert_eq!(report.output, 50);
+        assert_eq!(report.dropped, 0);
+        assert!((report.delivery_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let plan = FaultPlan::new(9)
+            .with(FaultModel::Drop { rate: 0.3 })
+            .with(FaultModel::Duplicate { rate: 0.2 })
+            .with(FaultModel::Jitter {
+                max: SimDuration::from_millis(250),
+            });
+        let (a, ra) = plan.apply(trace(400));
+        let (b, rb) = plan.apply(trace(400));
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        let other = FaultPlan::new(10)
+            .with(FaultModel::Drop { rate: 0.3 })
+            .with(FaultModel::Duplicate { rate: 0.2 })
+            .with(FaultModel::Jitter {
+                max: SimDuration::from_millis(250),
+            });
+        assert_ne!(other.apply(trace(400)).0, a, "seed must matter");
+    }
+
+    #[test]
+    fn drop_rate_roughly_respected_and_reported() {
+        let plan = FaultPlan::new(3).with(FaultModel::Drop { rate: 0.5 });
+        let (out, report) = plan.apply(trace(2000));
+        assert_eq!(report.dropped as usize, 2000 - out.len());
+        let rate = report.delivery_rate();
+        assert!((0.4..0.6).contains(&rate), "delivery {rate}");
+    }
+
+    #[test]
+    fn burst_loss_drops_in_runs() {
+        let plan = FaultPlan::new(5).with(FaultModel::BurstLoss {
+            p_enter: 0.05,
+            p_exit: 0.3,
+            loss: 1.0,
+        });
+        let (out, report) = plan.apply(trace(3000));
+        assert!(report.dropped > 0);
+        assert_eq!(out.len() + report.dropped as usize, 3000);
+        // Lossless in the good state: with these parameters a healthy
+        // majority survives.
+        assert!(out.len() > 1500, "kept {}", out.len());
+    }
+
+    #[test]
+    fn duplicate_emits_adjacent_copies() {
+        let plan = FaultPlan::new(4).with(FaultModel::Duplicate { rate: 1.0 });
+        let (out, report) = plan.apply(trace(10));
+        assert_eq!(out.len(), 20);
+        assert_eq!(report.duplicated, 10);
+        for pair in out.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn reorder_is_bounded() {
+        let n = 500usize;
+        let max_displacement = 4usize;
+        let plan = FaultPlan::new(6).with(FaultModel::Reorder {
+            rate: 0.5,
+            max_displacement,
+        });
+        let original = trace(n as u64);
+        let (out, report) = plan.apply(original.clone());
+        assert_eq!(out.len(), n);
+        assert!(report.displaced > 0);
+        // Every record lands within max_displacement of where it started.
+        for (pos, lookup) in out.iter().enumerate() {
+            let orig = original.iter().position(|o| o == lookup).unwrap();
+            assert!(
+                pos.abs_diff(orig) <= max_displacement,
+                "record {orig} moved to {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bound_and_preserves_order_of_records() {
+        let max = SimDuration::from_millis(300);
+        let plan = FaultPlan::new(7).with(FaultModel::Jitter { max });
+        let original = trace(200);
+        let (out, report) = plan.apply(original.clone());
+        assert_eq!(out.len(), original.len());
+        assert!(report.perturbed > 0);
+        for (a, b) in original.iter().zip(&out) {
+            assert_eq!(a.domain, b.domain, "record order preserved");
+            let delta = a.t.as_millis().abs_diff(b.t.as_millis());
+            assert!(delta <= 300, "jitter {delta} exceeds bound");
+        }
+    }
+
+    #[test]
+    fn clock_skew_is_constant_per_server() {
+        let plan = FaultPlan::new(8).with(FaultModel::ClockSkew {
+            max: SimDuration::from_secs(2),
+        });
+        let original = trace(300);
+        let (out, _) = plan.apply(original.clone());
+        let mut offsets: HashMap<ServerId, i64> = HashMap::new();
+        for (a, b) in original.iter().zip(&out) {
+            let offset = b.t.as_millis() as i64 - a.t.as_millis() as i64;
+            assert!(offset.unsigned_abs() <= 2000);
+            // Clamping at t=0 can shrink early offsets; skip those.
+            if a.t.as_millis() >= 2000 {
+                let known = offsets.entry(a.server).or_insert(offset);
+                assert_eq!(*known, offset, "skew varies within {:?}", a.server);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n_per_server() {
+        let plan = FaultPlan::new(9).with(FaultModel::Sample { keep_one_in: 3 });
+        let original = trace(900);
+        let (out, report) = plan.apply(original);
+        // 900 records over 3 servers → 300 each → 100 kept each.
+        assert_eq!(out.len(), 300);
+        assert_eq!(report.dropped, 600);
+        assert!((report.delivery_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_blacks_out_window() {
+        let from = SimInstant::from_millis(10_000);
+        let until = SimInstant::from_millis(20_000);
+        let all = FaultPlan::new(10).with(FaultModel::Outage {
+            server: None,
+            from,
+            until,
+        });
+        let (out, _) = all.apply(trace(1000));
+        assert!(out.iter().all(|o| o.t < from || o.t >= until));
+        let one = FaultPlan::new(10).with(FaultModel::Outage {
+            server: Some(ServerId(2)),
+            from,
+            until,
+        });
+        let (out, _) = one.apply(trace(1000));
+        assert!(out
+            .iter()
+            .all(|o| o.server != ServerId(2) || o.t < from || o.t >= until));
+        assert!(out
+            .iter()
+            .any(|o| o.server == ServerId(1) && o.t >= from && o.t < until));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultModel::Drop { rate: 1.5 }.validate().is_err());
+        assert!(FaultModel::Drop { rate: f64::NAN }.validate().is_err());
+        assert!(FaultModel::Duplicate { rate: -0.1 }.validate().is_err());
+        assert!(FaultModel::BurstLoss {
+            p_enter: 0.1,
+            p_exit: 0.0,
+            loss: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel::Reorder {
+            rate: 0.5,
+            max_displacement: 0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultModel::Sample { keep_one_in: 0 }.validate().is_err());
+        assert!(FaultModel::Outage {
+            server: None,
+            from: SimInstant::from_millis(5),
+            until: SimInstant::from_millis(5),
+        }
+        .validate()
+        .is_err());
+        let bad_plan = FaultPlan::new(0).with(FaultModel::Drop { rate: 2.0 });
+        assert!(bad_plan.validate().is_err());
+        let good_plan = FaultPlan::new(0)
+            .with(FaultModel::Drop { rate: 0.0 })
+            .with(FaultModel::Sample { keep_one_in: 1 });
+        assert!(good_plan.validate().is_ok());
+        assert_eq!(good_plan.stages().len(), 2);
+        assert!(!good_plan.is_empty());
+        assert_eq!(good_plan.seed(), 0);
+    }
+
+    #[test]
+    fn stage_substreams_are_independent() {
+        // Removing the first stage must not change how the (previously)
+        // second stage draws — substreams fork over the stage index, so the
+        // *same* stage at the same index draws identically.
+        let jitter = FaultModel::Jitter {
+            max: SimDuration::from_millis(100),
+        };
+        let solo = FaultPlan::new(11).with(jitter.clone());
+        let stacked = FaultPlan::new(11)
+            .with(jitter)
+            .with(FaultModel::Drop { rate: 0.0 });
+        let (a, _) = solo.apply(trace(100));
+        let (b, _) = stacked.apply(trace(100));
+        assert_eq!(a, b, "a zero-rate later stage must not disturb jitter");
+    }
+
+    #[test]
+    fn error_display_and_serde() {
+        let e = FaultModel::Drop { rate: 7.0 }.validate().unwrap_err();
+        assert!(e.to_string().contains("drop"));
+        let plan = FaultPlan::new(1)
+            .with(FaultModel::Sample { keep_one_in: 4 })
+            .with(FaultModel::Outage {
+                server: Some(ServerId(3)),
+                from: SimInstant::ZERO,
+                until: SimInstant::from_millis(100),
+            });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -5,6 +5,7 @@ use crate::DomainMatcher;
 use botmeter_dns::{ObservedLookup, ServerId};
 use botmeter_exec::ExecPolicy;
 use botmeter_obs::Obs;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Below this stream length the parallel matcher falls back to the
@@ -24,6 +25,51 @@ pub struct MatchedTraffic {
     /// Matched-lookup count across all servers, maintained on insert so
     /// `total_matched`/`match_rate` never re-walk the per-server map.
     total: usize,
+    /// Matched lookups that arrived with a timestamp *earlier* than their
+    /// server's previous matched lookup — evidence of reordering, jitter or
+    /// clock skew upstream.
+    out_of_order: usize,
+    /// Matched lookups identical (same timestamp, same domain) to their
+    /// server's immediately preceding matched lookup — evidence of
+    /// collector duplication.
+    duplicates: usize,
+}
+
+/// What the matching scan learned about the health of the input stream —
+/// the summary [`BotMeter::chart`] uses to flag degraded landscape cells.
+///
+/// Anomaly counts are computed from *adjacent matched pairs per server*
+/// (strict timestamp inversions, and exact adjacent repeats), so they are
+/// identical under sequential and chunked-parallel scans.
+///
+/// [`BotMeter::chart`]: https://docs.rs/botmeter-core
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamQuality {
+    /// Observed lookups scanned (matched or not).
+    pub scanned: usize,
+    /// Lookups that matched the target DGA.
+    pub matched: usize,
+    /// Matched lookups older than their per-server predecessor.
+    pub out_of_order: usize,
+    /// Matched lookups exactly repeating their per-server predecessor.
+    pub duplicates: usize,
+}
+
+impl StreamQuality {
+    /// Whether the scan saw any ordering or duplication anomaly.
+    pub fn is_degraded(&self) -> bool {
+        self.out_of_order > 0 || self.duplicates > 0
+    }
+
+    /// Fraction of matched lookups that are anomalous (`0.0` when nothing
+    /// matched).
+    pub fn anomaly_rate(&self) -> f64 {
+        if self.matched == 0 {
+            0.0
+        } else {
+            (self.out_of_order + self.duplicates) as f64 / self.matched as f64
+        }
+    }
 }
 
 impl MatchedTraffic {
@@ -64,7 +110,37 @@ impl MatchedTraffic {
         self.by_server.iter().map(|(s, v)| (*s, v.as_slice()))
     }
 
+    /// The stream-health summary of this scan (see [`StreamQuality`]).
+    pub fn quality(&self) -> StreamQuality {
+        StreamQuality {
+            scanned: self.scanned,
+            matched: self.total,
+            out_of_order: self.out_of_order,
+            duplicates: self.duplicates,
+        }
+    }
+
+    /// Classifies `next` against the last lookup already held for its
+    /// server: a strict timestamp inversion, an exact adjacent repeat, or
+    /// neither. Shared by `push` and the `append` chunk boundary so the
+    /// chunked-parallel merge counts exactly what the sequential scan does.
+    fn note_adjacency(&mut self, prev: Option<&ObservedLookup>, next: &ObservedLookup) {
+        if let Some(prev) = prev {
+            if next.t < prev.t {
+                self.out_of_order += 1;
+            } else if next.t == prev.t && next.domain == prev.domain {
+                self.duplicates += 1;
+            }
+        }
+    }
+
     fn push(&mut self, lookup: ObservedLookup) {
+        let prev = self
+            .by_server
+            .get(&lookup.server)
+            .and_then(|v| v.last())
+            .cloned();
+        self.note_adjacency(prev.as_ref(), &lookup);
         self.by_server
             .entry(lookup.server)
             .or_default()
@@ -74,13 +150,21 @@ impl MatchedTraffic {
 
     /// Appends another shard's groups. `other` must cover a stream segment
     /// strictly *after* every lookup already held, so per-server arrival
-    /// order is preserved by plain concatenation.
+    /// order is preserved by plain concatenation. The adjacent pair
+    /// straddling the shard boundary is re-examined here, which makes the
+    /// anomaly counters identical to a single sequential scan.
     fn append(&mut self, other: MatchedTraffic) {
         for (server, lookups) in other.by_server {
+            let prev = self.by_server.get(&server).and_then(|v| v.last()).cloned();
+            if let (Some(prev), Some(first)) = (prev, lookups.first()) {
+                self.note_adjacency(Some(&prev), first);
+            }
             self.by_server.entry(server).or_default().extend(lookups);
         }
         self.scanned += other.scanned;
         self.total += other.total;
+        self.out_of_order += other.out_of_order;
+        self.duplicates += other.duplicates;
     }
 }
 
@@ -122,8 +206,9 @@ pub fn match_stream<M: DomainMatcher + Sync>(
 }
 
 /// [`match_stream`] with metrics: records `matcher.probes` (lookups
-/// scanned) and `matcher.matches` (hits) through `obs`, as single batched
-/// deltas at the end of the scan.
+/// scanned), `matcher.matches` (hits), and the stream-health anomaly
+/// counts `matcher.out_of_order` / `matcher.duplicates` through `obs`, as
+/// single batched deltas at the end of the scan.
 pub fn match_stream_recorded<M: DomainMatcher + Sync>(
     observed: &[ObservedLookup],
     matcher: &M,
@@ -145,6 +230,13 @@ pub fn match_stream_recorded<M: DomainMatcher + Sync>(
     if obs.enabled() {
         obs.counter_add("matcher.probes", matched.total_scanned() as u64);
         obs.counter_add("matcher.matches", matched.total_matched() as u64);
+        let quality = matched.quality();
+        if quality.out_of_order > 0 {
+            obs.counter_add("matcher.out_of_order", quality.out_of_order as u64);
+        }
+        if quality.duplicates > 0 {
+            obs.counter_add("matcher.duplicates", quality.duplicates as u64);
+        }
     }
     matched
 }
@@ -293,6 +385,94 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("matcher.probes"), Some(3));
         assert_eq!(snap.counter("matcher.matches"), Some(2));
+    }
+
+    #[test]
+    fn quality_flags_out_of_order_and_duplicates() {
+        let stream = vec![
+            obs(5, 1, "a.evil.example"),
+            obs(5, 1, "a.evil.example"), // exact adjacent repeat
+            obs(3, 1, "b.evil.example"), // timestamp inversion
+            obs(9, 2, "a.evil.example"), // other server: clean
+        ];
+        let m = match_stream(&stream, &matcher(), ExecPolicy::Sequential);
+        let q = m.quality();
+        assert_eq!(q.scanned, 4);
+        assert_eq!(q.matched, 4);
+        assert_eq!(q.out_of_order, 1);
+        assert_eq!(q.duplicates, 1);
+        assert!(q.is_degraded());
+        assert!((q.anomaly_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_stream_quality_is_not_degraded() {
+        let stream = vec![obs(0, 1, "a.evil.example"), obs(1, 1, "b.evil.example")];
+        let m = match_stream(&stream, &matcher(), ExecPolicy::Sequential);
+        assert!(!m.quality().is_degraded());
+        assert_eq!(m.quality().anomaly_rate(), 0.0);
+    }
+
+    #[test]
+    fn quality_identical_across_policies_on_anomalous_stream() {
+        // Inversions and repeats sprinkled through a long stream, including
+        // near chunk boundaries, so the append() boundary re-check is
+        // exercised under every chunking.
+        let stream: Vec<_> = (0..6000u64)
+            .map(|i| {
+                let t = if i % 97 == 0 { i.saturating_sub(10) } else { i };
+                let name = if i % 2 == 0 {
+                    "a.evil.example"
+                } else {
+                    "b.evil.example"
+                };
+                let mut l = obs(t, (i % 4) as u32, name);
+                if i % 53 == 0 && i > 0 {
+                    // Force an exact repeat of the previous same-server slot.
+                    l = obs(
+                        i - 4,
+                        (i % 4) as u32,
+                        if (i - 4) % 2 == 0 {
+                            "a.evil.example"
+                        } else {
+                            "b.evil.example"
+                        },
+                    );
+                }
+                l
+            })
+            .collect();
+        let m = matcher();
+        let sequential = match_stream(&stream, &m, ExecPolicy::Sequential);
+        let parallel = match_stream(&stream, &m, ExecPolicy::with_threads(4));
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.quality(), sequential.quality());
+        assert!(sequential.quality().out_of_order > 0);
+    }
+
+    #[test]
+    fn recorded_scan_emits_quality_counters() {
+        let stream = vec![
+            obs(5, 1, "a.evil.example"),
+            obs(5, 1, "a.evil.example"),
+            obs(3, 1, "b.evil.example"),
+        ];
+        let (handle, registry) = Obs::collecting();
+        match_stream_recorded(&stream, &matcher(), ExecPolicy::Sequential, &handle);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("matcher.out_of_order"), Some(1));
+        assert_eq!(snap.counter("matcher.duplicates"), Some(1));
+        // A clean stream must not touch the anomaly counters at all.
+        let (clean_handle, clean_registry) = Obs::collecting();
+        match_stream_recorded(
+            &[obs(0, 1, "a.evil.example")],
+            &matcher(),
+            ExecPolicy::Sequential,
+            &clean_handle,
+        );
+        let clean = clean_registry.snapshot();
+        assert_eq!(clean.counter("matcher.out_of_order"), None);
+        assert_eq!(clean.counter("matcher.duplicates"), None);
     }
 
     #[test]

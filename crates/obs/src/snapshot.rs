@@ -100,13 +100,16 @@ impl MetricsSnapshot {
     }
 
     /// The counters covered by the determinism contract: everything except
-    /// the [`sched.`](crate::SCHED_PREFIX) scheduling metrics. Sequential
-    /// and parallel runs of the same pipeline must agree on these
-    /// bit-for-bit.
+    /// the [`sched.`](crate::SCHED_PREFIX) scheduling metrics (task, steal
+    /// and panic counts — `sched.exec.panics` included) and any wall-clock
+    /// key (a `_ns` suffix, the histogram naming convention — latency
+    /// totals leaking into a counter would differ between runs by nature).
+    /// Sequential and parallel runs of the same pipeline must agree on
+    /// these bit-for-bit, faulted runs included.
     pub fn deterministic_counters(&self) -> Vec<CounterSnapshot> {
         self.counters
             .iter()
-            .filter(|c| !c.name.starts_with(SCHED_PREFIX))
+            .filter(|c| !c.name.starts_with(SCHED_PREFIX) && !c.name.ends_with("_ns"))
             .cloned()
             .collect()
     }
@@ -126,6 +129,14 @@ mod tests {
                 CounterSnapshot {
                     name: "sched.exec.steals".into(),
                     value: 9,
+                },
+                CounterSnapshot {
+                    name: "sched.exec.panics".into(),
+                    value: 1,
+                },
+                CounterSnapshot {
+                    name: "pipeline.total_ns".into(),
+                    value: 123_456,
                 },
             ],
             histograms: vec![HistogramSnapshot {
@@ -147,11 +158,11 @@ mod tests {
         assert_eq!(s.counter("cache.s1.misses"), Some(4));
         assert_eq!(s.counter("nope"), None);
         assert_eq!(s.counters_with_prefix("cache.").count(), 1);
-        assert_eq!(s.counters_with_prefix("sched.").count(), 1);
+        assert_eq!(s.counters_with_prefix("sched.").count(), 2);
     }
 
     #[test]
-    fn deterministic_counters_exclude_sched() {
+    fn deterministic_counters_exclude_sched_and_wall_clock_keys() {
         let det = sample().deterministic_counters();
         assert_eq!(det.len(), 1);
         assert_eq!(det[0].name, "cache.s1.misses");

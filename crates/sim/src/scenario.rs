@@ -8,6 +8,7 @@ use botmeter_dns::{
     ClientId, ObservedLookup, RawLookup, SimDuration, SimInstant, Topology, TtlPolicy,
 };
 use botmeter_exec::ExecPolicy;
+use botmeter_faults::{FaultPlan, FaultPlanError, FaultReport};
 use botmeter_obs::Obs;
 use botmeter_stats::SeedSequence;
 use rand::SeedableRng;
@@ -48,6 +49,7 @@ pub struct ScenarioSpec {
     ttl: TtlPolicy,
     granularity: SimDuration,
     evasion: EvasionStrategy,
+    faults: Option<FaultPlan>,
     seed: u64,
     obs: Obs,
 }
@@ -62,12 +64,14 @@ pub struct ScenarioSpecBuilder {
     ttl: TtlPolicy,
     granularity: SimDuration,
     evasion: EvasionStrategy,
+    faults: Option<FaultPlan>,
     seed: u64,
     obs: Obs,
 }
 
 /// Invalid scenario configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum ScenarioBuildError {
     /// Population must be at least 1.
     ZeroPopulation,
@@ -77,6 +81,8 @@ pub enum ScenarioBuildError {
     BadSigma,
     /// The evasion strategy's parameters are out of domain.
     BadEvasion(&'static str),
+    /// The fault plan's parameters are out of domain.
+    BadFaults(FaultPlanError),
 }
 
 impl fmt::Display for ScenarioBuildError {
@@ -88,6 +94,7 @@ impl fmt::Display for ScenarioBuildError {
                 write!(f, "dynamic-rate sigma must be finite and positive")
             }
             ScenarioBuildError::BadEvasion(msg) => write!(f, "invalid evasion strategy: {msg}"),
+            ScenarioBuildError::BadFaults(err) => write!(f, "invalid fault plan: {err}"),
         }
     }
 }
@@ -105,6 +112,7 @@ impl ScenarioSpec {
             ttl: TtlPolicy::paper_default(),
             granularity: SimDuration::from_millis(100),
             evasion: EvasionStrategy::None,
+            faults: None,
             seed: 0,
             obs: Obs::noop(),
         }
@@ -222,6 +230,18 @@ impl ScenarioSpec {
             })
             .collect();
 
+        // Phase D — optional measurement faults: the configured plan
+        // degrades the observable trace (loss, duplication, reordering,
+        // skew, sampling, outages) deterministically from its own seed, so
+        // faulted runs stay bit-identical across execution policies.
+        let (observed, fault_report) = match &self.faults {
+            Some(plan) => {
+                let (faulted, report) = plan.apply(observed);
+                (faulted, Some(report))
+            }
+            None => (observed, None),
+        };
+
         if self.obs.enabled() {
             self.obs
                 .counter_add("sim.activations", ground_truth.iter().sum());
@@ -229,6 +249,16 @@ impl ScenarioSpec {
             self.obs.counter_add("sim.raw_lookups", raw.len() as u64);
             self.obs
                 .counter_add("sim.observed_lookups", observed.len() as u64);
+            if let Some(report) = &fault_report {
+                self.obs.counter_add("sim.faults.input", report.input);
+                self.obs.counter_add("sim.faults.dropped", report.dropped);
+                self.obs
+                    .counter_add("sim.faults.duplicated", report.duplicated);
+                self.obs
+                    .counter_add("sim.faults.displaced", report.displaced);
+                self.obs
+                    .counter_add("sim.faults.perturbed", report.perturbed);
+            }
         }
 
         ScenarioOutcome {
@@ -239,6 +269,7 @@ impl ScenarioSpec {
             raw,
             observed,
             ground_truth,
+            fault_report,
         }
     }
 
@@ -351,6 +382,14 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Attaches a measurement [`FaultPlan`] applied to the observable
+    /// trace after cache filtering and quantisation (default: none). The
+    /// plan's parameters are validated by [`build`](Self::build).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Sets the root seed (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -386,6 +425,9 @@ impl ScenarioSpecBuilder {
         self.evasion
             .validate()
             .map_err(ScenarioBuildError::BadEvasion)?;
+        if let Some(plan) = &self.faults {
+            plan.validate().map_err(ScenarioBuildError::BadFaults)?;
+        }
         Ok(ScenarioSpec {
             family: self.family,
             population: self.population,
@@ -394,6 +436,7 @@ impl ScenarioSpecBuilder {
             ttl: self.ttl,
             granularity: self.granularity,
             evasion: self.evasion,
+            faults: self.faults,
             seed: self.seed,
             obs: self.obs,
         })
@@ -411,6 +454,7 @@ pub struct ScenarioOutcome {
     raw: Vec<RawLookup>,
     observed: Vec<ObservedLookup>,
     ground_truth: Vec<u64>,
+    fault_report: Option<FaultReport>,
 }
 
 impl ScenarioOutcome {
@@ -447,6 +491,12 @@ impl ScenarioOutcome {
     /// Actual number of bot activations per epoch (the estimators' target).
     pub fn ground_truth(&self) -> &[u64] {
         &self.ground_truth
+    }
+
+    /// What the configured [`FaultPlan`] did to the observable trace
+    /// (`None` when the scenario ran fault-free).
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        self.fault_report.as_ref()
     }
 
     /// The observed lookups whose timestamps fall in `epoch`.
@@ -578,6 +628,65 @@ mod tests {
         for w in outcome.raw().windows(2) {
             assert!(w[0].t <= w[1].t);
         }
+    }
+
+    #[test]
+    fn faulted_run_reports_degradation_and_validates_plan() {
+        use botmeter_faults::FaultModel;
+        let base = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .seed(7);
+        let clean = base.clone().build().unwrap().run(ExecPolicy::default());
+        assert!(clean.fault_report().is_none());
+
+        let faulted = base
+            .clone()
+            .faults(FaultPlan::new(9).with(FaultModel::Drop { rate: 0.3 }))
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        let report = faulted.fault_report().expect("plan attached");
+        assert_eq!(report.input, clean.observed().len() as u64);
+        assert_eq!(report.output, faulted.observed().len() as u64);
+        assert!(report.dropped > 0, "30% loss must drop something");
+        assert!(report.delivery_rate() < 1.0);
+
+        let err = base
+            .faults(FaultPlan::new(1).with(FaultModel::Drop { rate: 1.5 }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioBuildError::BadFaults(_)));
+        assert!(err.to_string().contains("invalid fault plan"));
+    }
+
+    #[test]
+    fn faulted_run_records_fault_counters() {
+        use botmeter_faults::FaultModel;
+        let (obs, registry) = Obs::collecting();
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .seed(7)
+            .faults(
+                FaultPlan::new(9)
+                    .with(FaultModel::Drop { rate: 0.2 })
+                    .with(FaultModel::Duplicate { rate: 0.1 }),
+            )
+            .obs(obs)
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        let report = outcome.fault_report().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim.faults.input"), Some(report.input));
+        assert_eq!(snap.counter("sim.faults.dropped"), Some(report.dropped));
+        assert_eq!(
+            snap.counter("sim.faults.duplicated"),
+            Some(report.duplicated)
+        );
+        assert_eq!(
+            snap.counter("sim.observed_lookups"),
+            Some(outcome.observed().len() as u64)
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! deterministic metrics counter an attached recorder collects.
 
 use botmeter_dga::DgaFamily;
+use botmeter_dns::{ServerId, SimDuration, SimInstant};
 use botmeter_exec::ExecPolicy;
+use botmeter_faults::{FaultModel, FaultPlan};
 use botmeter_obs::Obs;
 use botmeter_sim::{ActivationModel, EvasionStrategy, ScenarioSpec, ScenarioSpecBuilder};
 
@@ -121,6 +123,101 @@ fn parallel_run_is_bit_identical_under_evasion() {
         };
         assert_runs_match(build, &format!("{evasion:?}"));
     }
+}
+
+/// Every fault model available to a plan, each with parameters aggressive
+/// enough to actually fire on a small trace.
+fn every_fault_model() -> Vec<(&'static str, FaultModel)> {
+    vec![
+        ("drop", FaultModel::Drop { rate: 0.3 }),
+        (
+            "burst_loss",
+            FaultModel::BurstLoss {
+                p_enter: 0.2,
+                p_exit: 0.3,
+                loss: 0.9,
+            },
+        ),
+        ("duplicate", FaultModel::Duplicate { rate: 0.25 }),
+        (
+            "reorder",
+            FaultModel::Reorder {
+                rate: 0.3,
+                max_displacement: 5,
+            },
+        ),
+        (
+            "jitter",
+            FaultModel::Jitter {
+                max: SimDuration::from_secs(30),
+            },
+        ),
+        (
+            "clock_skew",
+            FaultModel::ClockSkew {
+                max: SimDuration::from_secs(120),
+            },
+        ),
+        ("sample", FaultModel::Sample { keep_one_in: 3 }),
+        (
+            "outage",
+            FaultModel::Outage {
+                server: Some(ServerId(1)),
+                from: SimInstant::from_millis(3_600_000),
+                until: SimInstant::from_millis(14_400_000),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_for_every_fault_model() {
+    force_parallel();
+    for (name, model) in every_fault_model() {
+        let model_for_build = model.clone();
+        let build = move || {
+            ScenarioSpec::builder(DgaFamily::new_goz())
+                .population(48)
+                .num_epochs(2)
+                .seed(17)
+                .faults(FaultPlan::new(23).with(model_for_build.clone()))
+        };
+        assert_runs_match(&build, &format!("fault model {name}"));
+        // The fault report itself must agree across policies too.
+        let par = build()
+            .build()
+            .expect("valid spec")
+            .run(ExecPolicy::parallel());
+        let seq = build()
+            .build()
+            .expect("valid spec")
+            .run(ExecPolicy::Sequential);
+        assert_eq!(
+            par.fault_report(),
+            seq.fault_report(),
+            "fault report diverged: {name}"
+        );
+        assert!(par.fault_report().is_some(), "{name}: report missing");
+    }
+}
+
+#[test]
+fn composed_fault_plan_is_bit_identical_across_policies() {
+    force_parallel();
+    // All stages stacked in one plan: the seed forking per (index, name)
+    // must keep every stage's substream independent of the policy.
+    let build = || {
+        let mut plan = FaultPlan::new(99);
+        for (_, model) in every_fault_model() {
+            plan = plan.with(model);
+        }
+        ScenarioSpec::builder(DgaFamily::murofet())
+            .population(48)
+            .num_epochs(2)
+            .seed(29)
+            .faults(plan)
+    };
+    assert_runs_match(build, "composed fault plan");
 }
 
 #[test]

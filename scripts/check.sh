@@ -31,6 +31,27 @@ if [[ -n "$offenders" ]]; then
   exit 1
 fi
 
+echo "==> unwrap() grep gate (library code of core, dns, dga, matcher)"
+# User-reachable library paths must surface typed errors, not panic.
+# `unwrap()` stays legal in `#[cfg(test)]` modules (the awk below stops
+# scanning a file once it reaches that marker) and in `//` comment lines.
+unwrap_offenders=$(
+  find crates/core/src crates/dns/src crates/dga/src crates/matcher/src \
+    -name '*.rs' -print0 \
+  | xargs -0 awk '
+      FNR == 1 { in_tests = 0 }
+      /#\[cfg\(test\)\]/ { in_tests = 1 }
+      in_tests { next }
+      /^[[:space:]]*\/\// { next }
+      /\.unwrap\(/ { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+    '
+)
+if [[ -n "$unwrap_offenders" ]]; then
+  echo "error: unwrap() in non-test library code; return a typed error instead:" >&2
+  echo "$unwrap_offenders" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

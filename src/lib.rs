@@ -19,7 +19,10 @@
 //! * [`exec`] — the execution substrate behind the unified
 //!   [`exec::ExecPolicy`] API (every pipeline entry point takes one);
 //! * [`obs`] — the observability layer: attach an [`obs::Obs`] recorder to
-//!   any stage and pull a JSON-serialisable [`obs::MetricsSnapshot`].
+//!   any stage and pull a JSON-serialisable [`obs::MetricsSnapshot`];
+//! * [`faults`] — deterministic measurement-fault injection (loss, bursts,
+//!   duplication, reordering, clock skew, sampling, outages) for studying
+//!   graceful degradation of the estimators.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub use botmeter_core as core;
 pub use botmeter_dga as dga;
 pub use botmeter_dns as dns;
 pub use botmeter_exec as exec;
+pub use botmeter_faults as faults;
 pub use botmeter_matcher as matcher;
 pub use botmeter_obs as obs;
 pub use botmeter_sim as sim;
@@ -64,6 +68,7 @@ pub mod prelude {
         DomainName, ObservedLookup, RawLookup, ServerId, SimDuration, SimInstant, TtlPolicy,
     };
     pub use botmeter_exec::ExecPolicy;
+    pub use botmeter_faults::{FaultModel, FaultPlan, FaultReport};
     pub use botmeter_matcher::{DetectionWindow, DomainMatcher};
     pub use botmeter_obs::{MetricsRegistry, MetricsSnapshot, Obs};
     pub use botmeter_sim::{ScenarioOutcome, ScenarioSpec};

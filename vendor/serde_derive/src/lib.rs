@@ -12,15 +12,25 @@
 //! * enums ⇢ externally tagged (`"Variant"` or `{"Variant": ...}`),
 //!   matching real serde's JSON representation.
 //!
-//! `#[serde(...)]` attributes are not supported (the workspace uses none).
+//! Of the `#[serde(...)]` attributes, only `#[serde(default)]` on named
+//! fields is supported (a missing key deserialises to `Default::default()`);
+//! everything else the workspace uses none of.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier plus whether `#[serde(default)]` lets a
+/// missing key fall back to `Default::default()` on deserialisation.
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
 
 /// The field layout of a struct or enum variant.
 #[derive(Debug, Clone)]
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -53,6 +63,40 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
         }
     }
     i
+}
+
+/// Whether a `#[...]` attribute body (the bracket group's stream) is
+/// `serde(default)`.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|tt| matches!(&tt, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Like [`skip_attributes`], but also reports whether one of the consumed
+/// attributes was `#[serde(default)]`.
+fn skip_field_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                default |= is_serde_default(g);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, default)
 }
 
 /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -96,15 +140,18 @@ fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     parts
 }
 
-/// Parses the contents of a `{ ... }` fields group into field names.
-fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+/// Parses the contents of a `{ ... }` fields group into field descriptors.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<Field> {
     split_top_level_commas(group)
         .into_iter()
         .filter_map(|field_tokens| {
-            let i = skip_attributes(&field_tokens, 0);
+            let (i, default) = skip_field_attributes(&field_tokens, 0);
             let i = skip_visibility(&field_tokens, i);
             match field_tokens.get(i) {
-                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                Some(TokenTree::Ident(id)) => Some(Field {
+                    name: id.to_string(),
+                    default,
+                }),
                 _ => None,
             }
         })
@@ -220,6 +267,7 @@ fn gen_serialize(item: &Item) -> String {
         ItemKind::Struct(Fields::Named(fields)) => {
             let mut s = String::from("let mut __map = Vec::new();\n");
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "__map.push((\"{f}\".to_string(), {}));\n",
                     ser_field(&format!("&self.{f}"))
@@ -254,9 +302,14 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binders = fields.join(", ");
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = String::from("let mut __fields = Vec::new();\n");
                         for f in fields {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "__fields.push((\"{f}\".to_string(), {}));\n",
                                 ser_field(f)
@@ -284,14 +337,18 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 /// Generates the shared "collect named fields out of `__entries`" fragment.
-/// `constructor` receives `field_name -> unwrapped expr` pairs.
-fn gen_named_field_extraction(path: &str, fields: &[String]) -> String {
+/// `constructor` receives `field_name -> unwrapped expr` pairs. Fields
+/// marked `#[serde(default)]` fall back to `Default::default()` when their
+/// key is absent; everything else stays a hard "missing field" error.
+fn gen_named_field_extraction(path: &str, fields: &[Field]) -> String {
     let mut s = String::new();
     for f in fields {
+        let f = &f.name;
         s.push_str(&format!("let mut __f_{f} = None;\n"));
     }
     s.push_str("for (__k, __v) in __entries {\nmatch __k.as_str() {\n");
     for f in fields {
+        let f = &f.name;
         s.push_str(&format!(
             "\"{f}\" => {{ __f_{f} = Some(serde::__private::from_content(__v)\
              .map_err({DE_ERR})?); }}\n"
@@ -301,9 +358,16 @@ fn gen_named_field_extraction(path: &str, fields: &[String]) -> String {
     s.push_str("_ => {}\n}\n}\n");
     s.push_str(&format!("Ok({path} {{\n"));
     for f in fields {
-        s.push_str(&format!(
-            "{f}: __f_{f}.ok_or_else(|| {DE_ERR}(\"missing field `{f}`\"))?,\n"
-        ));
+        let name = &f.name;
+        if f.default {
+            s.push_str(&format!(
+                "{name}: __f_{name}.unwrap_or_else(std::default::Default::default),\n"
+            ));
+        } else {
+            s.push_str(&format!(
+                "{name}: __f_{name}.ok_or_else(|| {DE_ERR}(\"missing field `{name}`\"))?,\n"
+            ));
+        }
     }
     s.push_str("})\n");
     s
@@ -417,7 +481,7 @@ fn gen_deserialize(item: &Item) -> String {
 }
 
 /// Derives `serde::Serialize` through the vendored [`Content`] model.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -426,7 +490,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` through the vendored [`Content`] model.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
