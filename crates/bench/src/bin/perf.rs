@@ -1,11 +1,14 @@
 //! Measures the end-to-end pipeline (newGoZ, 10 000 bots, 3 epochs) under
-//! both execution policies and writes the evidence to
-//! `BENCH_pipeline.json`: wall times, lookup throughput, speedup and the
-//! worker-thread count the run used. A third, instrumented pass runs with a
-//! collecting [`Obs`] recorder attached and dumps the full
-//! [`MetricsSnapshot`] — per-server cache hits/misses, border filter
-//! counts, matcher probes/matches, per-epoch estimate latency histograms —
-//! to `METRICS_pipeline.json`.
+//! both execution policies and both pipeline modes, and writes the evidence
+//! to `BENCH_pipeline.json`: wall times, lookup throughput, speedup, the
+//! worker-thread count each variant actually used and the peak number of
+//! raw-trace records resident in memory (the materializing path holds the
+//! full trace; the streaming path holds a few time shards). A final,
+//! instrumented pass runs the streaming pipeline with a collecting
+//! [`Obs`] recorder attached and dumps the full [`MetricsSnapshot`] —
+//! per-server cache hits/misses, border filter counts, matcher
+//! probes/matches, `sim.stream.*` residency metrics, per-epoch estimate
+//! latency histograms — to `METRICS_pipeline.json`.
 //!
 //! Usage: `perf [--population N] [--epochs E] [--seed S] [--out PATH]
 //! [--metrics-out PATH]`.
@@ -14,7 +17,7 @@ use botmeter_core::{BotMeter, BotMeterConfig, Landscape};
 use botmeter_dga::DgaFamily;
 use botmeter_exec::ExecPolicy;
 use botmeter_obs::{MetricsSnapshot, Obs};
-use botmeter_sim::{ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder};
+use botmeter_sim::{PipelineMode, ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -25,21 +28,31 @@ struct Report {
     population: u64,
     epochs: u64,
     seed: u64,
+    /// Worker threads available to parallel policies on this machine.
     threads: usize,
-    raw_lookups: usize,
+    raw_lookups: u64,
     observed_lookups: usize,
     landscape_cells: usize,
     parallel: Variant,
     sequential: Variant,
+    /// Fused simulate→filter→fault pipeline (parallel policy): same
+    /// outputs, bounded residency.
+    streaming: Variant,
     speedup: f64,
+    /// `parallel.peak_resident_records / streaming.peak_resident_records`.
+    residency_reduction: f64,
 }
 
 #[derive(Serialize)]
 struct Variant {
+    /// Worker threads this variant's policy actually resolved to.
+    threads: usize,
     simulate_secs: f64,
     chart_secs: f64,
     total_secs: f64,
     raw_lookups_per_sec: f64,
+    /// High-water mark of raw-trace records held in memory at once.
+    peak_resident_records: u64,
 }
 
 #[derive(Serialize)]
@@ -54,11 +67,26 @@ struct MetricsReport {
 }
 
 struct Measurement {
+    threads: usize,
     simulate_secs: f64,
     chart_secs: f64,
-    raw_lookups: usize,
+    raw_lookups: u64,
     observed_lookups: usize,
     landscape_cells: usize,
+    peak_resident_records: u64,
+}
+
+impl Measurement {
+    fn variant(&self) -> Variant {
+        Variant {
+            threads: self.threads,
+            simulate_secs: self.simulate_secs,
+            chart_secs: self.chart_secs,
+            total_secs: self.simulate_secs + self.chart_secs,
+            raw_lookups_per_sec: self.raw_lookups as f64 / self.simulate_secs.max(1e-9),
+            peak_resident_records: self.peak_resident_records,
+        }
+    }
 }
 
 struct Bench {
@@ -68,16 +96,22 @@ struct Bench {
 }
 
 impl Bench {
-    fn builder(&self) -> ScenarioSpecBuilder {
+    fn builder(&self, mode: PipelineMode) -> ScenarioSpecBuilder {
         ScenarioSpec::builder(DgaFamily::new_goz())
             .population(self.population)
             .num_epochs(self.epochs)
             .seed(self.seed)
+            .pipeline(mode)
     }
 
-    fn pipeline(&self, policy: ExecPolicy, obs: Obs) -> (ScenarioOutcome, Landscape, f64, f64) {
+    fn pipeline(
+        &self,
+        policy: ExecPolicy,
+        mode: PipelineMode,
+        obs: Obs,
+    ) -> (ScenarioOutcome, Landscape, f64, f64) {
         let spec = self
-            .builder()
+            .builder(mode)
             .obs(obs.clone())
             .build()
             .expect("valid scenario");
@@ -92,14 +126,17 @@ impl Bench {
         (outcome, landscape, simulate_secs, chart_secs)
     }
 
-    fn measure(&self, policy: ExecPolicy) -> Measurement {
-        let (outcome, landscape, simulate_secs, chart_secs) = self.pipeline(policy, Obs::noop());
+    fn measure(&self, policy: ExecPolicy, mode: PipelineMode) -> Measurement {
+        let (outcome, landscape, simulate_secs, chart_secs) =
+            self.pipeline(policy, mode, Obs::noop());
         Measurement {
+            threads: policy.worker_threads(),
             simulate_secs,
             chart_secs,
-            raw_lookups: outcome.raw().len(),
+            raw_lookups: outcome.raw_lookups(),
             observed_lookups: outcome.observed().len(),
             landscape_cells: landscape.len(),
+            peak_resident_records: outcome.peak_resident_records(),
         }
     }
 }
@@ -148,17 +185,27 @@ fn main() {
         epochs,
         seed,
     };
+    let streaming_mode = PipelineMode::Streaming { shard: None };
 
     eprintln!("perf: newGoZ, {population} bots, {epochs} epochs, {threads} worker thread(s)");
     // One untimed warmup run: the first pipeline execution pays for page
     // faults and allocator growth over the trace's full footprint, which
     // would otherwise be billed to whichever variant runs first.
-    let _ = bench.measure(ExecPolicy::parallel());
-    let par = bench.measure(ExecPolicy::parallel());
-    let seq = bench.measure(ExecPolicy::Sequential);
+    let _ = bench.measure(ExecPolicy::parallel(), PipelineMode::Materialize);
+    let par = bench.measure(ExecPolicy::parallel(), PipelineMode::Materialize);
+    let seq = bench.measure(ExecPolicy::Sequential, PipelineMode::Materialize);
+    let stream = bench.measure(ExecPolicy::parallel(), streaming_mode);
     assert_eq!(
         par.raw_lookups, seq.raw_lookups,
         "parallel and sequential runs must agree"
+    );
+    assert_eq!(
+        par.raw_lookups, stream.raw_lookups,
+        "streaming and materializing runs must agree"
+    );
+    assert_eq!(
+        par.observed_lookups, stream.observed_lookups,
+        "streaming and materializing observed traces must agree"
     );
 
     let par_total = par.simulate_secs + par.chart_secs;
@@ -173,18 +220,11 @@ fn main() {
         raw_lookups: par.raw_lookups,
         observed_lookups: par.observed_lookups,
         landscape_cells: par.landscape_cells,
-        parallel: Variant {
-            simulate_secs: par.simulate_secs,
-            chart_secs: par.chart_secs,
-            total_secs: par_total,
-            raw_lookups_per_sec: par.raw_lookups as f64 / par.simulate_secs.max(1e-9),
-        },
-        sequential: Variant {
-            simulate_secs: seq.simulate_secs,
-            chart_secs: seq.chart_secs,
-            total_secs: seq_total,
-            raw_lookups_per_sec: seq.raw_lookups as f64 / seq.simulate_secs.max(1e-9),
-        },
+        residency_reduction: par.peak_resident_records as f64
+            / stream.peak_resident_records.max(1) as f64,
+        parallel: par.variant(),
+        sequential: seq.variant(),
+        streaming: stream.variant(),
         speedup: seq_total / par_total.max(1e-9),
     };
     let rendered = serde_json::to_string_pretty(&report).expect("report serialises");
@@ -192,11 +232,12 @@ fn main() {
     println!("{rendered}");
     eprintln!("perf: wrote {out}");
 
-    // Instrumented pass: same pipeline with a collecting recorder. Kept out
-    // of the timed variants above so the reported wall times stay on the
-    // no-op hot path.
+    // Instrumented pass: the streaming pipeline with a collecting recorder,
+    // so the dump includes the `sim.stream.*` residency metrics alongside
+    // the cache/matcher/estimator counters. Kept out of the timed variants
+    // above so the reported wall times stay on the no-op hot path.
     let (observer, registry) = Obs::collecting();
-    let _ = bench.pipeline(ExecPolicy::parallel(), observer);
+    let _ = bench.pipeline(ExecPolicy::parallel(), streaming_mode, observer);
     let metrics = MetricsReport {
         benchmark: "pipeline",
         family: "newGoZ",

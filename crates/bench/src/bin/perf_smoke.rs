@@ -1,0 +1,157 @@
+//! CI throughput guard: replays a scaled-down pipeline and fails (exit 1)
+//! if raw simulation throughput regresses more than the allowed fraction
+//! below the committed `BENCH_pipeline.json` baseline, or if the streaming
+//! pipeline loses its bounded-memory property. Takes the best of a few
+//! runs so scheduler noise on shared CI workers doesn't trip the gate.
+//!
+//! Usage: `perf_smoke [--baseline PATH] [--population N] [--epochs E]
+//! [--seed S] [--min-ratio R] [--runs K]`.
+
+use botmeter_dga::DgaFamily;
+use botmeter_exec::ExecPolicy;
+use botmeter_sim::{PipelineMode, ScenarioSpec};
+use serde::Deserialize;
+use std::time::Instant;
+
+/// The slice of `BENCH_pipeline.json` the gate needs (extra keys are
+/// ignored by the deserializer).
+#[derive(Deserialize)]
+struct Baseline {
+    parallel: BaselineVariant,
+}
+
+#[derive(Deserialize)]
+struct BaselineVariant {
+    raw_lookups_per_sec: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = String::from("BENCH_pipeline.json");
+    let mut population = 2_000u64;
+    let mut epochs = 2u64;
+    let mut seed = 42u64;
+    let mut min_ratio = 0.75f64;
+    let mut runs = 2usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = args.get(i).cloned();
+        match flag {
+            "--baseline" => {
+                baseline_path = value.unwrap_or_else(|| usage("--baseline needs a path"))
+            }
+            "--population" => {
+                population = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--population needs a number"))
+            }
+            "--epochs" => {
+                epochs = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--epochs needs a number"))
+            }
+            "--seed" => {
+                seed = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"))
+            }
+            "--min-ratio" => {
+                min_ratio = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-ratio needs a number"))
+            }
+            "--runs" => {
+                runs = value
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--runs needs a number"))
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let runs = runs.max(1);
+
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read baseline {baseline_path}: {e}")));
+    let baseline: Baseline = serde_json::from_str(&baseline_text)
+        .unwrap_or_else(|e| fail(&format!("baseline {baseline_path} is not usable: {e}")));
+    let baseline_rate = baseline.parallel.raw_lookups_per_sec;
+    let floor = baseline_rate * min_ratio;
+
+    let spec = |mode: PipelineMode| {
+        ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(population)
+            .num_epochs(epochs)
+            .seed(seed)
+            .pipeline(mode)
+            .build()
+            .expect("valid scenario")
+    };
+
+    // Warmup pays the one-time page-fault/allocator cost.
+    let _ = spec(PipelineMode::Materialize).run(ExecPolicy::parallel());
+
+    let mut best_rate = 0.0f64;
+    for run in 0..runs {
+        let started = Instant::now();
+        let outcome = spec(PipelineMode::Materialize).run(ExecPolicy::parallel());
+        let secs = started.elapsed().as_secs_f64();
+        let rate = outcome.raw_lookups() as f64 / secs.max(1e-9);
+        eprintln!(
+            "perf_smoke: run {}/{runs}: {:.0} raw lookups/sec ({} lookups in {secs:.3}s)",
+            run + 1,
+            rate,
+            outcome.raw_lookups()
+        );
+        best_rate = best_rate.max(rate);
+    }
+
+    // Streaming smoke: same scenario through the fused pipeline must keep
+    // its residency bound (a few shards, not the whole trace).
+    let streaming = spec(PipelineMode::Streaming { shard: None }).run(ExecPolicy::parallel());
+    eprintln!(
+        "perf_smoke: streaming peak residency {} of {} raw lookups",
+        streaming.peak_resident_records(),
+        streaming.raw_lookups()
+    );
+    if streaming.peak_resident_records() * 2 >= streaming.raw_lookups() {
+        fail(&format!(
+            "streaming pipeline lost its memory bound: peak {} vs {} total raw lookups",
+            streaming.peak_resident_records(),
+            streaming.raw_lookups()
+        ));
+    }
+
+    eprintln!(
+        "perf_smoke: best {:.0} lookups/sec vs floor {:.0} ({}% of baseline {:.0})",
+        best_rate,
+        floor,
+        (min_ratio * 100.0) as u64,
+        baseline_rate
+    );
+    if best_rate < floor {
+        fail(&format!(
+            "throughput regression: best {best_rate:.0} lookups/sec is below {floor:.0} \
+             ({}% of committed baseline {baseline_rate:.0})",
+            (min_ratio * 100.0) as u64
+        ));
+    }
+    println!("perf_smoke: OK");
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("perf_smoke: FAIL: {message}");
+    std::process::exit(1);
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("perf_smoke: {message}");
+    eprintln!(
+        "usage: perf_smoke [--baseline PATH] [--population N] [--epochs E] [--seed S] \
+         [--min-ratio R] [--runs K]"
+    );
+    std::process::exit(2);
+}

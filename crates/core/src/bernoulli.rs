@@ -6,7 +6,6 @@ use crate::segments::extract_segments;
 use crate::theorem1::expected_bots_for_segment;
 use botmeter_dns::FxHashMap;
 use botmeter_dns::ObservedLookup;
-use botmeter_stats::StirlingTable;
 use std::collections::BTreeSet;
 
 /// `MB`: the estimator for randomcut-barrel DGAs (`AR`, e.g. newGoZ).
@@ -145,7 +144,10 @@ impl Estimator for BernoulliEstimator {
         let segments = extract_segments(&positions, &valid, circle_len);
 
         let pool_len = circle_len as f64;
-        let mut table = StirlingTable::new();
+        // The chart-wide combinatorics cache: every cell of a chart shares
+        // one Stirling triangle and one set of ln-binomial rows through the
+        // context instead of refilling them per estimate call.
+        let tables = ctx.tables();
 
         // Fixpoint on the prior start density ρ = N̂/P.
         let mut estimate: f64 = segments
@@ -156,7 +158,7 @@ impl Estimator for BernoulliEstimator {
             let density = (estimate / pool_len).max(1e-9);
             estimate = segments
                 .iter()
-                .map(|s| expected_bots_for_segment(s, theta_q, density, &mut table))
+                .map(|s| expected_bots_for_segment(s, theta_q, density, tables))
                 .sum();
         }
         estimate

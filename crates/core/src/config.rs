@@ -2,6 +2,7 @@
 
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{DomainName, ObservedLookup, SimDuration, TtlPolicy};
+use botmeter_stats::SharedStirling;
 use std::collections::HashSet;
 
 /// The analyst-supplied knowledge an estimator runs with (Fig. 2, steps
@@ -30,6 +31,7 @@ pub struct EstimationContext {
     ttl: TtlPolicy,
     granularity: SimDuration,
     detection_window: Option<HashSet<DomainName>>,
+    tables: SharedStirling,
 }
 
 impl EstimationContext {
@@ -40,6 +42,7 @@ impl EstimationContext {
             ttl,
             granularity,
             detection_window: None,
+            tables: SharedStirling::new(),
         }
     }
 
@@ -69,6 +72,15 @@ impl EstimationContext {
     /// The D3 detection window, if imperfect (`None` = full pool known).
     pub fn detection_window(&self) -> Option<&HashSet<DomainName>> {
         self.detection_window.as_ref()
+    }
+
+    /// The shared combinatorics cache (Stirling triangle + `ln_binomial`
+    /// rows). Cloning the context — as `BotMeter::chart` effectively does
+    /// by handing `&ctx` to every landscape cell — shares the underlying
+    /// tables, so the triangle is filled once per chart instead of once
+    /// per cell.
+    pub fn tables(&self) -> &SharedStirling {
+        &self.tables
     }
 
     /// Whether a domain is inside the detection window (always true when

@@ -38,7 +38,7 @@
 //! independently-derived cross-check for the same taxonomy cell.
 
 use crate::segments::{Segment, SegmentKind};
-use botmeter_stats::{ln_binomial, ln_factorial, LogSumAcc, StirlingTable};
+use botmeter_stats::{ln_factorial, LogSumAcc, SharedStirling};
 
 /// Hard cap on the per-segment bot count considered by the posterior sum.
 const MAX_BOTS_PER_SEGMENT: u64 = 2_000;
@@ -65,24 +65,29 @@ const MAX_SPAN_SAMPLES: usize = 48;
 /// Panics if `theta_q == 0`, the segment has zero length, or
 /// `start_density` is not finite and positive.
 ///
+/// `tables` is the shared combinatorics cache (Stirling triangle +
+/// memoized `ln_binomial` rows): one filled cache serves every segment,
+/// cell and epoch of a chart, and sharing it is bit-identical to a private
+/// table because every cached value is a pure function of its indices.
+///
 /// # Example
 ///
 /// ```
 /// use botmeter_core::{expected_bots_for_segment, Segment, SegmentKind};
-/// use botmeter_stats::StirlingTable;
+/// use botmeter_stats::SharedStirling;
 ///
-/// let mut table = StirlingTable::new();
+/// let tables = SharedStirling::new();
 /// // An m-segment of exactly θq positions is one bot's work (up to the
 /// // tiny prior probability of a second bot on the same start).
 /// let seg = Segment { start: 0, len: 500, kind: SegmentKind::Middle };
-/// let e = expected_bots_for_segment(&seg, 500, 1e-3, &mut table);
+/// let e = expected_bots_for_segment(&seg, 500, 1e-3, &tables);
 /// assert!((e - 1.0).abs() < 1e-2);
 /// ```
 pub fn expected_bots_for_segment(
     segment: &Segment,
     theta_q: usize,
     start_density: f64,
-    table: &mut StirlingTable,
+    tables: &SharedStirling,
 ) -> f64 {
     assert!(theta_q > 0, "theta_q must be positive");
     assert!(
@@ -115,7 +120,7 @@ pub fn expected_bots_for_segment(
     let mut weighted_mean = 0.0f64;
     let mut total_weight = 0.0f64;
     for l_tilde in span_values {
-        let (mass, mean) = span_posterior(l_tilde, theta_q, start_density, table);
+        let (mass, mean) = span_posterior(l_tilde, theta_q, start_density, tables);
         if mass > 0.0 {
             weighted_mean += mass * mean;
             total_weight += mass;
@@ -138,7 +143,7 @@ fn span_posterior(
     l_tilde: usize,
     theta_q: usize,
     start_density: f64,
-    table: &mut StirlingTable,
+    tables: &SharedStirling,
 ) -> (f64, f64) {
     let mu = start_density * l_tilde as f64;
     let ln_mu = mu.ln();
@@ -151,7 +156,7 @@ fn span_posterior(
     let mut since_peak = 0u32;
     for n in 1..=MAX_BOTS_PER_SEGMENT {
         let ln_prior = -mu + n as f64 * ln_mu - ln_factorial(n);
-        let config = config_probability(l_tilde, n, theta_q, table);
+        let config = config_probability(l_tilde, n, theta_q, tables);
         let mass = if config > 0.0 {
             (ln_prior + config.ln()).exp()
         } else {
@@ -181,7 +186,7 @@ fn span_posterior(
 
 /// `P(config | n starts uniform on the span)`: both span endpoints
 /// occupied and every internal gap at most `θq`.
-fn config_probability(l_tilde: usize, n: u64, theta_q: usize, table: &mut StirlingTable) -> f64 {
+fn config_probability(l_tilde: usize, n: u64, theta_q: usize, tables: &SharedStirling) -> f64 {
     if l_tilde == 1 {
         return 1.0; // all starts on the single position
     }
@@ -190,17 +195,18 @@ fn config_probability(l_tilde: usize, n: u64, theta_q: usize, table: &mut Stirli
     }
     let ln_l = (l_tilde as f64).ln();
     let m_max = (n as usize).min(l_tilde);
+    // Every m in the loop draws from the same binomial row (l̃−2); fetch it
+    // once per call (memoized across calls, cells and epochs).
+    let occ_row = tables.ln_binomial_row((l_tilde - 2) as u64);
     let mut acc = LogSumAcc::new();
     for m in 2..=m_max {
-        let g = g_gap_probability(l_tilde, m, theta_q);
+        let g = g_gap_probability(l_tilde, m, theta_q, tables);
         if g <= 0.0 {
             continue;
         }
         // P(occupy exactly these m positions incl. endpoints)
         //   = C(l̃−2, m−2) · m! · S(n, m) / l̃ⁿ.
-        let ln_occ = ln_binomial((l_tilde - 2) as u64, (m - 2) as u64)
-            + ln_factorial(m as u64)
-            + table.ln_stirling2(n, m as u64)
+        let ln_occ = occ_row[m - 2] + ln_factorial(m as u64) + tables.ln_stirling2(n, m as u64)
             - n as f64 * ln_l;
         acc.add(ln_occ + g.ln());
     }
@@ -215,7 +221,7 @@ fn config_probability(l_tilde: usize, n: u64, theta_q: usize, table: &mut Stirli
 /// `g(l̃, m)`: probability that `m` occupied positions with both endpoints
 /// of the `l̃` span fixed have every internal gap ≤ `θq` (inclusion–
 /// exclusion over compositions; printed verbatim in the paper).
-fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize) -> f64 {
+fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize, tables: &SharedStirling) -> f64 {
     if m == 1 {
         return if l_tilde == 1 { 1.0 } else { 0.0 };
     }
@@ -227,10 +233,11 @@ fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize) -> f64 {
     if l_tilde > (m - 1) * theta_q + 1 {
         return 0.0;
     }
-    let denom = ln_binomial((l_tilde - 2) as u64, (m - 2) as u64);
+    let denom = tables.ln_binomial_row((l_tilde - 2) as u64)[m - 2];
     if denom == f64::NEG_INFINITY {
         return 0.0;
     }
+    let choose_row = tables.ln_binomial_row((m - 1) as u64);
     // Signed log-space accumulation of the alternating sum.
     let mut positive = 0.0f64;
     let mut negative = 0.0f64;
@@ -239,9 +246,7 @@ fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize) -> f64 {
         if reach < (m as i64 - 2) {
             break; // all further terms vanish
         }
-        let ln_term = ln_binomial((m - 1) as u64, k as u64)
-            + ln_binomial(reach as u64, (m - 2) as u64)
-            - denom;
+        let ln_term = choose_row[k] + tables.ln_binomial_row(reach as u64)[m - 2] - denom;
         let term = ln_term.exp();
         if k % 2 == 0 {
             positive += term;
@@ -276,8 +281,8 @@ mod tests {
 
     #[test]
     fn lone_theta_q_m_segment_is_one_bot() {
-        let mut t = StirlingTable::new();
-        let e = expected_bots_for_segment(&m_seg(500), 500, DENSITY, &mut t);
+        let t = SharedStirling::new();
+        let e = expected_bots_for_segment(&m_seg(500), 500, DENSITY, &t);
         assert!((e - 1.0).abs() < 1e-2, "{e}");
     }
 
@@ -285,17 +290,17 @@ mod tests {
     fn theta_q_plus_one_m_segment_is_about_two_bots() {
         // Span l̃ = 2 with both endpoints occupied: the parsimonious
         // explanation under a sparse prior is exactly two bots.
-        let mut t = StirlingTable::new();
-        let e = expected_bots_for_segment(&m_seg(501), 500, DENSITY, &mut t);
+        let t = SharedStirling::new();
+        let e = expected_bots_for_segment(&m_seg(501), 500, DENSITY, &t);
         assert!((e - 2.0).abs() < 0.05, "{e}");
     }
 
     #[test]
     fn longer_segments_need_more_bots() {
-        let mut t = StirlingTable::new();
-        let e1 = expected_bots_for_segment(&m_seg(100), 100, DENSITY, &mut t);
-        let e2 = expected_bots_for_segment(&m_seg(150), 100, DENSITY, &mut t);
-        let e3 = expected_bots_for_segment(&m_seg(250), 100, DENSITY, &mut t);
+        let t = SharedStirling::new();
+        let e1 = expected_bots_for_segment(&m_seg(100), 100, DENSITY, &t);
+        let e2 = expected_bots_for_segment(&m_seg(150), 100, DENSITY, &t);
+        let e3 = expected_bots_for_segment(&m_seg(250), 100, DENSITY, &t);
         assert!(e1 < e2 && e2 < e3, "monotone growth: {e1} {e2} {e3}");
         // A 250-position m-segment needs at least 2 (and likely ~3) bots:
         // a single barrel covers 100 positions.
@@ -306,8 +311,8 @@ mod tests {
     fn short_b_segment_is_about_one_bot() {
         // A b-segment much shorter than θq under a sparse prior: one bot
         // that hit the boundary quickly.
-        let mut t = StirlingTable::new();
-        let e = expected_bots_for_segment(&b_seg(10), 500, DENSITY, &mut t);
+        let t = SharedStirling::new();
+        let e = expected_bots_for_segment(&b_seg(10), 500, DENSITY, &t);
         assert!((1.0..2.0).contains(&e), "{e}");
     }
 
@@ -315,9 +320,9 @@ mod tests {
     fn denser_prior_raises_saturated_estimates() {
         // Once a long b-segment saturates, the prior carries the signal:
         // doubling the density should raise the expectation.
-        let mut t = StirlingTable::new();
-        let sparse = expected_bots_for_segment(&b_seg(2000), 500, 64.0 / 10_000.0, &mut t);
-        let dense = expected_bots_for_segment(&b_seg(2000), 500, 256.0 / 10_000.0, &mut t);
+        let t = SharedStirling::new();
+        let sparse = expected_bots_for_segment(&b_seg(2000), 500, 64.0 / 10_000.0, &t);
+        let dense = expected_bots_for_segment(&b_seg(2000), 500, 256.0 / 10_000.0, &t);
         assert!(
             dense > sparse * 1.5,
             "prior should drive saturated arcs: {sparse} vs {dense}"
@@ -326,23 +331,25 @@ mod tests {
 
     #[test]
     fn g_function_hand_cases() {
+        let t = SharedStirling::new();
         // Span 3, 2 points, θq = 2 → the single gap of 2 is allowed.
-        assert!((g_gap_probability(3, 2, 2) - 1.0).abs() < 1e-12);
+        assert!((g_gap_probability(3, 2, 2, &t) - 1.0).abs() < 1e-12);
         // θq = 1 forbids the gap of 2.
-        assert_eq!(g_gap_probability(3, 2, 1), 0.0);
+        assert_eq!(g_gap_probability(3, 2, 1, &t), 0.0);
         // Full occupancy always satisfies the gap bound.
-        assert!((g_gap_probability(5, 5, 1) - 1.0).abs() < 1e-12);
+        assert!((g_gap_probability(5, 5, 1, &t) - 1.0).abs() < 1e-12);
         // m = 1 only coherent with a single position.
-        assert_eq!(g_gap_probability(1, 1, 10), 1.0);
-        assert_eq!(g_gap_probability(7, 1, 10), 0.0);
+        assert_eq!(g_gap_probability(1, 1, 10, &t), 1.0);
+        assert_eq!(g_gap_probability(7, 1, 10, &t), 0.0);
     }
 
     #[test]
     fn g_is_a_probability() {
+        let t = SharedStirling::new();
         for l in 2..60usize {
             for m in 2..=l.min(20) {
                 for tq in [1usize, 3, 7, 50] {
-                    let v = g_gap_probability(l, m, tq);
+                    let v = g_gap_probability(l, m, tq, &t);
                     assert!((0.0..=1.0).contains(&v), "g({l},{m},{tq}) = {v}");
                 }
             }
@@ -352,11 +359,12 @@ mod tests {
     #[test]
     fn g_monotone_in_theta_q() {
         // Loosening the gap bound can only admit more configurations.
+        let t = SharedStirling::new();
         for l in [10usize, 25, 40] {
             for m in [3usize, 5, 8] {
-                let a = g_gap_probability(l, m, 3);
-                let b = g_gap_probability(l, m, 6);
-                let c = g_gap_probability(l, m, 100);
+                let a = g_gap_probability(l, m, 3, &t);
+                let b = g_gap_probability(l, m, 6, &t);
+                let c = g_gap_probability(l, m, 100, &t);
                 assert!(a <= b + 1e-12 && b <= c + 1e-12, "l={l} m={m}: {a} {b} {c}");
             }
         }
@@ -364,21 +372,21 @@ mod tests {
 
     #[test]
     fn config_probability_bounds_and_cases() {
-        let mut t = StirlingTable::new();
+        let t = SharedStirling::new();
         // Single position: certain.
-        assert_eq!(config_probability(1, 5, 10, &mut t), 1.0);
+        assert_eq!(config_probability(1, 5, 10, &t), 1.0);
         // Two endpoints, one bot: impossible.
-        assert_eq!(config_probability(5, 1, 10, &mut t), 0.0);
+        assert_eq!(config_probability(5, 1, 10, &t), 0.0);
         // Two positions, n bots: both occupied with prob 1 − 2^{1−n}.
         for n in 2..8u64 {
             let want = 1.0 - 2f64.powi(1 - n as i32);
-            let got = config_probability(2, n, 10, &mut t);
+            let got = config_probability(2, n, 10, &t);
             assert!((got - want).abs() < 1e-9, "n={n}: {got} vs {want}");
         }
         // Always a probability.
         for l in 2..30usize {
             for n in 2..30u64 {
-                let v = config_probability(l, n, 7, &mut t);
+                let v = config_probability(l, n, 7, &t);
                 assert!((0.0..=1.0).contains(&v), "P({l},{n}) = {v}");
             }
         }
@@ -389,32 +397,32 @@ mod tests {
         // An m-segment shorter than θq arises only when the detection
         // window hides domains; its start span collapses to one position,
         // so it reads as a single bot (plus negligible prior mass).
-        let mut t = StirlingTable::new();
-        let e = expected_bots_for_segment(&m_seg(3), 500, DENSITY, &mut t);
+        let t = SharedStirling::new();
+        let e = expected_bots_for_segment(&m_seg(3), 500, DENSITY, &t);
         assert!((e - 1.0).abs() < 1e-2, "{e}");
     }
 
     #[test]
     #[should_panic(expected = "theta_q must be positive")]
     fn zero_theta_q_panics() {
-        let mut t = StirlingTable::new();
-        expected_bots_for_segment(&m_seg(3), 0, DENSITY, &mut t);
+        let t = SharedStirling::new();
+        expected_bots_for_segment(&m_seg(3), 0, DENSITY, &t);
     }
 
     #[test]
     #[should_panic(expected = "start density must be finite and positive")]
     fn bad_density_panics() {
-        let mut t = StirlingTable::new();
-        expected_bots_for_segment(&m_seg(3), 5, 0.0, &mut t);
+        let t = SharedStirling::new();
+        expected_bots_for_segment(&m_seg(3), 5, 0.0, &t);
     }
 
     #[test]
     fn large_boundary_segment_is_tractable_and_sane() {
         // Realistic newGoZ shape: arc ~2000, θq = 500, fully covered arc,
         // prior from a 64-bot infection.
-        let mut t = StirlingTable::new();
+        let t = SharedStirling::new();
         let start = std::time::Instant::now();
-        let e = expected_bots_for_segment(&b_seg(2000), 500, 64.0 / 10_000.0, &mut t);
+        let e = expected_bots_for_segment(&b_seg(2000), 500, 64.0 / 10_000.0, &t);
         assert!((3.0..=64.0).contains(&e), "2000-long b-segment: {e}");
         assert!(
             start.elapsed().as_secs() < 10,

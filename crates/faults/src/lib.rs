@@ -225,31 +225,97 @@ impl FaultModel {
             }
         }
     }
+}
 
-    /// Applies this stage in place. `stage_seed` is the fully-forked seed
-    /// for this stage (plan seed × stage index × stage name).
-    fn apply_stage(&self, trace: &mut Vec<ObservedLookup>, stage_seed: u64, rep: &mut FaultReport) {
-        match *self {
-            FaultModel::Drop { rate } => {
-                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
-                trace.retain(|_| {
+/// The carried randomness/state one stage threads across chunks.
+///
+/// Exactly the state the batch transform keeps *within* one
+/// `apply`-over-the-whole-trace call; carrying it across chunk boundaries
+/// is what makes chunked application bit-identical to batch application.
+#[derive(Debug, Clone)]
+enum Carry {
+    /// A per-record rng stream (drop, duplicate, jitter).
+    Rng(ChaCha12Rng),
+    /// Gilbert–Elliott channel: rng stream plus the burst flag.
+    Burst { rng: ChaCha12Rng, burst: bool },
+    /// Bounded reorder: rng stream, the next global record index, and the
+    /// displaced records still waiting for their slot.
+    Reorder {
+        rng: ChaCha12Rng,
+        next_index: u64,
+        pending: Vec<(u64, ObservedLookup)>,
+    },
+    /// Per-server 1-in-N sampling: each server's running record position.
+    Sample { position: HashMap<ServerId, u64> },
+    /// Pure per-record functions of `(stage seed, record)` — clock skew
+    /// and outage need no carried state.
+    Stateless,
+}
+
+/// One fault stage plus the state it carries across chunk boundaries.
+#[derive(Debug, Clone)]
+struct StageState {
+    model: FaultModel,
+    stage_seed: u64,
+    carry: Carry,
+}
+
+impl StageState {
+    fn new(model: FaultModel, stage_seed: u64) -> Self {
+        let carry = match model {
+            FaultModel::Drop { .. } | FaultModel::Duplicate { .. } | FaultModel::Jitter { .. } => {
+                Carry::Rng(ChaCha12Rng::seed_from_u64(stage_seed))
+            }
+            FaultModel::BurstLoss { .. } => Carry::Burst {
+                rng: ChaCha12Rng::seed_from_u64(stage_seed),
+                burst: false,
+            },
+            FaultModel::Reorder { .. } => Carry::Reorder {
+                rng: ChaCha12Rng::seed_from_u64(stage_seed),
+                next_index: 0,
+                pending: Vec::new(),
+            },
+            FaultModel::Sample { .. } => Carry::Sample {
+                position: HashMap::new(),
+            },
+            FaultModel::ClockSkew { .. } | FaultModel::Outage { .. } => Carry::Stateless,
+        };
+        StageState {
+            model,
+            stage_seed,
+            carry,
+        }
+    }
+
+    /// Runs one chunk through this stage in place, advancing the carried
+    /// state. The concatenation of the outputs over any chunking of a
+    /// trace (plus a final [`flush`](Self::flush)) equals the batch
+    /// transform of the whole trace.
+    fn push(&mut self, chunk: &mut Vec<ObservedLookup>, rep: &mut FaultReport) {
+        if chunk.is_empty() {
+            return;
+        }
+        match (&self.model, &mut self.carry) {
+            (&FaultModel::Drop { rate }, Carry::Rng(rng)) => {
+                chunk.retain(|_| {
                     let lost = rng.gen_bool(rate);
                     rep.dropped += u64::from(lost);
                     !lost
                 });
             }
-            FaultModel::BurstLoss {
-                p_enter,
-                p_exit,
-                loss,
-            } => {
-                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
-                let mut burst = false;
-                trace.retain(|_| {
-                    let lost = burst && rng.gen_bool(loss);
+            (
+                &FaultModel::BurstLoss {
+                    p_enter,
+                    p_exit,
+                    loss,
+                },
+                Carry::Burst { rng, burst },
+            ) => {
+                chunk.retain(|_| {
+                    let lost = *burst && rng.gen_bool(loss);
                     // Transition after the record so a burst always has a
                     // chance to claim at least one record.
-                    burst = if burst {
+                    *burst = if *burst {
                         !rng.gen_bool(p_exit)
                     } else {
                         rng.gen_bool(p_enter)
@@ -258,10 +324,9 @@ impl FaultModel {
                     !lost
                 });
             }
-            FaultModel::Duplicate { rate } => {
-                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
-                let mut out = Vec::with_capacity(trace.len());
-                for lookup in trace.drain(..) {
+            (&FaultModel::Duplicate { rate }, Carry::Rng(rng)) => {
+                let mut out = Vec::with_capacity(chunk.len());
+                for lookup in chunk.drain(..) {
                     let dup = rng.gen_bool(rate);
                     if dup {
                         rep.duplicated += 1;
@@ -269,58 +334,75 @@ impl FaultModel {
                     }
                     out.push(lookup);
                 }
-                *trace = out;
+                *chunk = out;
             }
-            FaultModel::Reorder {
-                rate,
-                max_displacement,
-            } => {
-                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
-                let mut keyed: Vec<(u64, ObservedLookup)> = trace
-                    .drain(..)
-                    .enumerate()
-                    .map(|(i, lookup)| {
-                        let displaced = rng.gen_bool(rate);
-                        let key = if displaced {
-                            rep.displaced += 1;
-                            i as u64 + rng.gen_range(1..=max_displacement as u64)
-                        } else {
-                            i as u64
-                        };
-                        (key, lookup)
-                    })
-                    .collect();
-                // Stable sort on the displaced index: a selected record
-                // slips past at most `max_displacement` neighbours.
-                keyed.sort_by_key(|&(key, _)| key);
-                trace.extend(keyed.into_iter().map(|(_, lookup)| lookup));
+            (
+                &FaultModel::Reorder {
+                    rate,
+                    max_displacement,
+                },
+                Carry::Reorder {
+                    rng,
+                    next_index,
+                    pending,
+                },
+            ) => {
+                for lookup in chunk.drain(..) {
+                    let i = *next_index;
+                    *next_index += 1;
+                    let displaced = rng.gen_bool(rate);
+                    let key = if displaced {
+                        rep.displaced += 1;
+                        i + rng.gen_range(1..=max_displacement as u64)
+                    } else {
+                        i
+                    };
+                    pending.push((key, lookup));
+                }
+                // Everything keyed at or before the last ingested index is
+                // final: a future record at global index j gets a key ≥ j,
+                // strictly past the boundary. Stable partition + stable
+                // sort keeps ties in insertion order, so the concatenation
+                // of per-chunk emissions equals one global stable sort.
+                let last = *next_index - 1;
+                let mut held = Vec::new();
+                let mut ready = Vec::new();
+                for keyed in pending.drain(..) {
+                    if keyed.0 <= last {
+                        ready.push(keyed);
+                    } else {
+                        held.push(keyed);
+                    }
+                }
+                *pending = held;
+                ready.sort_by_key(|&(key, _)| key);
+                chunk.extend(ready.into_iter().map(|(_, lookup)| lookup));
             }
-            FaultModel::Jitter { max } => {
-                let mut rng = ChaCha12Rng::seed_from_u64(stage_seed);
+            (&FaultModel::Jitter { max }, Carry::Rng(rng)) => {
                 let span = max.as_millis();
-                for lookup in trace.iter_mut() {
+                for lookup in chunk.iter_mut() {
                     let offset = rng.gen_range(0..=2 * span) as i64 - span as i64;
                     let shifted = shift(lookup.t, offset);
                     rep.perturbed += u64::from(shifted != lookup.t);
                     lookup.t = shifted;
                 }
             }
-            FaultModel::ClockSkew { max } => {
+            (&FaultModel::ClockSkew { max }, Carry::Stateless) => {
                 let span = max.as_millis() as i64;
-                for lookup in trace.iter_mut() {
+                for lookup in chunk.iter_mut() {
                     // Per-server constant offset in [-max, +max], a pure
                     // function of (stage seed, server) — independent of
                     // record order.
-                    let r = mix64(stage_seed ^ mix64(u64::from(lookup.server.0)));
+                    let r = mix64(self.stage_seed ^ mix64(u64::from(lookup.server.0)));
                     let offset = (r % (2 * span as u64 + 1)) as i64 - span;
                     let shifted = shift(lookup.t, offset);
                     rep.perturbed += u64::from(shifted != lookup.t);
                     lookup.t = shifted;
                 }
             }
-            FaultModel::Sample { keep_one_in } => {
-                let mut position: HashMap<ServerId, u64> = HashMap::new();
-                trace.retain(|lookup| {
+            (&FaultModel::Sample { keep_one_in }, Carry::Sample { position }) => {
+                let stage_seed = self.stage_seed;
+                chunk.retain(|lookup| {
                     let pos = position.entry(lookup.server).or_insert(0);
                     let phase = mix64(stage_seed ^ mix64(u64::from(lookup.server.0))) % keep_one_in;
                     let keep = *pos % keep_one_in == phase;
@@ -329,12 +411,15 @@ impl FaultModel {
                     keep
                 });
             }
-            FaultModel::Outage {
-                server,
-                from,
-                until,
-            } => {
-                trace.retain(|lookup| {
+            (
+                &FaultModel::Outage {
+                    server,
+                    from,
+                    until,
+                },
+                Carry::Stateless,
+            ) => {
+                chunk.retain(|lookup| {
                     let affected = server.is_none_or(|s| s == lookup.server)
                         && lookup.t >= from
                         && lookup.t < until;
@@ -342,6 +427,21 @@ impl FaultModel {
                     !affected
                 });
             }
+            // `new` pairs every model with its carry variant.
+            _ => unreachable!("stage carry does not match its model"),
+        }
+    }
+
+    /// Releases whatever the stage still holds at end of stream. Only
+    /// reorder stages hold records (displaced past the last chunk edge).
+    fn flush(&mut self) -> Vec<ObservedLookup> {
+        match &mut self.carry {
+            Carry::Reorder { pending, .. } => {
+                let mut held = std::mem::take(pending);
+                held.sort_by_key(|&(key, _)| key);
+                held.into_iter().map(|(_, lookup)| lookup).collect()
+            }
+            _ => Vec::new(),
         }
     }
 }
@@ -412,19 +512,126 @@ impl FaultPlan {
     /// the same faulted trace, on any thread, under any execution policy.
     /// Invalid stage parameters (see [`FaultPlan::validate`]) make the
     /// stage rngs panic; validate plans built from untrusted input first.
+    ///
+    /// This is the one-chunk case of [`FaultPlan::stream`] — the batch and
+    /// streaming paths share every drawn random number by construction.
     pub fn apply(&self, trace: Vec<ObservedLookup>) -> (Vec<ObservedLookup>, FaultReport) {
-        let mut report = FaultReport {
-            input: trace.len() as u64,
-            ..FaultReport::default()
-        };
+        let mut stream = self.stream();
+        let mut out = stream.push(trace);
+        let (tail, report) = stream.finish();
+        out.extend(tail);
+        (out, report)
+    }
+
+    /// Starts an incremental application of this plan.
+    ///
+    /// Feed the trace in arrival-order chunks via [`FaultStream::push`] and
+    /// close with [`FaultStream::finish`]; the concatenated outputs are
+    /// bit-identical to [`FaultPlan::apply`] on the concatenated input, for
+    /// *any* chunking — every stage carries its rng stream and working
+    /// state (burst flag, reorder buffer, per-server sampling positions)
+    /// across chunk boundaries.
+    pub fn stream(&self) -> FaultStream {
         let seeds = SeedSequence::new(self.seed).fork_str("faults");
-        let mut trace = trace;
-        for (i, stage) in self.stages.iter().enumerate() {
-            let stage_seed = seeds.fork(i as u64).fork_str(stage.name()).seed();
-            stage.apply_stage(&mut trace, stage_seed, &mut report);
+        let stages = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| {
+                let stage_seed = seeds.fork(i as u64).fork_str(stage.name()).seed();
+                StageState::new(stage.clone(), stage_seed)
+            })
+            .collect();
+        FaultStream {
+            stages,
+            report: FaultReport::default(),
         }
-        report.output = trace.len() as u64;
-        (trace, report)
+    }
+}
+
+/// An in-progress chunked application of a [`FaultPlan`].
+///
+/// Obtained from [`FaultPlan::stream`]; the streaming pipeline uses it to
+/// fault each time shard as it is produced instead of materializing the
+/// whole observed trace first.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{ObservedLookup, ServerId, SimInstant};
+/// use botmeter_faults::{FaultModel, FaultPlan};
+///
+/// let trace: Vec<ObservedLookup> = (0..1000)
+///     .map(|i| {
+///         ObservedLookup::new(
+///             SimInstant::from_millis(i * 10),
+///             ServerId(1),
+///             "bot.example".parse().unwrap(),
+///         )
+///     })
+///     .collect();
+/// let plan = FaultPlan::new(7)
+///     .with(FaultModel::Drop { rate: 0.1 })
+///     .with(FaultModel::Reorder { rate: 0.2, max_displacement: 5 });
+///
+/// // Chunked application ≡ batch application, bit for bit.
+/// let mut stream = plan.stream();
+/// let mut chunked = Vec::new();
+/// for chunk in trace.chunks(64) {
+///     chunked.extend(stream.push(chunk.to_vec()));
+/// }
+/// let (tail, report) = stream.finish();
+/// chunked.extend(tail);
+///
+/// let (batch, batch_report) = plan.apply(trace);
+/// assert_eq!(chunked, batch);
+/// assert_eq!(report, batch_report);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultStream {
+    stages: Vec<StageState>,
+    report: FaultReport,
+}
+
+impl FaultStream {
+    /// Runs one arrival-order chunk through every stage and returns the
+    /// records that are final — later chunks can no longer affect them.
+    /// Reorder stages may hold a bounded number of records back (at most
+    /// `max_displacement` per stage); [`finish`](Self::finish) releases
+    /// them.
+    pub fn push(&mut self, chunk: Vec<ObservedLookup>) -> Vec<ObservedLookup> {
+        self.report.input += chunk.len() as u64;
+        let mut chunk = chunk;
+        for stage in &mut self.stages {
+            stage.push(&mut chunk, &mut self.report);
+        }
+        self.report.output += chunk.len() as u64;
+        chunk
+    }
+
+    /// Flushes every stage in order and returns the tail records plus the
+    /// final report. Records a stage holds back pass through all later
+    /// stages, exactly as they would have in the batch transform.
+    pub fn finish(mut self) -> (Vec<ObservedLookup>, FaultReport) {
+        let mut tail = Vec::new();
+        for i in 0..self.stages.len() {
+            let mut chunk = self.stages[i].flush();
+            if chunk.is_empty() {
+                continue;
+            }
+            for stage in &mut self.stages[i + 1..] {
+                stage.push(&mut chunk, &mut self.report);
+            }
+            tail.append(&mut chunk);
+        }
+        self.report.output += tail.len() as u64;
+        (tail, self.report)
+    }
+
+    /// The report accumulated so far. `output` counts only records already
+    /// released; [`finish`](Self::finish) returns the complete report.
+    pub fn report_so_far(&self) -> FaultReport {
+        self.report
     }
 }
 
@@ -730,6 +937,114 @@ mod tests {
         let (a, _) = solo.apply(trace(100));
         let (b, _) = stacked.apply(trace(100));
         assert_eq!(a, b, "a zero-rate later stage must not disturb jitter");
+    }
+
+    /// Every fault model with parameters aggressive enough to exercise its
+    /// carried state.
+    fn every_model() -> Vec<FaultModel> {
+        vec![
+            FaultModel::Drop { rate: 0.3 },
+            FaultModel::BurstLoss {
+                p_enter: 0.1,
+                p_exit: 0.2,
+                loss: 0.9,
+            },
+            FaultModel::Duplicate { rate: 0.25 },
+            FaultModel::Reorder {
+                rate: 0.5,
+                max_displacement: 9,
+            },
+            FaultModel::Jitter {
+                max: SimDuration::from_millis(400),
+            },
+            FaultModel::ClockSkew {
+                max: SimDuration::from_secs(1),
+            },
+            FaultModel::Sample { keep_one_in: 3 },
+            FaultModel::Outage {
+                server: Some(ServerId(2)),
+                from: SimInstant::from_millis(5_000),
+                until: SimInstant::from_millis(25_000),
+            },
+        ]
+    }
+
+    fn assert_chunked_matches_batch(plan: &FaultPlan, n: u64, chunk_len: usize) {
+        let input = trace(n);
+        let (batch, batch_report) = plan.apply(input.clone());
+        let mut stream = plan.stream();
+        let mut out = Vec::new();
+        for chunk in input.chunks(chunk_len) {
+            out.extend(stream.push(chunk.to_vec()));
+        }
+        let (tail, report) = stream.finish();
+        out.extend(tail);
+        assert_eq!(out, batch, "chunk_len {chunk_len} diverged from batch");
+        assert_eq!(report, batch_report, "report diverged at {chunk_len}");
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_every_model() {
+        for (i, model) in every_model().into_iter().enumerate() {
+            let plan = FaultPlan::new(40 + i as u64).with(model);
+            for chunk_len in [1usize, 7, 64, 500, 2000] {
+                assert_chunked_matches_batch(&plan, 700, chunk_len);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_composed_plan() {
+        let mut plan = FaultPlan::new(99);
+        for model in every_model() {
+            plan = plan.with(model);
+        }
+        for chunk_len in [1usize, 13, 128, 5000] {
+            assert_chunked_matches_batch(&plan, 1200, chunk_len);
+        }
+    }
+
+    #[test]
+    fn streaming_handles_empty_chunks_and_empty_stream() {
+        let plan = FaultPlan::new(3)
+            .with(FaultModel::Reorder {
+                rate: 0.8,
+                max_displacement: 20,
+            })
+            .with(FaultModel::Drop { rate: 0.2 });
+        // Empty pushes are inert.
+        let input = trace(300);
+        let (batch, batch_report) = plan.apply(input.clone());
+        let mut stream = plan.stream();
+        let mut out = stream.push(Vec::new());
+        for chunk in input.chunks(50) {
+            out.extend(stream.push(chunk.to_vec()));
+            out.extend(stream.push(Vec::new()));
+        }
+        let (tail, report) = stream.finish();
+        out.extend(tail);
+        assert_eq!(out, batch);
+        assert_eq!(report, batch_report);
+        // A stream fed nothing at all reports an identity pass.
+        let (tail, report) = plan.stream().finish();
+        assert!(tail.is_empty());
+        assert_eq!(report, FaultReport::default());
+    }
+
+    #[test]
+    fn stream_report_so_far_tracks_released_records() {
+        let plan = FaultPlan::new(12).with(FaultModel::Reorder {
+            rate: 1.0,
+            max_displacement: 50,
+        });
+        let mut stream = plan.stream();
+        let released = stream.push(trace(100));
+        let partial = stream.report_so_far();
+        assert_eq!(partial.input, 100);
+        assert_eq!(partial.output as usize, released.len());
+        let (tail, full) = stream.finish();
+        assert_eq!(full.output as usize, released.len() + tail.len());
+        assert_eq!(full.output, 100, "reorder neither drops nor duplicates");
     }
 
     #[test]

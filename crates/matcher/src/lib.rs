@@ -44,7 +44,9 @@ pub use exact::{ExactMatcher, PlainListError};
 pub use pattern::PatternMatcher;
 #[allow(deprecated)]
 pub use stream::match_stream_parallel;
-pub use stream::{match_stream, match_stream_recorded, MatchedTraffic, StreamQuality};
+pub use stream::{
+    match_stream, match_stream_recorded, MatchedTraffic, StreamMatcher, StreamQuality,
+};
 pub use window::DetectionWindow;
 
 use botmeter_dns::DomainName;

@@ -227,6 +227,12 @@ pub fn match_stream_recorded<M: DomainMatcher + Sync>(
         }
         merged
     };
+    record_metrics(obs, &matched);
+    matched
+}
+
+/// Emits the batched `matcher.*` counters for one finished scan.
+fn record_metrics(obs: &Obs, matched: &MatchedTraffic) {
     if obs.enabled() {
         obs.counter_add("matcher.probes", matched.total_scanned() as u64);
         obs.counter_add("matcher.matches", matched.total_matched() as u64);
@@ -238,7 +244,6 @@ pub fn match_stream_recorded<M: DomainMatcher + Sync>(
             obs.counter_add("matcher.duplicates", quality.duplicates as u64);
         }
     }
-    matched
 }
 
 /// The sequential scan both policies bottom out in.
@@ -251,6 +256,96 @@ fn scan<M: DomainMatcher>(observed: &[ObservedLookup], matcher: &M) -> MatchedTr
     }
     matched.scanned = observed.len();
     matched
+}
+
+/// An incremental [`match_stream`]: feed the observed stream in
+/// arrival-order chunks and get the same [`MatchedTraffic`] (and the same
+/// `matcher.*` metrics) a single whole-trace scan would produce.
+///
+/// This is the matching stage of the streaming pipeline — each time shard
+/// is matched as it is produced, so the raw stream never has to be held in
+/// memory at once. Equivalence with the batch scan holds for *any*
+/// contiguous chunking because per-server arrival order is preserved by
+/// concatenation and the adjacent pair straddling each chunk boundary is
+/// re-examined on append.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{ObservedLookup, ServerId, SimInstant};
+/// use botmeter_exec::ExecPolicy;
+/// use botmeter_matcher::{match_stream, ExactMatcher, StreamMatcher};
+/// use botmeter_obs::Obs;
+///
+/// let matcher = ExactMatcher::from_domains(["evil.example".parse()?]);
+/// let stream: Vec<ObservedLookup> = (0..100)
+///     .map(|i| {
+///         let name = if i % 2 == 0 { "evil.example" } else { "ok.example" };
+///         ObservedLookup::new(SimInstant::from_millis(i), ServerId(1), name.parse().unwrap())
+///     })
+///     .collect();
+///
+/// let mut incremental = StreamMatcher::new(&matcher, ExecPolicy::Sequential, Obs::noop());
+/// for chunk in stream.chunks(7) {
+///     incremental.ingest(chunk);
+/// }
+/// assert_eq!(incremental.finish(), match_stream(&stream, &matcher, ExecPolicy::Sequential));
+/// # Ok::<(), botmeter_dns::ParseDomainError>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamMatcher<'a, M> {
+    matcher: &'a M,
+    policy: ExecPolicy,
+    obs: Obs,
+    acc: MatchedTraffic,
+}
+
+impl<'a, M: DomainMatcher + Sync> StreamMatcher<'a, M> {
+    /// Starts an incremental scan against `matcher` under `policy`,
+    /// reporting `matcher.*` metrics through `obs` when it finishes.
+    pub fn new(matcher: &'a M, policy: ExecPolicy, obs: Obs) -> Self {
+        StreamMatcher {
+            matcher,
+            policy,
+            obs,
+            acc: MatchedTraffic::default(),
+        }
+    }
+
+    /// Scans one arrival-order chunk and folds its hits into the running
+    /// result. Large chunks fan out across workers exactly like
+    /// [`match_stream`] does.
+    pub fn ingest(&mut self, chunk: &[ObservedLookup]) {
+        if chunk.is_empty() {
+            return;
+        }
+        let matched = if self.policy.worker_threads() <= 1 || chunk.len() < MIN_PARALLEL_MATCH {
+            scan(chunk, self.matcher)
+        } else {
+            let chunks = botmeter_exec::map_chunks_with(self.policy, &self.obs, chunk, |_, c| {
+                scan(c, self.matcher)
+            });
+            let mut merged = MatchedTraffic::default();
+            for c in chunks {
+                merged.append(c);
+            }
+            merged
+        };
+        self.acc.append(matched);
+    }
+
+    /// The matched traffic accumulated so far (final after the last
+    /// [`ingest`](Self::ingest)).
+    pub fn matched_so_far(&self) -> &MatchedTraffic {
+        &self.acc
+    }
+
+    /// Emits the batched `matcher.*` metrics and returns the result —
+    /// identical to `match_stream_recorded` over the concatenated chunks.
+    pub fn finish(self) -> MatchedTraffic {
+        record_metrics(&self.obs, &self.acc);
+        self.acc
+    }
 }
 
 /// Parallel [`match_stream`].
@@ -473,6 +568,64 @@ mod tests {
         let clean = clean_registry.snapshot();
         assert_eq!(clean.counter("matcher.out_of_order"), None);
         assert_eq!(clean.counter("matcher.duplicates"), None);
+    }
+
+    /// A long anomalous stream (inversions + adjacent repeats) for chunked
+    /// equivalence checks.
+    fn anomalous_stream(n: u64) -> Vec<ObservedLookup> {
+        (0..n)
+            .map(|i| {
+                let t = if i % 97 == 0 { i.saturating_sub(10) } else { i };
+                let name = if i % 3 == 0 {
+                    "a.evil.example"
+                } else if i % 7 == 0 {
+                    "b.evil.example"
+                } else {
+                    "clean.example"
+                };
+                obs(t, (i % 4) as u32, name)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_matcher_equals_batch_scan_for_any_chunking() {
+        let stream = anomalous_stream(6000);
+        let m = matcher();
+        for policy in [ExecPolicy::Sequential, ExecPolicy::with_threads(4)] {
+            let batch = match_stream(&stream, &m, policy);
+            for chunk_len in [1usize, 37, 500, 4096, 10_000] {
+                let mut incremental = StreamMatcher::new(&m, policy, Obs::noop());
+                incremental.ingest(&[]);
+                for chunk in stream.chunks(chunk_len) {
+                    incremental.ingest(chunk);
+                }
+                let chunked = incremental.finish();
+                assert_eq!(
+                    chunked, batch,
+                    "chunk_len {chunk_len} under {policy:?} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_matcher_metrics_match_batch_recorded_scan() {
+        let stream = anomalous_stream(3000);
+        let m = matcher();
+        let (h_batch, r_batch) = Obs::collecting();
+        match_stream_recorded(&stream, &m, ExecPolicy::Sequential, &h_batch);
+        let (h_inc, r_inc) = Obs::collecting();
+        let mut incremental = StreamMatcher::new(&m, ExecPolicy::Sequential, h_inc);
+        for chunk in stream.chunks(111) {
+            incremental.ingest(chunk);
+        }
+        assert!(incremental.matched_so_far().total_matched() > 0);
+        incremental.finish();
+        assert_eq!(
+            r_batch.snapshot().deterministic_counters(),
+            r_inc.snapshot().deterministic_counters()
+        );
     }
 
     #[test]

@@ -53,5 +53,7 @@ pub use background::{BenignAuthority, BenignTraffic, DualAuthority};
 pub use bot::{replay_barrel, simulate_activation};
 pub use enterprise::{EnterpriseOutcome, EnterpriseSpec, Infection};
 pub use evasion::EvasionStrategy;
-pub use scenario::{ScenarioBuildError, ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder};
+pub use scenario::{
+    PipelineMode, ScenarioBuildError, ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder,
+};
 pub use waves::WaveConfig;

@@ -8,13 +8,48 @@ use botmeter_dns::{
     ClientId, ObservedLookup, RawLookup, SimDuration, SimInstant, Topology, TtlPolicy,
 };
 use botmeter_exec::ExecPolicy;
-use botmeter_faults::{FaultPlan, FaultPlanError, FaultReport};
+use botmeter_faults::{FaultPlan, FaultPlanError, FaultReport, FaultStream};
 use botmeter_obs::Obs;
 use botmeter_stats::SeedSequence;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
+
+/// How many fixed-width time shards the streaming pipeline cuts each epoch
+/// into by default.
+const DEFAULT_SHARDS_PER_EPOCH: u64 = 16;
+
+/// How many finished shards the streaming pipeline's bounded hand-off
+/// buffer may hold between the generate and filter stages.
+const STAGE_CAPACITY: usize = 2;
+
+/// Optional per-shard observer the streaming pipeline feeds each released
+/// chunk of observed lookups.
+type ShardSink<'a> = Option<&'a mut dyn FnMut(&[ObservedLookup])>;
+
+/// How a scenario run materialises its intermediate raw trace.
+///
+/// Both modes produce **bit-identical** [`ScenarioOutcome::observed`]
+/// traces, fault reports and deterministic counters — the
+/// `streaming_equivalence` and `parallel_determinism` suites enforce it —
+/// so the choice is purely a memory/latency trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum PipelineMode {
+    /// Build the full raw trace in memory, then filter, then fault — the
+    /// reference path, and the only one that exposes
+    /// [`ScenarioOutcome::raw`].
+    #[default]
+    Materialize,
+    /// Fuse simulate→filter→fault over fixed-width time shards so no more
+    /// than a few shards of raw records are ever resident (see
+    /// [`ScenarioSpec::run_streaming`]).
+    Streaming {
+        /// Shard width; `None` picks `epoch_len / 16`.
+        shard: Option<SimDuration>,
+    },
+}
 
 /// A fully-specified synthetic experiment: one DGA family, a bot
 /// population, an activation model, an observation window of whole epochs,
@@ -52,6 +87,7 @@ pub struct ScenarioSpec {
     faults: Option<FaultPlan>,
     seed: u64,
     obs: Obs,
+    pipeline: PipelineMode,
 }
 
 /// Builder for [`ScenarioSpec`].
@@ -67,6 +103,7 @@ pub struct ScenarioSpecBuilder {
     faults: Option<FaultPlan>,
     seed: u64,
     obs: Obs,
+    pipeline: PipelineMode,
 }
 
 /// Invalid scenario configuration.
@@ -115,6 +152,7 @@ impl ScenarioSpec {
             faults: None,
             seed: 0,
             obs: Obs::noop(),
+            pipeline: PipelineMode::Materialize,
         }
     }
 
@@ -140,7 +178,78 @@ impl ScenarioSpec {
     /// [`Obs`] collects (`sim.activations`, `sim.bots_replayed`,
     /// `sim.raw_lookups`, `sim.observed_lookups`, plus the per-bot
     /// `sim.bot_replay_ns` replay-latency histogram).
+    ///
+    /// The spec's [`PipelineMode`] (see
+    /// [`pipeline`](ScenarioSpecBuilder::pipeline)) selects between the
+    /// materializing reference path and the bounded-memory streaming path;
+    /// both produce bit-identical observed traces.
     pub fn run(&self, policy: ExecPolicy) -> ScenarioOutcome {
+        match self.pipeline {
+            PipelineMode::Materialize => self.run_materialized(policy),
+            PipelineMode::Streaming { shard } => self.run_sharded(policy, shard, None),
+        }
+    }
+
+    /// Replays one `(plan index, bot index)` job into its raw lookups.
+    /// Pure per job: every bot draws from its own pre-derived rng seed, so
+    /// jobs can run in any order on any thread.
+    fn replay_job(
+        &self,
+        plans: &[EpochPlan],
+        job: (usize, usize),
+        theta_q: usize,
+    ) -> Vec<RawLookup> {
+        let (p, b) = job;
+        let plan = &plans[p];
+        let (t, client, rng_seed) = plan.bots[b];
+        let replay_start = self.obs.clock();
+        let mut bot_rng = ChaCha12Rng::seed_from_u64(rng_seed);
+        let lookups = match self
+            .evasion
+            .colluded_start(plan.epoch, plan.pool.len(), &mut bot_rng)
+        {
+            Some(start) => {
+                let barrel: Vec<usize> = (0..theta_q.min(plan.pool.len()))
+                    .map(|k| (start + k) % plan.pool.len())
+                    .collect();
+                replay_barrel(
+                    &self.family,
+                    &plan.pool,
+                    &plan.valid,
+                    barrel,
+                    t,
+                    client,
+                    &mut bot_rng,
+                )
+            }
+            None => simulate_activation(
+                &self.family,
+                plan.epoch,
+                &plan.pool,
+                &plan.valid,
+                t,
+                client,
+                &mut bot_rng,
+            ),
+        };
+        self.obs.observe_since("sim.bot_replay_ns", replay_start);
+        lookups
+    }
+
+    /// Flattens the epoch plans into `(plan, bot)` jobs in (epoch asc, bot
+    /// asc) order. Activation times are globally nondecreasing along this
+    /// list: each epoch's bots are sorted and epochs do not overlap.
+    fn flatten_jobs(plans: &[EpochPlan]) -> Vec<(usize, usize)> {
+        plans
+            .iter()
+            .enumerate()
+            .flat_map(|(p, plan)| (0..plan.bots.len()).map(move |b| (p, b)))
+            .collect()
+    }
+
+    /// The materializing reference pipeline: build the whole raw trace,
+    /// sort it, filter it through the cache topology, then fault it.
+    fn run_materialized(&self, policy: ExecPolicy) -> ScenarioOutcome {
         let authority = self.family.authority_for_epochs(self.num_epochs + 1);
 
         // Phase A — sequential per epoch: activation sampling and evasion
@@ -153,50 +262,9 @@ impl ScenarioSpec {
         // are flattened in (epoch asc, bot asc) order; concatenating the
         // per-job lookup vectors in job order reproduces exactly the
         // sequence the sequential loop builds.
-        let jobs: Vec<(usize, usize)> = plans
-            .iter()
-            .enumerate()
-            .flat_map(|(p, plan)| (0..plan.bots.len()).map(move |b| (p, b)))
-            .collect();
+        let jobs = Self::flatten_jobs(&plans);
         let theta_q = self.family.params().theta_q();
-        let replay_job = |j: usize| -> Vec<RawLookup> {
-            let (p, b) = jobs[j];
-            let plan = &plans[p];
-            let (t, client, rng_seed) = plan.bots[b];
-            let replay_start = self.obs.clock();
-            let mut bot_rng = ChaCha12Rng::seed_from_u64(rng_seed);
-            let lookups =
-                match self
-                    .evasion
-                    .colluded_start(plan.epoch, plan.pool.len(), &mut bot_rng)
-                {
-                    Some(start) => {
-                        let barrel: Vec<usize> = (0..theta_q.min(plan.pool.len()))
-                            .map(|k| (start + k) % plan.pool.len())
-                            .collect();
-                        replay_barrel(
-                            &self.family,
-                            &plan.pool,
-                            &plan.valid,
-                            barrel,
-                            t,
-                            client,
-                            &mut bot_rng,
-                        )
-                    }
-                    None => simulate_activation(
-                        &self.family,
-                        plan.epoch,
-                        &plan.pool,
-                        &plan.valid,
-                        t,
-                        client,
-                        &mut bot_rng,
-                    ),
-                };
-            self.obs.observe_since("sim.bot_replay_ns", replay_start);
-            lookups
-        };
+        let replay_job = |j: usize| -> Vec<RawLookup> { self.replay_job(&plans, jobs[j], theta_q) };
         let mut raw: Vec<RawLookup> = if policy.is_sequential() {
             // Single worker: stream each bot's lookups straight into the
             // trace instead of double-buffering 10k+ per-bot vectors.
@@ -261,11 +329,15 @@ impl ScenarioSpec {
             }
         }
 
+        let raw_lookups = raw.len() as u64;
         ScenarioOutcome {
             family: self.family.clone(),
             ttl: self.ttl,
             granularity: self.granularity,
             num_epochs: self.num_epochs,
+            // The whole raw trace was resident at once.
+            peak_resident_records: raw_lookups,
+            raw_lookups,
             raw,
             observed,
             ground_truth,
@@ -277,6 +349,263 @@ impl ScenarioSpec {
     #[deprecated(since = "0.1.0", note = "use `run(ExecPolicy::Sequential)`")]
     pub fn run_sequential(&self) -> ScenarioOutcome {
         self.run(ExecPolicy::Sequential)
+    }
+
+    /// Runs the fused streaming pipeline: simulate → cache-filter → fault
+    /// over fixed-width time shards, never materializing the raw trace.
+    ///
+    /// The observed trace, ground truth, fault report and deterministic
+    /// `sim.*` counters are **bit-identical** to [`run`](Self::run) in
+    /// [`PipelineMode::Materialize`] under either [`ExecPolicy`] — only
+    /// [`ScenarioOutcome::raw`] is empty (the raw records are dropped as
+    /// soon as their shard has been filtered; the count survives as
+    /// [`ScenarioOutcome::raw_lookups`]).
+    ///
+    /// Under a parallel policy the shard producer (replay + sort) runs on
+    /// a background thread while the calling thread filters and faults the
+    /// previous shard, with at most [`STAGE_CAPACITY`] finished shards
+    /// buffered between them. Memory stays bounded by a few shards of raw
+    /// records; the deterministic high-water mark is reported as
+    /// [`ScenarioOutcome::peak_resident_records`] and through the obs
+    /// counters `sim.stream.shards` / `sim.stream.peak_resident_records`
+    /// (backpressure stalls appear under `sched.stream.*`, which is
+    /// timing-dependent by contract).
+    pub fn run_streaming(&self, policy: ExecPolicy) -> ScenarioOutcome {
+        let shard = match self.pipeline {
+            PipelineMode::Streaming { shard } => shard,
+            PipelineMode::Materialize => None,
+        };
+        self.run_sharded(policy, shard, None)
+    }
+
+    /// [`run_streaming`](Self::run_streaming) with a per-shard sink:
+    /// `on_shard` receives each shard's released observed records (post
+    /// cache-filter, quantisation and faults) in stream order, so callers
+    /// can match or aggregate incrementally without ever holding the whole
+    /// observed trace either. The returned outcome is identical to
+    /// [`run_streaming`](Self::run_streaming).
+    pub fn run_streaming_each<F>(&self, policy: ExecPolicy, mut on_shard: F) -> ScenarioOutcome
+    where
+        F: FnMut(&[ObservedLookup]),
+    {
+        let shard = match self.pipeline {
+            PipelineMode::Streaming { shard } => shard,
+            PipelineMode::Materialize => None,
+        };
+        self.run_sharded(policy, shard, Some(&mut on_shard))
+    }
+
+    /// The streaming pipeline core. Shard `k` covers simulated time
+    /// `[k·w, (k+1)·w)`; the last shard is a catch-all `[k·w, ∞)` so the
+    /// horizon estimate only sizes the shard count, never correctness.
+    ///
+    /// Equivalence with the materializing path rests on three invariants:
+    ///
+    /// 1. **Jobs per shard are a contiguous range.** The flattened job
+    ///    list is nondecreasing in activation time and a bot's lookups
+    ///    never precede its activation, so generating shard `k` means
+    ///    advancing one cursor; records that overshoot the shard edge are
+    ///    carried (in job order) into the next shard. Splicing carry
+    ///    before freshly generated records reproduces the global
+    ///    concatenation order, and because shard membership is a function
+    ///    of the primary sort key `t`, per-shard stable sorts concatenate
+    ///    into exactly the global stable sort.
+    /// 2. **Cache state chains.** One `Topology` filters every shard in
+    ///    order; its per-server cache state carries across shard
+    ///    boundaries, and per-call counter deltas telescope to the batch
+    ///    totals.
+    /// 3. **Fault state chains.** A [`FaultStream`] threads each stage's
+    ///    rng and working state across shards (see `botmeter-faults`), so
+    ///    chunked faulting is bit-identical to whole-trace faulting.
+    fn run_sharded(
+        &self,
+        policy: ExecPolicy,
+        shard: Option<SimDuration>,
+        mut on_shard: ShardSink<'_>,
+    ) -> ScenarioOutcome {
+        let authority = self.family.authority_for_epochs(self.num_epochs + 1);
+        let (plans, ground_truth) = self.plan_epochs();
+        let jobs = Self::flatten_jobs(&plans);
+        let theta_q = self.family.params().theta_q();
+
+        let epoch_len = self.family.epoch_len();
+        let shard_len = shard.unwrap_or_else(|| {
+            SimDuration::from_millis((epoch_len.as_millis() / DEFAULT_SHARDS_PER_EPOCH).max(1))
+        });
+        let shard_ms = shard_len.as_millis().max(1);
+        // Horizon: the last activation plus the family's per-bot replay
+        // span bound. (The catch-all last shard sweeps up any residue.)
+        let last_activation = plans
+            .iter()
+            .rev()
+            .find_map(|p| p.bots.last())
+            .map(|&(t, _, _)| t)
+            .unwrap_or(SimInstant::ZERO);
+        let horizon = last_activation + self.family.params().max_activation_duration();
+        let num_shards = (horizon.as_millis() / shard_ms + 1) as usize;
+
+        // Producer state: the job cursor, the records that overshot the
+        // current shard edge (in job order), and the deterministic
+        // resident-memory accounting.
+        let mut job_cursor = 0usize;
+        let mut carry: Vec<RawLookup> = Vec::new();
+        let mut raw_total = 0u64;
+        let mut peak_resident = 0u64;
+        // Shard sizes still in flight downstream: up to STAGE_CAPACITY
+        // buffered plus one being consumed.
+        let mut in_flight: VecDeque<usize> = VecDeque::new();
+
+        // Consumer state: the carried cache topology, the incremental
+        // fault application and the accumulated observed trace.
+        let mut topology = Topology::single_local(self.ttl);
+        topology.set_obs(self.obs.clone());
+        let mut fault_stream = self.faults.as_ref().map(FaultPlan::stream);
+        let mut observed: Vec<ObservedLookup> = Vec::new();
+        let mut filtered_any = false;
+
+        botmeter_exec::run_staged_with(
+            policy,
+            &self.obs,
+            num_shards,
+            STAGE_CAPACITY,
+            |k| {
+                let last = k + 1 == num_shards;
+                let shard_end = SimInstant::ZERO + shard_len * (k as u64 + 1);
+                // Generate every not-yet-replayed job activated before the
+                // shard edge — a contiguous job range.
+                let gen_start = job_cursor;
+                if last {
+                    job_cursor = jobs.len();
+                } else {
+                    while job_cursor < jobs.len() {
+                        let (p, b) = jobs[job_cursor];
+                        if plans[p].bots[b].0 < shard_end {
+                            job_cursor += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let gen_jobs = job_cursor - gen_start;
+                let mut generated: Vec<RawLookup> = if policy.is_sequential() || gen_jobs < 2 {
+                    let mut out = Vec::new();
+                    for &job in &jobs[gen_start..job_cursor] {
+                        out.extend(self.replay_job(&plans, job, theta_q));
+                    }
+                    out
+                } else {
+                    let replays =
+                        botmeter_exec::run_indexed_with(policy, &self.obs, gen_jobs, |i| {
+                            self.replay_job(&plans, jobs[gen_start + i], theta_q)
+                        });
+                    let mut out = Vec::with_capacity(replays.iter().map(Vec::len).sum());
+                    for lookups in replays {
+                        out.extend(lookups);
+                    }
+                    out
+                };
+                raw_total += generated.len() as u64;
+                // Stable partition of carry-then-generated around the shard
+                // edge: `in_shard` keeps global concatenation order.
+                let mut in_shard = Vec::with_capacity(carry.len() + generated.len());
+                let mut next_carry = Vec::new();
+                for lookup in carry.drain(..).chain(generated.drain(..)) {
+                    if last || lookup.t < shard_end {
+                        in_shard.push(lookup);
+                    } else {
+                        next_carry.push(lookup);
+                    }
+                }
+                carry = next_carry;
+                // Deterministic resident high-water mark: everything this
+                // stage holds plus every shard still in flight downstream.
+                let downstream: usize = in_flight.iter().sum();
+                peak_resident =
+                    peak_resident.max((in_shard.len() + carry.len() + downstream) as u64);
+                in_flight.push_back(in_shard.len());
+                while in_flight.len() > STAGE_CAPACITY + 1 {
+                    in_flight.pop_front();
+                }
+                botmeter_exec::par_sort_by_key_with(policy, &self.obs, &mut in_shard, |l| {
+                    (l.t, l.client)
+                });
+                in_shard
+            },
+            |_k, in_shard| {
+                if in_shard.is_empty() {
+                    return;
+                }
+                filtered_any = true;
+                let chunk: Vec<ObservedLookup> = topology
+                    .process_trace(&in_shard, &authority, policy)
+                    .expect("single-local topology routes every client")
+                    .into_iter()
+                    .map(|mut o| {
+                        o.t = o.t.quantize(self.granularity);
+                        o
+                    })
+                    .collect();
+                let released = match &mut fault_stream {
+                    Some(stream) => stream.push(chunk),
+                    None => chunk,
+                };
+                if !released.is_empty() {
+                    if let Some(sink) = on_shard.as_deref_mut() {
+                        sink(&released);
+                    }
+                    observed.extend(released);
+                }
+            },
+        );
+        if !filtered_any {
+            // Mirror the materializing path's single (empty) filter call so
+            // the topology counters agree even for an empty trace.
+            let _ = topology.process_trace(&[], &authority, policy);
+        }
+        let fault_report = fault_stream.map(FaultStream::finish).map(|(tail, report)| {
+            if !tail.is_empty() {
+                if let Some(sink) = on_shard {
+                    sink(&tail);
+                }
+                observed.extend(tail);
+            }
+            report
+        });
+
+        if self.obs.enabled() {
+            self.obs
+                .counter_add("sim.activations", ground_truth.iter().sum());
+            self.obs.counter_add("sim.bots_replayed", jobs.len() as u64);
+            self.obs.counter_add("sim.raw_lookups", raw_total);
+            self.obs
+                .counter_add("sim.observed_lookups", observed.len() as u64);
+            if let Some(report) = &fault_report {
+                self.obs.counter_add("sim.faults.input", report.input);
+                self.obs.counter_add("sim.faults.dropped", report.dropped);
+                self.obs
+                    .counter_add("sim.faults.duplicated", report.duplicated);
+                self.obs
+                    .counter_add("sim.faults.displaced", report.displaced);
+                self.obs
+                    .counter_add("sim.faults.perturbed", report.perturbed);
+            }
+            self.obs.counter_add("sim.stream.shards", num_shards as u64);
+            self.obs
+                .gauge_max("sim.stream.peak_resident_records", peak_resident);
+        }
+
+        ScenarioOutcome {
+            family: self.family.clone(),
+            ttl: self.ttl,
+            granularity: self.granularity,
+            num_epochs: self.num_epochs,
+            raw: Vec::new(),
+            raw_lookups: raw_total,
+            peak_resident_records: peak_resident,
+            observed,
+            ground_truth,
+            fault_report,
+        }
     }
 
     /// Phase A shared by both run paths: samples activations epoch by epoch
@@ -396,6 +725,15 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Selects how [`ScenarioSpec::run`] materialises the raw trace
+    /// (default: [`PipelineMode::Materialize`]). Both modes produce
+    /// bit-identical observed traces; streaming trades the retained raw
+    /// trace for a bounded memory footprint.
+    pub fn pipeline(mut self, mode: PipelineMode) -> Self {
+        self.pipeline = mode;
+        self
+    }
+
     /// Attaches an observability handle; [`ScenarioSpec::run`] then reports
     /// `sim.*` counters, the `sim.bot_replay_ns` histogram and the
     /// topology's `cache.s{id}.*` / `topology.*` metrics through it
@@ -439,6 +777,7 @@ impl ScenarioSpecBuilder {
             faults: self.faults,
             seed: self.seed,
             obs: self.obs,
+            pipeline: self.pipeline,
         })
     }
 }
@@ -452,6 +791,8 @@ pub struct ScenarioOutcome {
     granularity: SimDuration,
     num_epochs: u64,
     raw: Vec<RawLookup>,
+    raw_lookups: u64,
+    peak_resident_records: u64,
     observed: Vec<ObservedLookup>,
     ground_truth: Vec<u64>,
     fault_report: Option<FaultReport>,
@@ -479,8 +820,27 @@ impl ScenarioOutcome {
     }
 
     /// The pre-cache, ground-truth lookup trace.
+    ///
+    /// Only materializing runs keep it; streaming runs
+    /// ([`ScenarioSpec::run_streaming`] or [`PipelineMode::Streaming`])
+    /// return an empty slice here — that bounded memory footprint is their
+    /// point — while [`raw_lookups`](Self::raw_lookups) still reports the
+    /// count.
     pub fn raw(&self) -> &[RawLookup] {
         &self.raw
+    }
+
+    /// Total pre-cache lookups the simulation generated, counted even when
+    /// the raw trace was streamed and never materialised.
+    pub fn raw_lookups(&self) -> u64 {
+        self.raw_lookups
+    }
+
+    /// The deterministic high-water mark of raw-trace records resident in
+    /// memory at once: the full trace length for materializing runs, a few
+    /// time shards for streaming runs.
+    pub fn peak_resident_records(&self) -> u64 {
+        self.peak_resident_records
     }
 
     /// The border-visible (cache-filtered, quantised) lookup trace.

@@ -10,7 +10,9 @@ use botmeter_dns::{ServerId, SimDuration, SimInstant};
 use botmeter_exec::ExecPolicy;
 use botmeter_faults::{FaultModel, FaultPlan};
 use botmeter_obs::Obs;
-use botmeter_sim::{ActivationModel, EvasionStrategy, ScenarioSpec, ScenarioSpecBuilder};
+use botmeter_sim::{
+    ActivationModel, EvasionStrategy, PipelineMode, ScenarioSpec, ScenarioSpecBuilder,
+};
 
 /// Pins the worker count so the parallel code paths actually run even on
 /// single-core machines (where the auto-detected count would fall back to
@@ -218,6 +220,93 @@ fn composed_fault_plan_is_bit_identical_across_policies() {
             .faults(plan)
     };
     assert_runs_match(build, "composed fault plan");
+}
+
+/// Same contract for the streaming pipeline: a parallel streaming run
+/// (staged producer/consumer overlap, parallel replay and sort inside each
+/// shard) must be bit-identical to the sequential streaming run — observed
+/// trace, ground truth, fault report and every deterministic counter,
+/// including the formula-derived `sim.stream.*` residency metrics.
+fn assert_streaming_runs_match(build: impl Fn() -> ScenarioSpecBuilder, what: &str) {
+    let (obs_par, reg_par) = Obs::collecting();
+    let (obs_seq, reg_seq) = Obs::collecting();
+    let parallel = build()
+        .obs(obs_par)
+        .build()
+        .expect("valid spec")
+        .run_streaming(ExecPolicy::parallel());
+    let sequential = build()
+        .obs(obs_seq)
+        .build()
+        .expect("valid spec")
+        .run_streaming(ExecPolicy::Sequential);
+    assert_eq!(
+        parallel.observed(),
+        sequential.observed(),
+        "streaming observed trace diverged: {what}"
+    );
+    assert_eq!(
+        parallel.ground_truth(),
+        sequential.ground_truth(),
+        "streaming ground truth diverged: {what}"
+    );
+    assert_eq!(
+        parallel.fault_report(),
+        sequential.fault_report(),
+        "streaming fault report diverged: {what}"
+    );
+    assert_eq!(
+        parallel.raw_lookups(),
+        sequential.raw_lookups(),
+        "streaming raw lookup count diverged: {what}"
+    );
+    assert_eq!(
+        parallel.peak_resident_records(),
+        sequential.peak_resident_records(),
+        "streaming peak residency diverged: {what}"
+    );
+    assert_eq!(
+        reg_par.snapshot().deterministic_counters(),
+        reg_seq.snapshot().deterministic_counters(),
+        "streaming metrics counters diverged: {what}"
+    );
+}
+
+#[test]
+fn streaming_run_is_bit_identical_across_policies() {
+    force_parallel();
+    for family in [DgaFamily::murofet, DgaFamily::new_goz] {
+        let name = family().name().to_owned();
+        let build = || {
+            ScenarioSpec::builder(family())
+                .population(48)
+                .num_epochs(2)
+                .seed(7)
+                .pipeline(PipelineMode::Streaming { shard: None })
+        };
+        assert_streaming_runs_match(build, &name);
+    }
+}
+
+#[test]
+fn faulted_streaming_run_is_bit_identical_across_policies() {
+    force_parallel();
+    // The composed plan stacks every stateful fault stage; the streaming
+    // path has to chain each stage's rng/burst/reorder/sample state across
+    // shard boundaries identically under both policies.
+    let build = || {
+        let mut plan = FaultPlan::new(99);
+        for (_, model) in every_fault_model() {
+            plan = plan.with(model);
+        }
+        ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(48)
+            .num_epochs(2)
+            .seed(29)
+            .faults(plan)
+            .pipeline(PipelineMode::Streaming { shard: None })
+    };
+    assert_streaming_runs_match(build, "composed fault plan (streaming)");
 }
 
 #[test]

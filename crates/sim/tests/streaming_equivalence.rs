@@ -1,0 +1,311 @@
+//! Golden equivalence of the streaming pipeline: for any scenario,
+//! [`ScenarioSpec::run_streaming`] must be **bit-identical** to the
+//! materializing [`ScenarioSpec::run`] on the observed trace, the ground
+//! truth, the fault report and every deterministic metrics counter the
+//! streaming path shares with the reference path — across seeds, families,
+//! fault plans, shard widths and both [`ExecPolicy`] variants.
+
+use botmeter_dga::DgaFamily;
+use botmeter_dns::{ServerId, SimDuration, SimInstant};
+use botmeter_exec::ExecPolicy;
+use botmeter_faults::{FaultModel, FaultPlan};
+use botmeter_obs::Obs;
+use botmeter_sim::{ActivationModel, EvasionStrategy, PipelineMode, ScenarioSpecBuilder};
+
+/// Pins the worker count so parallel policies exercise the real staged
+/// overlap even on single-core machines.
+fn force_parallel() {
+    std::env::set_var("BOTMETER_THREADS", "4");
+}
+
+/// Counters the streaming path emits that have no materializing
+/// counterpart (shard count, resident high-water mark). Everything else
+/// outside the `sched.` namespace must agree bit-for-bit.
+fn comparable(counters: Vec<botmeter_obs::CounterSnapshot>) -> Vec<botmeter_obs::CounterSnapshot> {
+    counters
+        .into_iter()
+        .filter(|c| !c.name.starts_with("sim.stream."))
+        .collect()
+}
+
+/// Runs the same spec through both pipelines under `policy` and asserts
+/// every externally visible artefact matches.
+fn assert_streaming_matches(
+    build: impl Fn() -> ScenarioSpecBuilder,
+    policy: ExecPolicy,
+    what: &str,
+) {
+    let (obs_mat, reg_mat) = Obs::collecting();
+    let (obs_str, reg_str) = Obs::collecting();
+    let materialized = build()
+        .pipeline(PipelineMode::Materialize)
+        .obs(obs_mat)
+        .build()
+        .expect("valid spec")
+        .run(policy);
+    let streamed = build()
+        .obs(obs_str)
+        .build()
+        .expect("valid spec")
+        .run_streaming(policy);
+    assert_eq!(
+        streamed.observed(),
+        materialized.observed(),
+        "observed trace diverged: {what}"
+    );
+    assert_eq!(
+        streamed.ground_truth(),
+        materialized.ground_truth(),
+        "ground truth diverged: {what}"
+    );
+    assert_eq!(
+        streamed.fault_report(),
+        materialized.fault_report(),
+        "fault report diverged: {what}"
+    );
+    assert_eq!(
+        streamed.raw_lookups(),
+        materialized.raw_lookups(),
+        "raw lookup count diverged: {what}"
+    );
+    // The streaming path never materializes the raw trace.
+    assert!(
+        streamed.raw().is_empty(),
+        "streaming kept a raw trace: {what}"
+    );
+    assert_eq!(
+        comparable(reg_str.snapshot().deterministic_counters()),
+        comparable(reg_mat.snapshot().deterministic_counters()),
+        "metrics counters diverged: {what}"
+    );
+}
+
+fn both_policies(build: impl Fn() -> ScenarioSpecBuilder, what: &str) {
+    assert_streaming_matches(
+        &build,
+        ExecPolicy::Sequential,
+        &format!("{what} / sequential"),
+    );
+    assert_streaming_matches(
+        &build,
+        ExecPolicy::parallel(),
+        &format!("{what} / parallel"),
+    );
+}
+
+/// Every fault model with parameters aggressive enough to fire on a small
+/// trace (mirrors `parallel_determinism`).
+fn every_fault_model() -> Vec<(&'static str, FaultModel)> {
+    vec![
+        ("drop", FaultModel::Drop { rate: 0.3 }),
+        (
+            "burst_loss",
+            FaultModel::BurstLoss {
+                p_enter: 0.2,
+                p_exit: 0.3,
+                loss: 0.9,
+            },
+        ),
+        ("duplicate", FaultModel::Duplicate { rate: 0.25 }),
+        (
+            "reorder",
+            FaultModel::Reorder {
+                rate: 0.3,
+                max_displacement: 5,
+            },
+        ),
+        (
+            "jitter",
+            FaultModel::Jitter {
+                max: SimDuration::from_secs(30),
+            },
+        ),
+        (
+            "clock_skew",
+            FaultModel::ClockSkew {
+                max: SimDuration::from_secs(120),
+            },
+        ),
+        ("sample", FaultModel::Sample { keep_one_in: 3 }),
+        (
+            "outage",
+            FaultModel::Outage {
+                server: Some(ServerId(1)),
+                from: SimInstant::from_millis(3_600_000),
+                until: SimInstant::from_millis(14_400_000),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn streaming_matches_materialize_across_families() {
+    force_parallel();
+    let families = [
+        DgaFamily::murofet,
+        DgaFamily::new_goz,
+        DgaFamily::conficker_c,
+        DgaFamily::necurs,
+    ];
+    for family in families {
+        let name = family().name().to_owned();
+        let build = || {
+            botmeter_sim::ScenarioSpec::builder(family())
+                .population(48)
+                .num_epochs(2)
+                .seed(7)
+                .pipeline(PipelineMode::Streaming { shard: None })
+        };
+        both_policies(build, &name);
+    }
+}
+
+#[test]
+fn streaming_matches_materialize_across_seeds() {
+    force_parallel();
+    for seed in [0u64, 1, 99, 0xdead_beef] {
+        let build = || {
+            botmeter_sim::ScenarioSpec::builder(DgaFamily::new_goz())
+                .population(64)
+                .seed(seed)
+                .pipeline(PipelineMode::Streaming { shard: None })
+        };
+        both_policies(build, &format!("newGoZ seed {seed}"));
+    }
+}
+
+#[test]
+fn streaming_matches_materialize_under_evasion_and_dynamic_rate() {
+    force_parallel();
+    let strategies = [
+        EvasionStrategy::DutyCycle { active_prob: 0.5 },
+        EvasionStrategy::CoordinatedBurst {
+            window_fraction: 0.25,
+        },
+        EvasionStrategy::StartCollusion { shared_starts: 4 },
+    ];
+    for evasion in strategies {
+        let build = || {
+            botmeter_sim::ScenarioSpec::builder(DgaFamily::conficker_c())
+                .population(32)
+                .activation(ActivationModel::DynamicRate { sigma: 1.5 })
+                .evasion(evasion)
+                .seed(11)
+                .pipeline(PipelineMode::Streaming { shard: None })
+        };
+        both_policies(build, &format!("{evasion:?}"));
+    }
+}
+
+#[test]
+fn streaming_matches_materialize_for_every_fault_model() {
+    force_parallel();
+    for (name, model) in every_fault_model() {
+        let model_for_build = model.clone();
+        let build = move || {
+            botmeter_sim::ScenarioSpec::builder(DgaFamily::new_goz())
+                .population(48)
+                .num_epochs(2)
+                .seed(17)
+                .faults(FaultPlan::new(23).with(model_for_build.clone()))
+                .pipeline(PipelineMode::Streaming { shard: None })
+        };
+        both_policies(&build, &format!("fault model {name}"));
+    }
+}
+
+#[test]
+fn streaming_matches_materialize_for_composed_fault_plan() {
+    force_parallel();
+    let build = || {
+        let mut plan = FaultPlan::new(99);
+        for (_, model) in every_fault_model() {
+            plan = plan.with(model);
+        }
+        botmeter_sim::ScenarioSpec::builder(DgaFamily::murofet())
+            .population(48)
+            .num_epochs(2)
+            .seed(29)
+            .faults(plan)
+            .pipeline(PipelineMode::Streaming { shard: None })
+    };
+    both_policies(build, "composed fault plan");
+}
+
+#[test]
+fn streaming_matches_materialize_for_explicit_shard_widths() {
+    force_parallel();
+    // Degenerate (tiny) and coarse (multi-epoch) shard widths must both
+    // reproduce the reference trace: shard geometry is a pure performance
+    // knob, never a correctness one.
+    let widths = [
+        SimDuration::from_millis(1),
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(24 * 3600),
+        SimDuration::from_secs(30 * 24 * 3600),
+    ];
+    for width in widths {
+        let build = move || {
+            botmeter_sim::ScenarioSpec::builder(DgaFamily::new_goz())
+                .population(32)
+                .seed(5)
+                .faults(FaultPlan::new(7).with(FaultModel::Reorder {
+                    rate: 0.3,
+                    max_displacement: 5,
+                }))
+                .pipeline(PipelineMode::Streaming { shard: Some(width) })
+        };
+        both_policies(build, &format!("shard width {width:?}"));
+    }
+}
+
+#[test]
+fn streaming_each_sink_sees_exactly_the_observed_trace() {
+    force_parallel();
+    for policy in [ExecPolicy::Sequential, ExecPolicy::parallel()] {
+        let spec = botmeter_sim::ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(48)
+            .num_epochs(2)
+            .seed(13)
+            .faults(FaultPlan::new(3).with(FaultModel::Duplicate { rate: 0.25 }))
+            .pipeline(PipelineMode::Streaming { shard: None })
+            .build()
+            .expect("valid spec");
+        let mut sunk = Vec::new();
+        let outcome = spec.run_streaming_each(policy, |chunk| sunk.extend_from_slice(chunk));
+        assert_eq!(
+            sunk,
+            outcome.observed(),
+            "sink concatenation diverged ({policy:?})"
+        );
+    }
+}
+
+#[test]
+fn streaming_peak_residency_is_far_below_the_trace_length() {
+    force_parallel();
+    let spec = botmeter_sim::ScenarioSpec::builder(DgaFamily::new_goz())
+        .population(128)
+        .num_epochs(2)
+        .seed(21)
+        .pipeline(PipelineMode::Streaming { shard: None })
+        .build()
+        .expect("valid spec");
+    let outcome = spec.run_streaming(ExecPolicy::parallel());
+    assert!(outcome.raw_lookups() > 0);
+    assert!(
+        outcome.peak_resident_records() < outcome.raw_lookups(),
+        "peak {} not below total {}",
+        outcome.peak_resident_records(),
+        outcome.raw_lookups()
+    );
+    // The bound the perf harness advertises: a handful of shards, not the
+    // whole trace. With 16 shards/epoch the high-water mark should sit well
+    // under half the trace.
+    assert!(
+        outcome.peak_resident_records() * 2 < outcome.raw_lookups(),
+        "peak {} is not a small fraction of total {}",
+        outcome.peak_resident_records(),
+        outcome.raw_lookups()
+    );
+}

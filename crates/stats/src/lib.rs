@@ -46,4 +46,4 @@ pub use gof::{ks_critical_value, ks_statistic};
 pub use kahan::KahanSum;
 pub use seed::{mix64, SeedSequence};
 pub use special::{binomial, ln_binomial, ln_factorial, ln_gamma, log_sum_exp, LogSumAcc};
-pub use stirling::StirlingTable;
+pub use stirling::{SharedStirling, StirlingTable};

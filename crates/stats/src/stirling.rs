@@ -6,8 +6,14 @@
 //! values exceed 1e300. We therefore keep the whole triangle as natural
 //! logarithms, filled row by row with the recurrence
 //! `S(n, m) = m·S(n−1, m) + S(n−1, m−1)` in log-sum-exp form.
+//!
+//! [`StirlingTable`] is the single-owner cache; [`SharedStirling`] wraps it
+//! (plus a memoized `ln_binomial` row cache) behind `Arc`s so one filled
+//! triangle can serve every landscape cell across a worker pool.
 
-use crate::special::LogSumAcc;
+use crate::special::{ln_binomial, LogSumAcc};
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// A growable cache of `ln S(n, m)` (Stirling numbers of the second kind).
 ///
@@ -54,6 +60,16 @@ impl StirlingTable {
         self.ln_stirling2(n, m).exp()
     }
 
+    /// `ln S(n, m)` without filling: `Some` when row `n` is already
+    /// materialised (the zero cases answer without any row), `None` when a
+    /// [`fill_to`](Self::ln_stirling2) pass is still needed.
+    pub fn peek(&self, n: u64, m: u64) -> Option<f64> {
+        if m > n {
+            return Some(f64::NEG_INFINITY);
+        }
+        self.rows.get(n as usize).map(|row| row[m as usize])
+    }
+
     /// Number of rows currently materialised (for diagnostics/tests).
     pub fn rows_filled(&self) -> usize {
         self.rows.len()
@@ -80,6 +96,101 @@ impl StirlingTable {
             row.push(0.0);
             self.rows.push(row);
         }
+    }
+}
+
+/// A thread-safe, clone-shared combinatorics cache: one [`StirlingTable`]
+/// plus memoized `ln_binomial` rows, both behind `Arc`s so that cloning the
+/// handle shares the underlying tables instead of refilling them.
+///
+/// Every cached value is a pure function of its indices (`ln S(n, m)` and
+/// `ln C(n, k)` respectively), and rows are always filled by the same
+/// deterministic recurrence regardless of which caller triggers the fill —
+/// so answers are bit-identical to the unshared path no matter how reads
+/// and fills interleave across threads. That is what lets
+/// `BotMeter::chart` hand one handle to every landscape cell under a
+/// parallel [`ExecPolicy`] without touching the determinism contract.
+///
+/// [`ExecPolicy`]: https://docs.rs/botmeter-exec
+///
+/// # Example
+///
+/// ```
+/// use botmeter_stats::SharedStirling;
+/// let tables = SharedStirling::new();
+/// let other = tables.clone(); // shares, does not copy
+/// assert!((tables.ln_stirling2(4, 2) - 7f64.ln()).abs() < 1e-12);
+/// // The clone sees the row the first handle filled.
+/// assert!(other.stirling_rows_filled() >= 5);
+/// let row = tables.ln_binomial_row(10);
+/// assert!((row[3] - 120f64.ln()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedStirling {
+    stirling: Arc<RwLock<StirlingTable>>,
+    binomial_rows: Arc<RwLock<HashMap<u64, Arc<Vec<f64>>>>>,
+}
+
+impl SharedStirling {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        SharedStirling::default()
+    }
+
+    /// `ln S(n, m)` — the shared equivalent of
+    /// [`StirlingTable::ln_stirling2`]. Reads take a shared lock; only a
+    /// miss upgrades to the write lock to extend the triangle.
+    pub fn ln_stirling2(&self, n: u64, m: u64) -> f64 {
+        {
+            let table = self.stirling.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = table.peek(n, m) {
+                return v;
+            }
+        }
+        let mut table = self
+            .stirling
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        table.ln_stirling2(n, m)
+    }
+
+    /// The full row `[ln C(n, 0), …, ln C(n, n)]`, memoized per `n`. Rows
+    /// are computed with [`ln_binomial`] entry by entry, so the cached
+    /// values are bit-identical to calling the free function directly.
+    pub fn ln_binomial_row(&self, n: u64) -> Arc<Vec<f64>> {
+        {
+            let rows = self
+                .binomial_rows
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(row) = rows.get(&n) {
+                return Arc::clone(row);
+            }
+        }
+        // Compute outside any lock; a racing fill of the same row produces
+        // the identical vector, so last-writer-wins is harmless.
+        let row: Arc<Vec<f64>> = Arc::new((0..=n).map(|k| ln_binomial(n, k)).collect());
+        let mut rows = self
+            .binomial_rows
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(rows.entry(n).or_insert(row))
+    }
+
+    /// Rows of the Stirling triangle currently materialised.
+    pub fn stirling_rows_filled(&self) -> usize {
+        self.stirling
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .rows_filled()
+    }
+
+    /// Distinct `ln_binomial` rows currently memoized.
+    pub fn binomial_rows_cached(&self) -> usize {
+        self.binomial_rows
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -160,6 +271,56 @@ mod tests {
         assert_eq!(t.rows_filled(), 11, "smaller query must not shrink/refill");
         t.ln_stirling2(12, 12);
         assert_eq!(t.rows_filled(), 13);
+    }
+
+    #[test]
+    fn peek_only_answers_filled_rows() {
+        let mut t = StirlingTable::new();
+        assert_eq!(t.peek(2, 5), Some(f64::NEG_INFINITY), "zero case is free");
+        assert_eq!(t.peek(4, 2), None, "unfilled row");
+        let filled = t.ln_stirling2(4, 2);
+        assert_eq!(t.peek(4, 2), Some(filled));
+    }
+
+    #[test]
+    fn shared_matches_owned_table_bit_for_bit() {
+        let shared = SharedStirling::new();
+        let mut owned = StirlingTable::new();
+        // Query in a scrambled order to show fill order is irrelevant.
+        for &(n, m) in &[(30u64, 7u64), (5, 2), (60, 60), (12, 0), (45, 13)] {
+            assert_eq!(shared.ln_stirling2(n, m), owned.ln_stirling2(n, m));
+        }
+        assert_eq!(shared.stirling_rows_filled(), owned.rows_filled());
+    }
+
+    #[test]
+    fn shared_binomial_rows_match_free_function() {
+        let shared = SharedStirling::new();
+        let row = shared.ln_binomial_row(25);
+        assert_eq!(row.len(), 26);
+        for k in 0..=25u64 {
+            assert_eq!(row[k as usize], ln_binomial(25, k));
+        }
+        // Second request hits the cache (same allocation).
+        assert!(Arc::ptr_eq(&row, &shared.ln_binomial_row(25)));
+        assert_eq!(shared.binomial_rows_cached(), 1);
+    }
+
+    #[test]
+    fn shared_clones_share_fills_across_threads() {
+        let shared = SharedStirling::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tables = shared.clone();
+                std::thread::spawn(move || tables.ln_stirling2(80 + i, 10))
+            })
+            .collect();
+        let mut reference = StirlingTable::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            let got = h.join().expect("no panic");
+            assert_eq!(got, reference.ln_stirling2(80 + i as u64, 10));
+        }
+        assert_eq!(shared.stirling_rows_filled(), 84);
     }
 
     #[test]

@@ -64,4 +64,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> perf smoke (throughput + streaming residency gate)"
+# Fails if raw simulation throughput drops more than 25% below the
+# committed BENCH_pipeline.json baseline, or if the streaming pipeline
+# loses its bounded-memory property. Best-of-2 to absorb scheduler noise.
+./target/release/perf_smoke
+
 echo "All checks passed."

@@ -71,5 +71,5 @@ pub mod prelude {
     pub use botmeter_faults::{FaultModel, FaultPlan, FaultReport};
     pub use botmeter_matcher::{DetectionWindow, DomainMatcher};
     pub use botmeter_obs::{MetricsRegistry, MetricsSnapshot, Obs};
-    pub use botmeter_sim::{ScenarioOutcome, ScenarioSpec};
+    pub use botmeter_sim::{PipelineMode, ScenarioOutcome, ScenarioSpec};
 }

@@ -7,7 +7,7 @@ use botmeter::core::{
 use botmeter::dga::{BarrelClass, DgaFamily, DgaParams, QueryTiming};
 use botmeter::dns::{DomainName, ObservedLookup, ServerId, SimDuration, SimInstant, TtlPolicy};
 use botmeter::exec::ExecPolicy;
-use botmeter::stats::StirlingTable;
+use botmeter::stats::SharedStirling;
 use proptest::prelude::*;
 
 fn test_family(theta_nx: usize, theta_valid: usize, theta_q: usize) -> DgaFamily {
@@ -113,11 +113,11 @@ proptest! {
     /// m-segments and always at least ~1.
     #[test]
     fn theorem1_monotone_in_length(extra in 0usize..60, theta_q in 20usize..60) {
-        let mut table = StirlingTable::new();
+        let tables = SharedStirling::new();
         let base = Segment { start: 0, len: theta_q, kind: SegmentKind::Middle };
         let longer = Segment { start: 0, len: theta_q + extra, kind: SegmentKind::Middle };
-        let e1 = botmeter::core::expected_bots_for_segment(&base, theta_q, 1e-3, &mut table);
-        let e2 = botmeter::core::expected_bots_for_segment(&longer, theta_q, 1e-3, &mut table);
+        let e1 = botmeter::core::expected_bots_for_segment(&base, theta_q, 1e-3, &tables);
+        let e2 = botmeter::core::expected_bots_for_segment(&longer, theta_q, 1e-3, &tables);
         prop_assert!(e1 >= 0.99, "{e1}");
         prop_assert!(e2 >= e1 - 1e-6, "len {} -> {e1}, len {} -> {e2}",
                      base.len, longer.len);
