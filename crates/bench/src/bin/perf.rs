@@ -51,6 +51,9 @@ struct Variant {
     chart_secs: f64,
     total_secs: f64,
     raw_lookups_per_sec: f64,
+    /// Charting throughput: observed (cache-filtered) lookups charted per
+    /// second — the estimator-kernel figure the perf-smoke gate watches.
+    chart_lookups_per_sec: f64,
     /// High-water mark of raw-trace records held in memory at once.
     peak_resident_records: u64,
 }
@@ -84,6 +87,7 @@ impl Measurement {
             chart_secs: self.chart_secs,
             total_secs: self.simulate_secs + self.chart_secs,
             raw_lookups_per_sec: self.raw_lookups as f64 / self.simulate_secs.max(1e-9),
+            chart_lookups_per_sec: self.observed_lookups as f64 / self.chart_secs.max(1e-9),
             peak_resident_records: self.peak_resident_records,
         }
     }
@@ -179,7 +183,11 @@ fn main() {
         i += 1;
     }
 
+    // Resolve the worker count once and build every parallel policy from
+    // it, so the top-level `threads` field and the per-variant `threads`
+    // fields can never disagree about the pool the run actually used.
     let threads = botmeter_exec::num_threads();
+    let parallel = ExecPolicy::with_threads(threads);
     let bench = Bench {
         population,
         epochs,
@@ -191,10 +199,10 @@ fn main() {
     // One untimed warmup run: the first pipeline execution pays for page
     // faults and allocator growth over the trace's full footprint, which
     // would otherwise be billed to whichever variant runs first.
-    let _ = bench.measure(ExecPolicy::parallel(), PipelineMode::Materialize);
-    let par = bench.measure(ExecPolicy::parallel(), PipelineMode::Materialize);
+    let _ = bench.measure(parallel, PipelineMode::Materialize);
+    let par = bench.measure(parallel, PipelineMode::Materialize);
     let seq = bench.measure(ExecPolicy::Sequential, PipelineMode::Materialize);
-    let stream = bench.measure(ExecPolicy::parallel(), streaming_mode);
+    let stream = bench.measure(parallel, streaming_mode);
     assert_eq!(
         par.raw_lookups, seq.raw_lookups,
         "parallel and sequential runs must agree"
@@ -237,7 +245,7 @@ fn main() {
     // the cache/matcher/estimator counters. Kept out of the timed variants
     // above so the reported wall times stay on the no-op hot path.
     let (observer, registry) = Obs::collecting();
-    let _ = bench.pipeline(ExecPolicy::parallel(), streaming_mode, observer);
+    let _ = bench.pipeline(parallel, streaming_mode, observer);
     let metrics = MetricsReport {
         benchmark: "pipeline",
         family: "newGoZ",

@@ -1,12 +1,14 @@
 //! CI throughput guard: replays a scaled-down pipeline and fails (exit 1)
-//! if raw simulation throughput regresses more than the allowed fraction
-//! below the committed `BENCH_pipeline.json` baseline, or if the streaming
-//! pipeline loses its bounded-memory property. Takes the best of a few
-//! runs so scheduler noise on shared CI workers doesn't trip the gate.
+//! if raw simulation throughput or estimator-charting throughput regresses
+//! more than the allowed fraction below the committed
+//! `BENCH_pipeline.json` baseline, or if the streaming pipeline loses its
+//! bounded-memory property. Takes the best of a few runs so scheduler
+//! noise on shared CI workers doesn't trip the gate.
 //!
 //! Usage: `perf_smoke [--baseline PATH] [--population N] [--epochs E]
 //! [--seed S] [--min-ratio R] [--runs K]`.
 
+use botmeter_core::{BotMeter, BotMeterConfig};
 use botmeter_dga::DgaFamily;
 use botmeter_exec::ExecPolicy;
 use botmeter_sim::{PipelineMode, ScenarioSpec};
@@ -23,13 +25,14 @@ struct Baseline {
 #[derive(Deserialize)]
 struct BaselineVariant {
     raw_lookups_per_sec: f64,
+    chart_lookups_per_sec: f64,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = String::from("BENCH_pipeline.json");
-    let mut population = 2_000u64;
-    let mut epochs = 2u64;
+    let mut population = 3_000u64;
+    let mut epochs = 3u64;
     let mut seed = 42u64;
     let mut min_ratio = 0.75f64;
     let mut runs = 2usize;
@@ -80,6 +83,8 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("baseline {baseline_path} is not usable: {e}")));
     let baseline_rate = baseline.parallel.raw_lookups_per_sec;
     let floor = baseline_rate * min_ratio;
+    let chart_baseline_rate = baseline.parallel.chart_lookups_per_sec;
+    let chart_floor = chart_baseline_rate * min_ratio;
 
     let spec = |mode: PipelineMode| {
         ScenarioSpec::builder(DgaFamily::new_goz())
@@ -95,18 +100,54 @@ fn main() {
     let _ = spec(PipelineMode::Materialize).run(ExecPolicy::parallel());
 
     let mut best_rate = 0.0f64;
+    let mut best_chart_rate = 0.0f64;
+    let mut last_outcome = None;
     for run in 0..runs {
         let started = Instant::now();
         let outcome = spec(PipelineMode::Materialize).run(ExecPolicy::parallel());
         let secs = started.elapsed().as_secs_f64();
         let rate = outcome.raw_lookups() as f64 / secs.max(1e-9);
+
+        // Chart the same observed trace: the estimator-kernel throughput
+        // gate, in observed (cache-filtered) lookups charted per second.
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+        let started = Instant::now();
+        let landscape = meter.chart(outcome.observed(), 0..epochs, ExecPolicy::parallel());
+        let chart_secs = started.elapsed().as_secs_f64();
+        let chart_rate = outcome.observed().len() as f64 / chart_secs.max(1e-9);
         eprintln!(
-            "perf_smoke: run {}/{runs}: {:.0} raw lookups/sec ({} lookups in {secs:.3}s)",
+            "perf_smoke: run {}/{runs}: {:.0} raw lookups/sec ({} lookups in {secs:.3}s), \
+             {:.0} chart lookups/sec ({} cells in {chart_secs:.3}s)",
             run + 1,
             rate,
-            outcome.raw_lookups()
+            outcome.raw_lookups(),
+            chart_rate,
+            landscape.len()
         );
         best_rate = best_rate.max(rate);
+        best_chart_rate = best_chart_rate.max(chart_rate);
+        last_outcome = Some(outcome);
+    }
+
+    // Charting is deterministic and cheap relative to simulation, so take
+    // two extra timing samples of the chart stage alone — the chart gate
+    // gets more best-of samples than the simulate gate without paying for
+    // more pipeline runs, which keeps scheduler noise on shared workers
+    // from tripping it spuriously.
+    if let Some(outcome) = &last_outcome {
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+        for sample in 0..2 {
+            let started = Instant::now();
+            let _ = meter.chart(outcome.observed(), 0..epochs, ExecPolicy::parallel());
+            let chart_secs = started.elapsed().as_secs_f64();
+            let chart_rate = outcome.observed().len() as f64 / chart_secs.max(1e-9);
+            eprintln!(
+                "perf_smoke: chart resample {}/2: {chart_rate:.0} chart lookups/sec \
+                 (in {chart_secs:.3}s)",
+                sample + 1
+            );
+            best_chart_rate = best_chart_rate.max(chart_rate);
+        }
     }
 
     // Streaming smoke: same scenario through the fused pipeline must keep
@@ -136,6 +177,20 @@ fn main() {
         fail(&format!(
             "throughput regression: best {best_rate:.0} lookups/sec is below {floor:.0} \
              ({}% of committed baseline {baseline_rate:.0})",
+            (min_ratio * 100.0) as u64
+        ));
+    }
+    eprintln!(
+        "perf_smoke: best {:.0} chart lookups/sec vs floor {:.0} ({}% of baseline {:.0})",
+        best_chart_rate,
+        chart_floor,
+        (min_ratio * 100.0) as u64,
+        chart_baseline_rate
+    );
+    if best_chart_rate < chart_floor {
+        fail(&format!(
+            "charting regression: best {best_chart_rate:.0} chart lookups/sec is below \
+             {chart_floor:.0} ({}% of committed baseline {chart_baseline_rate:.0})",
             (min_ratio * 100.0) as u64
         ));
     }

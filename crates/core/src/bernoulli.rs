@@ -1,12 +1,15 @@
 //! The Bernoulli estimator `MB` — §IV-D.
 
 use crate::config::EstimationContext;
-use crate::estimator::Estimator;
-use crate::segments::extract_segments;
-use crate::theorem1::expected_bots_for_segment;
+use crate::estimator::{CellSlice, Estimator};
+use crate::kernel::{KernelKey, SegmentKernelCache};
+use crate::segments::{extract_segments, Segment};
+use crate::theorem1::KernelStats;
 use botmeter_dns::FxHashMap;
 use botmeter_dns::ObservedLookup;
-use std::collections::BTreeSet;
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::{saturating_ns, Obs};
+use std::collections::{BTreeSet, HashMap};
 
 /// `MB`: the estimator for randomcut-barrel DGAs (`AR`, e.g. newGoZ).
 ///
@@ -26,10 +29,12 @@ use std::collections::BTreeSet;
 ///
 /// The per-segment posterior needs a prior start density `ρ = N/P` (see
 /// [`crate::expected_bots_for_segment`]); since `N` is what we are
-/// estimating, the estimator runs a short fixpoint: start from the
-/// deterministic lower bound `Σ ⌈l/θq⌉`, estimate, feed the estimate back
-/// as the prior, repeat. The map is a contraction (the spans cover less
-/// than the full circle), so a handful of iterations converge.
+/// estimating, the estimator runs a fixpoint: start from the deterministic
+/// lower bound `Σ ⌈l/θq⌉`, estimate, feed the estimate back as the prior,
+/// repeat. The map is a contraction, and a secant-accelerated step
+/// ([`DensityFixpoint`]) drives it to convergence at the
+/// [`SegmentKernelCache`] ρ resolution — the final round re-probes the
+/// keys the previous one cached, so a converged cell costs only memo hits.
 ///
 /// See the faithfulness note on [`crate::expected_bots_for_segment`]: the
 /// printed Theorem 1 needed reconstruction, and
@@ -51,8 +56,88 @@ pub struct BernoulliEstimator {
     window_aware: bool,
 }
 
-/// Fixpoint iterations for the prior start density.
-const FIXPOINT_ITERATIONS: usize = 6;
+/// Hard cap on fixpoint rounds for the prior start density (the loop
+/// normally stops much earlier, as soon as the density converges at the
+/// kernel cache's ρ resolution).
+const MAX_FIXPOINT_ROUNDS: usize = 32;
+
+/// Secant-accelerated fixpoint iteration on one cell's start density.
+///
+/// Plain Picard iteration `N̂ ← F(N̂)` contracts slowly near saturation
+/// (~0.7 ratio per round at the pipeline-bench scale, i.e. dozens of
+/// rounds to reach the cache grid), so once two iterates exist the step
+/// switches to the secant update on the residual `g(x) = F(x) − x`,
+/// falling back to the Picard step whenever the secant step is undefined
+/// or leaves the valid domain. Convergence is detected at the
+/// [`SegmentKernelCache`] ρ resolution: when two successive evaluations
+/// snap to the same density, the second probes exactly the keys the first
+/// cached — pure memo hits returning bit-identical values — so iterating
+/// further cannot change the estimate.
+struct DensityFixpoint {
+    circle_len: f64,
+    /// Current iterate (bot count).
+    x: f64,
+    /// Previous iterate and its residual, for the secant step.
+    prev: Option<(f64, f64)>,
+    /// Snapped density (bit pattern) of the previous kernel evaluation.
+    last_snap: Option<u64>,
+    estimate: f64,
+    converged: bool,
+}
+
+impl DensityFixpoint {
+    fn new(initial: f64, circle_len: usize) -> Self {
+        DensityFixpoint {
+            circle_len: circle_len as f64,
+            x: initial,
+            prev: None,
+            last_snap: None,
+            estimate: initial,
+            converged: false,
+        }
+    }
+
+    /// The prior start density the next kernel evaluation runs at.
+    fn density(&self) -> f64 {
+        (self.x / self.circle_len).max(1e-9)
+    }
+
+    /// Feeds back one evaluation: `f = F(x)` at the current density,
+    /// `snapped_bits` the bit pattern of the snapped density it keyed on.
+    fn advance(&mut self, f: f64, snapped_bits: u64) {
+        self.estimate = f;
+        if self.last_snap == Some(snapped_bits) {
+            self.converged = true;
+            return;
+        }
+        self.last_snap = Some(snapped_bits);
+        let g = f - self.x;
+        let next = match self.prev {
+            Some((x_prev, g_prev)) if g != g_prev => {
+                let step = self.x - g * (self.x - x_prev) / (g - g_prev);
+                if step.is_finite() && step > 0.0 {
+                    step
+                } else {
+                    f
+                }
+            }
+            _ => f,
+        };
+        self.prev = Some((self.x, g));
+        self.x = next;
+    }
+}
+
+/// Everything `MB` derives from one cell's lookups before any kernel
+/// evaluation: the extracted segments, the (possibly window-scaled) barrel
+/// size and circle length, and the deterministic lower-bound estimate the
+/// fixpoint starts from.
+struct CellPlan {
+    segments: Vec<Segment>,
+    theta_q: usize,
+    circle_len: usize,
+    initial: f64,
+}
 
 impl BernoulliEstimator {
     /// The paper-faithful variant that ignores the detection window when
@@ -63,22 +148,12 @@ impl BernoulliEstimator {
             window_aware: false,
         }
     }
-}
 
-impl Default for BernoulliEstimator {
-    fn default() -> Self {
-        BernoulliEstimator { window_aware: true }
-    }
-}
-
-impl Estimator for BernoulliEstimator {
-    fn name(&self) -> &'static str {
-        "Bernoulli"
-    }
-
-    fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
+    /// Extracts one cell's segments and fixpoint seed; `None` when the
+    /// cell contributes nothing (no in-pool NXD sightings).
+    fn plan(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> Option<CellPlan> {
         if lookups.is_empty() {
-            return 0.0;
+            return None;
         }
         let family = ctx.family();
         let epoch = ctx.epoch_of(lookups).expect("non-empty slice");
@@ -102,7 +177,7 @@ impl Estimator for BernoulliEstimator {
             }
         }
         if nxd_positions.is_empty() {
-            return 0.0;
+            return None;
         }
         // With an imperfect D3 detection window, positions outside the
         // window are simply *unobservable* — treating them as "not
@@ -139,29 +214,247 @@ impl Estimator for BernoulliEstimator {
                 (positions, valid, pool.len(), family.params().theta_q())
             };
         if positions.is_empty() {
-            return 0.0;
+            return None;
         }
         let segments = extract_segments(&positions, &valid, circle_len);
-
-        let pool_len = circle_len as f64;
-        // The chart-wide combinatorics cache: every cell of a chart shares
-        // one Stirling triangle and one set of ln-binomial rows through the
-        // context instead of refilling them per estimate call.
-        let tables = ctx.tables();
-
-        // Fixpoint on the prior start density ρ = N̂/P.
-        let mut estimate: f64 = segments
+        let initial = segments
             .iter()
             .map(|s| (s.len as f64 / theta_q as f64).ceil().max(1.0))
             .sum();
-        for _ in 0..FIXPOINT_ITERATIONS {
-            let density = (estimate / pool_len).max(1e-9);
-            estimate = segments
+        Some(CellPlan {
+            segments,
+            theta_q,
+            circle_len,
+            initial,
+        })
+    }
+}
+
+impl Default for BernoulliEstimator {
+    fn default() -> Self {
+        BernoulliEstimator { window_aware: true }
+    }
+}
+
+impl Estimator for BernoulliEstimator {
+    fn name(&self) -> &'static str {
+        "Bernoulli"
+    }
+
+    fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
+        let Some(plan) = self.plan(lookups, ctx) else {
+            return 0.0;
+        };
+        // The chart-wide caches: every cell of a chart shares one Stirling
+        // triangle and one segment-kernel memo table through the context
+        // instead of refilling them per estimate call.
+        let tables = ctx.tables();
+        let cache = ctx.kernel_cache();
+
+        // Fixpoint on the prior start density ρ = N̂/P, run to convergence
+        // at the kernel cache's ρ resolution.
+        let mut fixpoint = DensityFixpoint::new(plan.initial, plan.circle_len);
+        for _ in 0..MAX_FIXPOINT_ROUNDS {
+            let density = fixpoint.density();
+            let f = plan
+                .segments
                 .iter()
-                .map(|s| expected_bots_for_segment(s, theta_q, density, tables))
+                .map(|s| cache.expected_bots(s, plan.theta_q, density, tables).value)
                 .sum();
+            fixpoint.advance(f, cache.snap_rho(density).to_bits());
+            if fixpoint.converged {
+                break;
+            }
         }
-        estimate
+        fixpoint.estimate
+    }
+
+    /// Per-*segment* batch scheduling: all cells advance through the
+    /// fixpoint in lockstep, and each round flattens every cell's segments
+    /// into one work list — probed against the shared
+    /// [`SegmentKernelCache`], deduplicated, and only the *distinct
+    /// missing shapes* fanned out through `botmeter-exec`. One huge
+    /// server's segments therefore spread across all workers instead of
+    /// serializing behind a single per-cell task.
+    ///
+    /// Determinism: the probe/dedup pass runs on the calling thread in
+    /// (cell, segment) order, workers compute pure functions of their
+    /// assigned key, results are inserted back in first-seen key order and
+    /// summed per cell in segment order — so estimates, cache contents at
+    /// every round barrier, and the `chart.kernel.*` /
+    /// `chart.segments.scheduled` counters are all independent of
+    /// [`ExecPolicy`], and each cell's estimate equals its sequential
+    /// [`estimate`](Self::estimate) bit for bit.
+    fn estimate_batch(
+        &self,
+        cells: &[CellSlice<'_>],
+        ctx: &EstimationContext,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> Vec<f64> {
+        let tables = ctx.tables();
+        let cache = ctx.kernel_cache();
+
+        // Phase A: per-cell planning (pool indexing + segment extraction),
+        // one task per cell.
+        let mut cell_ns = vec![0u64; cells.len()];
+        let plan_cell = |i: usize| -> (Option<CellPlan>, u64) {
+            let start = obs.clock();
+            let plan = self.plan(cells[i].lookups, ctx);
+            let ns = start.map_or(0, |t| saturating_ns(t.elapsed()));
+            (plan, ns)
+        };
+        let planned: Vec<(Option<CellPlan>, u64)> = if !policy.is_sequential() && cells.len() > 1 {
+            botmeter_exec::run_indexed_with(policy, obs, cells.len(), plan_cell)
+        } else {
+            (0..cells.len()).map(plan_cell).collect()
+        };
+        let mut plans: Vec<Option<CellPlan>> = Vec::with_capacity(cells.len());
+        for (i, (plan, ns)) in planned.into_iter().enumerate() {
+            cell_ns[i] += ns;
+            plans.push(plan);
+        }
+        let mut fixpoints: Vec<Option<DensityFixpoint>> = plans
+            .iter()
+            .map(|p| {
+                p.as_ref()
+                    .map(|p| DensityFixpoint::new(p.initial, p.circle_len))
+            })
+            .collect();
+        let mut estimates: Vec<f64> = plans
+            .iter()
+            .map(|p| p.as_ref().map_or(0.0, |p| p.initial))
+            .collect();
+
+        // Counter totals, accumulated locally and published once.
+        let mut memo_hits = 0u64;
+        let mut memo_misses = 0u64;
+        let mut scheduled = 0u64;
+        let mut kernel_stats = KernelStats::default();
+
+        // Fixpoint rounds in lockstep across cells; a cell drops out of
+        // the round as soon as its own density converges, exactly as its
+        // sequential fixpoint would stop. Per (cell, segment) task: the
+        // cached value, or an index into this round's deduped missing-key
+        // list.
+        enum Slot {
+            Hit(f64),
+            Pending(usize),
+        }
+        for _ in 0..MAX_FIXPOINT_ROUNDS {
+            let active = |f: &Option<DensityFixpoint>| f.as_ref().is_some_and(|f| !f.converged);
+            if !fixpoints.iter().any(active) {
+                break;
+            }
+            let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(cells.len());
+            // The snapped-density bits each active cell keyed this round on.
+            let mut round_snaps: Vec<Option<u64>> = vec![None; cells.len()];
+            let mut missing: Vec<KernelKey> = Vec::new();
+            let mut missing_index: HashMap<KernelKey, usize> = HashMap::new();
+            for (i, plan) in plans.iter().enumerate() {
+                let (Some(plan), fixpoint) = (plan, &fixpoints[i]) else {
+                    slots.push(Vec::new());
+                    continue;
+                };
+                if !active(fixpoint) {
+                    slots.push(Vec::new());
+                    continue;
+                }
+                let fixpoint = fixpoint.as_ref().expect("active implies present");
+                let start = obs.clock();
+                let density = fixpoint.density();
+                round_snaps[i] = Some(cache.snap_rho(density).to_bits());
+                let mut cell_slots = Vec::with_capacity(plan.segments.len());
+                for s in &plan.segments {
+                    let key = cache.key(s.kind, s.len, plan.theta_q, density);
+                    match cache.get(&key) {
+                        Some(v) => {
+                            memo_hits += 1;
+                            cell_slots.push(Slot::Hit(v));
+                        }
+                        None => {
+                            // A key already pending this round is served by
+                            // the shared compute — a hit; only the first
+                            // sighting of a shape is a miss and gets
+                            // scheduled.
+                            let idx = match missing_index.get(&key) {
+                                Some(&idx) => {
+                                    memo_hits += 1;
+                                    idx
+                                }
+                                None => {
+                                    memo_misses += 1;
+                                    missing.push(key);
+                                    missing_index.insert(key, missing.len() - 1);
+                                    missing.len() - 1
+                                }
+                            };
+                            cell_slots.push(Slot::Pending(idx));
+                        }
+                    }
+                }
+                slots.push(cell_slots);
+                if let Some(t) = start {
+                    cell_ns[i] += saturating_ns(t.elapsed());
+                }
+            }
+
+            // Compute the distinct missing shapes — this is the flattened
+            // per-segment work list the policy schedules.
+            scheduled += missing.len() as u64;
+            let compute = |k: usize| SegmentKernelCache::compute(&missing[k], tables);
+            let computed: Vec<(f64, KernelStats)> = if !policy.is_sequential() && missing.len() > 1
+            {
+                botmeter_exec::run_indexed_with(policy, obs, missing.len(), compute)
+            } else {
+                (0..missing.len()).map(compute).collect()
+            };
+            for (key, (value, stats)) in missing.iter().zip(&computed) {
+                cache.insert(*key, *value);
+                kernel_stats.merge(*stats);
+            }
+
+            // Deterministic reduction: per-cell sum in segment order, fed
+            // back into the cell's fixpoint state.
+            for (i, cell_slots) in slots.iter().enumerate() {
+                let Some(snapped) = round_snaps[i] else {
+                    continue;
+                };
+                let start = obs.clock();
+                let f: f64 = cell_slots
+                    .iter()
+                    .map(|slot| match slot {
+                        Slot::Hit(v) => *v,
+                        Slot::Pending(k) => computed[*k].0,
+                    })
+                    .sum();
+                let fixpoint = fixpoints[i].as_mut().expect("active implies present");
+                fixpoint.advance(f, snapped);
+                estimates[i] = fixpoint.estimate;
+                if let Some(t) = start {
+                    cell_ns[i] += saturating_ns(t.elapsed());
+                }
+            }
+        }
+
+        obs.counter_add("chart.kernel.memo_hits", memo_hits);
+        obs.counter_add("chart.kernel.memo_misses", memo_misses);
+        obs.counter_add(
+            "chart.kernel.gap_tables_built",
+            kernel_stats.gap_tables_built,
+        );
+        obs.counter_add(
+            "chart.kernel.gap_table_reuse",
+            kernel_stats.gap_table_reuses,
+        );
+        obs.counter_add("chart.segments.scheduled", scheduled);
+        if obs.enabled() {
+            for (cell, &ns) in cells.iter().zip(&cell_ns) {
+                obs.observe_ns("chart.estimate_ns", ns);
+                obs.observe_ns(&format!("chart.epoch{}.estimate_ns", cell.epoch), ns);
+            }
+        }
+        estimates
     }
 }
 

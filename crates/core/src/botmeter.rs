@@ -8,14 +8,15 @@
 use crate::bernoulli::BernoulliEstimator;
 use crate::config::EstimationContext;
 use crate::coverage::CoverageEstimator;
-use crate::estimator::Estimator;
+use crate::estimator::{CellSlice, Estimator};
+use crate::kernel::{RhoQuantization, SegmentKernelCache};
 use crate::poisson::PoissonEstimator;
 use crate::timing::TimingEstimator;
 use botmeter_dga::{BarrelClass, DgaFamily};
 use botmeter_dns::{ObservedLookup, ServerId, SimDuration, TtlPolicy};
 use botmeter_exec::ExecPolicy;
 use botmeter_matcher::{match_stream_recorded, DomainMatcher, ExactMatcher};
-use botmeter_obs::{saturating_ns, Obs};
+use botmeter_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -128,12 +129,13 @@ pub struct BotMeterConfig {
     granularity: SimDuration,
     model: ModelKind,
     delivery_rate: f64,
+    kernel_quantization: RhoQuantization,
 }
 
 impl BotMeterConfig {
     /// A configuration targeting `family` with paper-default TTLs,
-    /// 100 ms granularity, automatic model selection and full (lossless)
-    /// record delivery.
+    /// 100 ms granularity, automatic model selection, full (lossless)
+    /// record delivery and the default (quantized) segment-kernel cache.
     pub fn new(family: DgaFamily) -> Self {
         BotMeterConfig {
             family,
@@ -141,7 +143,17 @@ impl BotMeterConfig {
             granularity: SimDuration::from_millis(100),
             model: ModelKind::Auto,
             delivery_rate: 1.0,
+            kernel_quantization: RhoQuantization::default(),
         }
+    }
+
+    /// Sets the ρ quantization of the Theorem-1 segment-kernel cache
+    /// ([`RhoQuantization::Exact`] turns quantization off entirely, making
+    /// cached charting bit-identical to the uncached kernel).
+    #[must_use]
+    pub fn kernel_quantization(mut self, quantization: RhoQuantization) -> Self {
+        self.kernel_quantization = quantization;
+        self
     }
 
     /// Sets the network's cache TTL policy.
@@ -461,7 +473,8 @@ impl BotMeter {
             self.config.family.clone(),
             self.config.ttl,
             self.config.granularity,
-        );
+        )
+        .with_kernel_cache(SegmentKernelCache::new(self.config.kernel_quantization));
         if let Some(window) = &self.detection_window {
             ctx = ctx.with_detection_window(window.clone());
         }
@@ -499,25 +512,18 @@ impl BotMeter {
                 .counter_add(&format!("chart.model.{}", estimator.name()), 1);
         }
 
-        // One estimator call per cell; the per-cell latency lands in the
-        // global and the per-epoch `estimate_ns` histograms.
-        let estimate_cell = |i: usize| -> f64 {
-            let (_, epoch, ref slice) = cells[i];
-            let start = self.obs.clock();
-            let estimate = estimator.estimate(slice, &ctx);
-            if let Some(start) = start {
-                let ns = saturating_ns(start.elapsed());
-                self.obs.observe_ns("chart.estimate_ns", ns);
-                self.obs
-                    .observe_ns(&format!("chart.epoch{epoch}.estimate_ns"), ns);
-            }
-            estimate
-        };
-        let estimates: Vec<f64> = if !policy.is_sequential() && cells.len() > 1 {
-            botmeter_exec::run_indexed_with(policy, &self.obs, cells.len(), estimate_cell)
-        } else {
-            (0..cells.len()).map(estimate_cell).collect()
-        };
+        // Estimation is batched: the estimator schedules its own work
+        // under `policy` (per cell by default; per segment for the
+        // Bernoulli model) and reports the per-cell latency into the
+        // global and per-epoch `estimate_ns` histograms.
+        let cell_slices: Vec<CellSlice<'_>> = cells
+            .iter()
+            .map(|(_, epoch, slice)| CellSlice {
+                epoch: *epoch,
+                lookups: slice,
+            })
+            .collect();
+        let estimates: Vec<f64> = estimator.estimate_batch(&cell_slices, &ctx, policy, &self.obs);
         // Loss-aware correction and per-cell quality flags: a raw estimate
         // that is NaN, infinite or negative is clamped to zero and marked
         // Invalid; otherwise the estimate is rescaled by the delivery rate,
@@ -562,15 +568,6 @@ impl BotMeter {
             }
         }
         Ok(Landscape { entries })
-    }
-
-    /// Parallel [`chart`](Self::chart).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `chart(observed, epochs, ExecPolicy::parallel())`"
-    )]
-    pub fn chart_parallel(&self, observed: &[ObservedLookup], epochs: Range<u64>) -> Landscape {
-        self.chart(observed, epochs, ExecPolicy::parallel())
     }
 }
 
@@ -641,7 +638,7 @@ mod tests {
     }
 
     #[test]
-    fn chart_parallel_policy_matches_sequential_bit_for_bit() {
+    fn parallel_policy_chart_matches_sequential_bit_for_bit() {
         // Pin the worker count so the parallel paths actually run on
         // single-core machines.
         std::env::set_var("BOTMETER_THREADS", "4");
@@ -677,31 +674,57 @@ mod tests {
                 "landscape diverged: {} / {model:?}",
                 outcome.family().name()
             );
-            // All non-scheduling counters (matcher probes/matches, cell and
-            // model counts) must agree between the two policies too.
+            // All non-scheduling counters — matcher probes/matches, cell
+            // and model counts, and the kernel's memo hit/miss and
+            // scheduled-segment counts — must agree between the two
+            // policies too.
+            let seq_snap = reg_seq.snapshot();
             assert_eq!(
                 reg_par.snapshot().deterministic_counters(),
-                reg_seq.snapshot().deterministic_counters(),
+                seq_snap.deterministic_counters(),
                 "metrics counters diverged: {} / {model:?}",
                 outcome.family().name()
             );
+            if model == ModelKind::Auto && outcome.family().name() == "newGoZ" {
+                assert!(
+                    seq_snap.counter("chart.segments.scheduled").unwrap_or(0) > 0,
+                    "Bernoulli chart must schedule per-segment kernel work"
+                );
+                assert!(
+                    seq_snap
+                        .counter("chart.kernel.gap_table_reuse")
+                        .unwrap_or(0)
+                        > 0,
+                    "gap tables must be hoisted out of the posterior sum"
+                );
+            }
         }
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_chart_parallel_shim_still_works() {
-        std::env::set_var("BOTMETER_THREADS", "4");
-        let outcome = ScenarioSpec::builder(DgaFamily::murofet())
-            .population(24)
-            .seed(5)
+    fn bernoulli_chart_reports_kernel_counters() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(32)
+            .num_epochs(2)
+            .seed(8)
             .build()
             .unwrap()
             .run(ExecPolicy::default());
-        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+        let (obs, registry) = Obs::collecting();
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
+        let landscape = meter.chart(outcome.observed(), 0..2, ExecPolicy::Sequential);
+        assert!(!landscape.is_empty());
+        let snap = registry.snapshot();
+        // Six fixpoint rounds over a shared quantized cache must converge
+        // into hits, and every computed shape hoists its gap tables.
+        assert!(snap.counter("chart.kernel.memo_hits").unwrap_or(0) > 0);
+        assert!(snap.counter("chart.kernel.memo_misses").unwrap_or(0) > 0);
+        assert!(snap.counter("chart.segments.scheduled").unwrap_or(0) > 0);
+        assert!(snap.counter("chart.kernel.gap_table_reuse").unwrap_or(0) > 0);
         assert_eq!(
-            meter.chart_parallel(outcome.observed(), 0..1),
-            meter.chart(outcome.observed(), 0..1, ExecPolicy::Sequential)
+            snap.counter("chart.segments.scheduled"),
+            snap.counter("chart.kernel.memo_misses"),
+            "exactly the distinct missing shapes get scheduled"
         );
     }
 

@@ -1,5 +1,6 @@
 //! Estimation context: everything an estimator knows besides the lookups.
 
+use crate::kernel::SegmentKernelCache;
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{DomainName, ObservedLookup, SimDuration, TtlPolicy};
 use botmeter_stats::SharedStirling;
@@ -32,10 +33,12 @@ pub struct EstimationContext {
     granularity: SimDuration,
     detection_window: Option<HashSet<DomainName>>,
     tables: SharedStirling,
+    kernel: SegmentKernelCache,
 }
 
 impl EstimationContext {
-    /// Creates a context with a perfect (full-pool) detection window.
+    /// Creates a context with a perfect (full-pool) detection window and
+    /// the default (quantized) segment-kernel cache.
     pub fn new(family: DgaFamily, ttl: TtlPolicy, granularity: SimDuration) -> Self {
         EstimationContext {
             family,
@@ -43,7 +46,17 @@ impl EstimationContext {
             granularity,
             detection_window: None,
             tables: SharedStirling::new(),
+            kernel: SegmentKernelCache::default(),
         }
+    }
+
+    /// Replaces the segment-kernel cache — e.g.
+    /// [`SegmentKernelCache::exact`] to turn ρ quantization off and make
+    /// cached estimation bit-identical to the uncached kernel.
+    #[must_use]
+    pub fn with_kernel_cache(mut self, kernel: SegmentKernelCache) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Restricts the context to an imperfect D3 detection window: only
@@ -81,6 +94,15 @@ impl EstimationContext {
     /// per cell.
     pub fn tables(&self) -> &SharedStirling {
         &self.tables
+    }
+
+    /// The shared Theorem-1 segment-kernel memo table
+    /// ([`SegmentKernelCache`]): like [`tables`](Self::tables), handing the
+    /// context to every landscape cell shares one memo table across the
+    /// whole chart, so a segment shape priced for one cell is a cache hit
+    /// for every other cell, epoch and fixpoint round.
+    pub fn kernel_cache(&self) -> &SegmentKernelCache {
+        &self.kernel
     }
 
     /// Whether a domain is inside the detection window (always true when

@@ -2,6 +2,19 @@
 
 use crate::config::EstimationContext;
 use botmeter_dns::ObservedLookup;
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::{saturating_ns, Obs};
+
+/// One landscape cell handed to [`Estimator::estimate_batch`]: the matched
+/// lookups of one (server, epoch) pair plus the epoch index the per-epoch
+/// latency histograms are labelled with.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSlice<'a> {
+    /// The cell's epoch (day) index.
+    pub epoch: u64,
+    /// The cell's matched lookups (one server, one epoch, arrival order).
+    pub lookups: &'a [ObservedLookup],
+}
 
 /// A bot-population estimator (one entry of the paper's "analytical model
 /// library", Fig. 2 step 5).
@@ -18,14 +31,53 @@ use botmeter_dns::ObservedLookup;
 /// epoch separately and average, as the paper does for Fig. 6(b).
 ///
 /// Estimation is a pure function of `(lookups, ctx)`, so the trait requires
-/// `Send + Sync`: the parallel charting path fans (server, epoch) cells out
-/// across worker threads sharing one estimator.
+/// `Send + Sync`: the parallel charting path fans work out across worker
+/// threads sharing one estimator.
 pub trait Estimator: Send + Sync {
     /// A short display name (`"Timing"`, `"Poisson"`, ...).
     fn name(&self) -> &'static str;
 
     /// Estimates the bot population behind the lookups' forwarding server.
     fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64;
+
+    /// Estimates every cell of a chart, returning one estimate per cell in
+    /// input order.
+    ///
+    /// The default schedules one [`estimate`](Self::estimate) call per
+    /// cell — fanned out across workers under a parallel `policy` — and
+    /// records each cell's latency in the `chart.estimate_ns` and
+    /// `chart.epoch{e}.estimate_ns` histograms. Estimators whose cells
+    /// share redundant work (notably
+    /// [`BernoulliEstimator`](crate::BernoulliEstimator)) override this
+    /// with finer-grained scheduling; overrides must keep the result equal
+    /// to per-cell [`estimate`](Self::estimate) calls, observe the same
+    /// per-cell histograms, and produce scheduling-independent
+    /// (non-`sched.*`) counters so charts stay bit-identical across
+    /// [`ExecPolicy`] values.
+    fn estimate_batch(
+        &self,
+        cells: &[CellSlice<'_>],
+        ctx: &EstimationContext,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> Vec<f64> {
+        let estimate_cell = |i: usize| -> f64 {
+            let cell = &cells[i];
+            let start = obs.clock();
+            let estimate = self.estimate(cell.lookups, ctx);
+            if let Some(start) = start {
+                let ns = saturating_ns(start.elapsed());
+                obs.observe_ns("chart.estimate_ns", ns);
+                obs.observe_ns(&format!("chart.epoch{}.estimate_ns", cell.epoch), ns);
+            }
+            estimate
+        };
+        if !policy.is_sequential() && cells.len() > 1 {
+            botmeter_exec::run_indexed_with(policy, obs, cells.len(), estimate_cell)
+        } else {
+            (0..cells.len()).map(estimate_cell).collect()
+        }
+    }
 }
 
 impl<E: Estimator + ?Sized> Estimator for &E {
@@ -35,6 +87,15 @@ impl<E: Estimator + ?Sized> Estimator for &E {
     fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
         (**self).estimate(lookups, ctx)
     }
+    fn estimate_batch(
+        &self,
+        cells: &[CellSlice<'_>],
+        ctx: &EstimationContext,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> Vec<f64> {
+        (**self).estimate_batch(cells, ctx, policy, obs)
+    }
 }
 
 impl<E: Estimator + ?Sized> Estimator for Box<E> {
@@ -43,5 +104,14 @@ impl<E: Estimator + ?Sized> Estimator for Box<E> {
     }
     fn estimate(&self, lookups: &[ObservedLookup], ctx: &EstimationContext) -> f64 {
         (**self).estimate(lookups, ctx)
+    }
+    fn estimate_batch(
+        &self,
+        cells: &[CellSlice<'_>],
+        ctx: &EstimationContext,
+        policy: ExecPolicy,
+        obs: &Obs,
+    ) -> Vec<f64> {
+        (**self).estimate_batch(cells, ctx, policy, obs)
     }
 }

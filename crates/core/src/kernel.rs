@@ -1,0 +1,325 @@
+//! The memoized Theorem-1 segment kernel.
+//!
+//! [`expected_bots_for_shape`](crate::expected_bots_for_shape) is a pure
+//! function of four values — the segment kind, its length, the barrel size
+//! `θq` and the prior start density `ρ` — and across a multi-server,
+//! multi-epoch landscape the same quadruples recur thousands of times: the
+//! fixpoint loop re-evaluates every segment six times, epochs repeat the
+//! same arc shapes, and servers behind the same border see the same pools.
+//! [`SegmentKernelCache`] memoizes the kernel on exactly that key.
+//!
+//! The ρ axis is continuous, so exact-bit keying would only ever hit once
+//! the fixpoint has converged. [`RhoQuantization::Relative`] therefore
+//! snaps ρ onto a geometric grid (default pitch `1e-6` relative) *before
+//! both keying and evaluating*: the cached value is the exact kernel value
+//! at the snapped density, so a cache hit never returns an approximation
+//! of its key — the only approximation is the bounded `ρ → ρ̃` snap, and
+//! [`RhoQuantization::Exact`] turns even that off, making the cache a pure
+//! memo table with bit-identical results to the uncached kernel.
+
+use crate::segments::{Segment, SegmentKind};
+use crate::theorem1::{expected_bots_for_shape, KernelStats};
+use botmeter_stats::SharedStirling;
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// How the continuous ρ axis of the memo key is discretised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RhoQuantization {
+    /// Key on the exact bit pattern of ρ. Zero approximation — results are
+    /// bit-identical to the uncached kernel — but hits only occur when the
+    /// caller re-asks for the *exact* same density (e.g. a converged
+    /// fixpoint, or identical cells).
+    Exact,
+    /// Snap ρ to a geometric grid before keying *and evaluating*:
+    /// `ρ̃ = exp(round(ln ρ / grid) · grid)`, so `ρ̃/ρ ∈ [e^{−grid/2},
+    /// e^{grid/2}]`. Densities within half a pitch of each other share one
+    /// cache line, and the cached value is the exact kernel value at `ρ̃`.
+    Relative {
+        /// Relative grid pitch (the default is
+        /// [`RhoQuantization::DEFAULT_GRID`]).
+        grid: f64,
+    },
+}
+
+impl RhoQuantization {
+    /// Default relative grid pitch: `1e-6` — far below the estimator's
+    /// statistical error, far above f64 noise.
+    pub const DEFAULT_GRID: f64 = 1e-6;
+}
+
+impl Default for RhoQuantization {
+    fn default() -> Self {
+        RhoQuantization::Relative {
+            grid: Self::DEFAULT_GRID,
+        }
+    }
+}
+
+/// The exact inputs the Theorem-1 kernel is a pure function of — the memo
+/// key of [`SegmentKernelCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// How the segment terminates.
+    pub kind: SegmentKind,
+    /// Segment length in pool positions.
+    pub len: usize,
+    /// Barrel size (after any detection-window scaling).
+    pub theta_q: usize,
+    /// Bit pattern of the (snapped) start density.
+    rho_bits: u64,
+}
+
+impl KernelKey {
+    /// The (snapped) start density the kernel evaluates at.
+    pub fn rho(&self) -> f64 {
+        f64::from_bits(self.rho_bits)
+    }
+}
+
+/// One cached kernel evaluation: the value, whether it was a memo hit, and
+/// the kernel work performed (zero on a hit).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelEval {
+    /// Expected number of bots covering the segment.
+    pub value: f64,
+    /// Whether the memo table already held the key.
+    pub memo_hit: bool,
+    /// Gap-table work done computing the value ([`KernelStats::default`]
+    /// on a hit).
+    pub stats: KernelStats,
+}
+
+/// Concurrent memo table for the Theorem-1 segment kernel, keyed by
+/// [`KernelKey`].
+///
+/// Cloning the cache — as sharing an
+/// [`EstimationContext`](crate::EstimationContext) across landscape cells
+/// effectively does — shares the underlying table, so a shape computed for
+/// one cell is a hit for every other cell, epoch and fixpoint round of the
+/// same chart.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::{Segment, SegmentKind, SegmentKernelCache};
+/// use botmeter_stats::SharedStirling;
+///
+/// let cache = SegmentKernelCache::default();
+/// let tables = SharedStirling::new();
+/// let seg = Segment { start: 7, len: 500, kind: SegmentKind::Middle };
+/// let first = cache.expected_bots(&seg, 500, 1e-3, &tables);
+/// assert!(!first.memo_hit);
+/// // Same shape at a different start position: pure cache hit.
+/// let shifted = Segment { start: 99, len: 500, kind: SegmentKind::Middle };
+/// let second = cache.expected_bots(&shifted, 500, 1e-3, &tables);
+/// assert!(second.memo_hit);
+/// assert_eq!(first.value.to_bits(), second.value.to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SegmentKernelCache {
+    quantization: RhoQuantization,
+    map: Arc<RwLock<HashMap<KernelKey, f64>>>,
+}
+
+impl SegmentKernelCache {
+    /// A cache with the given ρ quantization.
+    pub fn new(quantization: RhoQuantization) -> Self {
+        SegmentKernelCache {
+            quantization,
+            map: Arc::default(),
+        }
+    }
+
+    /// A cache with quantization off: pure memoization, bit-identical to
+    /// the uncached kernel.
+    pub fn exact() -> Self {
+        Self::new(RhoQuantization::Exact)
+    }
+
+    /// The configured ρ quantization.
+    pub fn quantization(&self) -> RhoQuantization {
+        self.quantization
+    }
+
+    /// The density the kernel will actually evaluate at for a requested
+    /// `rho` (identity under [`RhoQuantization::Exact`]; non-finite or
+    /// non-positive inputs pass through untouched for the kernel's own
+    /// validation to reject).
+    pub fn snap_rho(&self, rho: f64) -> f64 {
+        match self.quantization {
+            RhoQuantization::Exact => rho,
+            RhoQuantization::Relative { grid } => {
+                if !(rho.is_finite() && rho > 0.0) || grid <= 0.0 {
+                    return rho;
+                }
+                ((rho.ln() / grid).round() * grid).exp()
+            }
+        }
+    }
+
+    /// The memo key for a segment shape at density `rho` (snapping ρ).
+    pub fn key(&self, kind: SegmentKind, len: usize, theta_q: usize, rho: f64) -> KernelKey {
+        KernelKey {
+            kind,
+            len,
+            theta_q,
+            rho_bits: self.snap_rho(rho).to_bits(),
+        }
+    }
+
+    /// The cached value for `key`, if present.
+    pub fn get(&self, key: &KernelKey) -> Option<f64> {
+        self.map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .copied()
+    }
+
+    /// Caches `value` for `key`. First write wins: the kernel is a pure
+    /// function of the key, so concurrent computes of the same key produce
+    /// the same value and keeping the first is merely the cheapest
+    /// tie-break.
+    pub fn insert(&self, key: KernelKey, value: f64) {
+        self.map
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key)
+            .or_insert(value);
+    }
+
+    /// Evaluates the kernel at the key's (snapped) inputs, uncached.
+    pub fn compute(key: &KernelKey, tables: &SharedStirling) -> (f64, KernelStats) {
+        expected_bots_for_shape(key.kind, key.len, key.theta_q, key.rho(), tables)
+    }
+
+    /// Cached [`expected_bots_for_segment`](crate::expected_bots_for_segment):
+    /// look the shape up, computing and caching on a miss.
+    pub fn expected_bots(
+        &self,
+        segment: &Segment,
+        theta_q: usize,
+        rho: f64,
+        tables: &SharedStirling,
+    ) -> KernelEval {
+        let key = self.key(segment.kind, segment.len, theta_q, rho);
+        if let Some(value) = self.get(&key) {
+            return KernelEval {
+                value,
+                memo_hit: true,
+                stats: KernelStats::default(),
+            };
+        }
+        let (value, stats) = Self::compute(&key, tables);
+        self.insert(key, value);
+        KernelEval {
+            value,
+            memo_hit: false,
+            stats,
+        }
+    }
+
+    /// Number of memoized shapes.
+    pub fn len(&self) -> usize {
+        self.map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1::expected_bots_for_segment;
+
+    fn seg(len: usize, kind: SegmentKind) -> Segment {
+        Segment {
+            start: 0,
+            len,
+            kind,
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_bit_identical_to_uncached() {
+        let cache = SegmentKernelCache::exact();
+        let tables = SharedStirling::new();
+        for (len, tq, rho) in [(500, 500, 1e-3), (730, 500, 6.4e-3), (12, 9, 2e-2)] {
+            for kind in [SegmentKind::Middle, SegmentKind::Boundary] {
+                let s = seg(len, kind);
+                let direct = expected_bots_for_segment(&s, tq, rho, &tables);
+                let cached = cache.expected_bots(&s, tq, rho, &tables);
+                assert!(!cached.memo_hit);
+                assert_eq!(cached.value.to_bits(), direct.to_bits());
+                assert!(cache.expected_bots(&s, tq, rho, &tables).memo_hit);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_mode_snaps_within_grid_and_collides_near_densities() {
+        let cache = SegmentKernelCache::default();
+        let grid = RhoQuantization::DEFAULT_GRID;
+        let rho = 6.4e-3;
+        let snapped = cache.snap_rho(rho);
+        assert!((snapped / rho).ln().abs() <= grid / 2.0 + 1e-15);
+        // A density within a hair of the first must share the cache line.
+        let near = rho * (1.0 + grid / 8.0);
+        let tables = SharedStirling::new();
+        let s = seg(700, SegmentKind::Boundary);
+        let first = cache.expected_bots(&s, 500, rho, &tables);
+        let second = cache.expected_bots(&s, 500, near, &tables);
+        assert!(!first.memo_hit && second.memo_hit);
+        assert_eq!(first.value.to_bits(), second.value.to_bits());
+    }
+
+    #[test]
+    fn snap_is_idempotent() {
+        let cache = SegmentKernelCache::default();
+        for rho in [1e-9, 1e-3, 0.5, 64.0 / 10_000.0] {
+            let once = cache.snap_rho(rho);
+            assert_eq!(once.to_bits(), cache.snap_rho(once).to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_rho_passes_through_unsnapped() {
+        let cache = SegmentKernelCache::default();
+        assert!(cache.snap_rho(f64::NAN).is_nan());
+        assert_eq!(cache.snap_rho(0.0), 0.0);
+        assert_eq!(cache.snap_rho(-1.0), -1.0);
+    }
+
+    #[test]
+    fn clones_share_the_memo_table() {
+        let cache = SegmentKernelCache::default();
+        let tables = SharedStirling::new();
+        let s = seg(500, SegmentKind::Middle);
+        assert!(!cache.expected_bots(&s, 500, 1e-3, &tables).memo_hit);
+        let clone = cache.clone();
+        assert!(clone.expected_bots(&s, 500, 1e-3, &tables).memo_hit);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn start_position_is_not_part_of_the_key() {
+        let cache = SegmentKernelCache::default();
+        let tables = SharedStirling::new();
+        let a = Segment {
+            start: 3,
+            len: 120,
+            kind: SegmentKind::Boundary,
+        };
+        let b = Segment { start: 9_000, ..a };
+        assert!(!cache.expected_bots(&a, 100, 1e-3, &tables).memo_hit);
+        assert!(cache.expected_bots(&b, 100, 1e-3, &tables).memo_hit);
+    }
+}

@@ -59,6 +59,7 @@ mod config;
 mod coverage;
 mod estimator;
 mod hybrid;
+mod kernel;
 mod metrics;
 mod poisson;
 mod sampling;
@@ -73,12 +74,13 @@ pub use botmeter::{
 };
 pub use config::EstimationContext;
 pub use coverage::CoverageEstimator;
-pub use estimator::Estimator;
+pub use estimator::{CellSlice, Estimator};
 pub use hybrid::{HybridBernoulli, HybridEstimator};
+pub use kernel::{KernelEval, KernelKey, RhoQuantization, SegmentKernelCache};
 pub use metrics::{absolute_relative_error, mean_absolute_relative_error};
 pub use poisson::PoissonEstimator;
 pub use sampling::SamplingEstimator;
 pub use segments::{extract_segments, Segment, SegmentKind};
-pub use theorem1::expected_bots_for_segment;
+pub use theorem1::{expected_bots_for_segment, expected_bots_for_shape, KernelStats};
 pub use timing::TimingEstimator;
 pub use window_occupancy::WindowOccupancyEstimator;

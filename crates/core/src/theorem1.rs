@@ -38,7 +38,7 @@
 //! independently-derived cross-check for the same taxonomy cell.
 
 use crate::segments::{Segment, SegmentKind};
-use botmeter_stats::{ln_factorial, LogSumAcc, SharedStirling};
+use botmeter_stats::{ln_binomial, ln_factorial, LogSumAcc, SharedStirling};
 
 /// Hard cap on the per-segment bot count considered by the posterior sum.
 const MAX_BOTS_PER_SEGMENT: u64 = 2_000;
@@ -89,16 +89,52 @@ pub fn expected_bots_for_segment(
     start_density: f64,
     tables: &SharedStirling,
 ) -> f64 {
+    expected_bots_for_shape(segment.kind, segment.len, theta_q, start_density, tables).0
+}
+
+/// Work done by one [`expected_bots_for_shape`] evaluation that the
+/// observability layer wants to know about: how many per-span gap tables
+/// were materialised and how many posterior `n` iterations reused one
+/// instead of re-deriving the inclusion–exclusion sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Gap-constraint tables built (one per evaluated span `l̃`).
+    pub gap_tables_built: u64,
+    /// Posterior `n` iterations that reused an already-built gap table.
+    pub gap_table_reuses: u64,
+}
+
+impl KernelStats {
+    /// Accumulate another evaluation's stats into this one.
+    pub fn merge(&mut self, other: KernelStats) {
+        self.gap_tables_built += other.gap_tables_built;
+        self.gap_table_reuses += other.gap_table_reuses;
+    }
+}
+
+/// [`expected_bots_for_segment`] on the segment's *shape* alone.
+///
+/// The posterior depends only on `(kind, len, θq, ρ)` — never on the
+/// segment's start position — which is exactly the memo key of
+/// [`SegmentKernelCache`](crate::SegmentKernelCache). Also returns the
+/// [`KernelStats`] of the evaluation.
+pub fn expected_bots_for_shape(
+    kind: SegmentKind,
+    len: usize,
+    theta_q: usize,
+    start_density: f64,
+    tables: &SharedStirling,
+) -> (f64, KernelStats) {
     assert!(theta_q > 0, "theta_q must be positive");
     assert!(
         start_density.is_finite() && start_density > 0.0,
         "start density must be finite and positive"
     );
-    let l = segment.len;
+    let l = len;
     assert!(l > 0, "segment length must be positive");
 
     let ll = l.saturating_sub(theta_q - 1).max(1);
-    let lu = match segment.kind {
+    let lu = match kind {
         SegmentKind::Middle => ll,
         SegmentKind::Boundary => l,
     };
@@ -117,10 +153,11 @@ pub fn expected_bots_for_segment(
 
     // Marginalise over l̃: weight each span's conditional mean by its
     // total posterior mass.
+    let mut stats = KernelStats::default();
     let mut weighted_mean = 0.0f64;
     let mut total_weight = 0.0f64;
     for l_tilde in span_values {
-        let (mass, mean) = span_posterior(l_tilde, theta_q, start_density, tables);
+        let (mass, mean) = span_posterior(l_tilde, theta_q, start_density, tables, &mut stats);
         if mass > 0.0 {
             weighted_mean += mass * mean;
             total_weight += mass;
@@ -131,9 +168,59 @@ pub fn expected_bots_for_segment(
         // No span admits any configuration (possible for fragmented
         // segments under aggressive detection-window loss). Fall back to
         // the deterministic lower bound: ceil(l / θq) bots.
-        return (l as f64 / theta_q as f64).ceil().max(1.0);
+        return ((l as f64 / theta_q as f64).ceil().max(1.0), stats);
     }
-    weighted_mean / total_weight
+    (weighted_mean / total_weight, stats)
+}
+
+/// Per-span tables hoisted out of the posterior `n` sum: the gap
+/// constraint `g(l̃, m)` and the `n`-independent part of the occupancy
+/// log-mass depend only on `(l̃, θq)`, so computing each entry once per
+/// span — instead of once per `(n, m)` pair — removes the dominant cost
+/// of the Theorem-1 kernel without moving a single floating-point
+/// operation out of its original association order.
+///
+/// Entries are filled lazily up to the largest `m` the posterior sum
+/// reaches (`m ≤ min(n, l̃)`, and the `n` loop usually stops after a few
+/// dozen iterations): eagerly tabulating all `l̃` candidates would cost
+/// more than the hoisting saves on long spans.
+struct SpanTables {
+    l_tilde: usize,
+    theta_q: usize,
+    ln_l: f64,
+    /// `gap_ln[m] = ln g(l̃, m)`; `−∞` where the constraint has zero mass.
+    gap_ln: Vec<f64>,
+    /// `base_ln[m] = ln C(l̃−2, m−2) + ln m!` — the `n`-independent
+    /// occupancy factor, added in the same order as the unhoisted code.
+    base_ln: Vec<f64>,
+}
+
+impl SpanTables {
+    fn new(l_tilde: usize, theta_q: usize) -> Self {
+        SpanTables {
+            l_tilde,
+            theta_q,
+            ln_l: (l_tilde as f64).ln(),
+            // m = 0 and m = 1 carry no occupancy mass; real entries are
+            // appended by `ensure`.
+            gap_ln: vec![f64::NEG_INFINITY; 2],
+            base_ln: vec![f64::NEG_INFINITY; 2],
+        }
+    }
+
+    /// Extends both tables so every `m ≤ min(m_upto, l̃, cap)` is filled.
+    fn ensure(&mut self, m_upto: usize) {
+        let target = m_upto.min(self.l_tilde.min(MAX_BOTS_PER_SEGMENT as usize));
+        while self.gap_ln.len() <= target {
+            let m = self.gap_ln.len();
+            let g = g_gap_probability(self.l_tilde, m, self.theta_q);
+            self.gap_ln
+                .push(if g > 0.0 { g.ln() } else { f64::NEG_INFINITY });
+            self.base_ln.push(
+                ln_binomial((self.l_tilde - 2) as u64, (m - 2) as u64) + ln_factorial(m as u64),
+            );
+        }
+    }
 }
 
 /// Total (relative) posterior mass and conditional mean of `n` for one
@@ -144,9 +231,16 @@ fn span_posterior(
     theta_q: usize,
     start_density: f64,
     tables: &SharedStirling,
+    stats: &mut KernelStats,
 ) -> (f64, f64) {
     let mu = start_density * l_tilde as f64;
     let ln_mu = mu.ln();
+    // The gap constraint and the n-independent occupancy factor are fixed
+    // for the whole posterior sum; each entry is built once and reused by
+    // every later iteration.
+    let mut span = SpanTables::new(l_tilde, theta_q);
+    stats.gap_tables_built += 1;
+    let mut iterations = 0u64;
     // Work relative to e^{−μ}·μ (the n = 1 prior weight) so magnitudes
     // stay comparable across spans; the common e^{−μ} factor differs per
     // span and matters, so keep it.
@@ -155,8 +249,10 @@ fn span_posterior(
     let mut best = 0.0f64;
     let mut since_peak = 0u32;
     for n in 1..=MAX_BOTS_PER_SEGMENT {
+        iterations += 1;
         let ln_prior = -mu + n as f64 * ln_mu - ln_factorial(n);
-        let config = config_probability(l_tilde, n, theta_q, tables);
+        span.ensure((n as usize).min(l_tilde));
+        let config = config_probability(l_tilde, n, &span, tables);
         let mass = if config > 0.0 {
             (ln_prior + config.ln()).exp()
         } else {
@@ -177,6 +273,7 @@ fn span_posterior(
             break;
         }
     }
+    stats.gap_table_reuses += iterations.saturating_sub(1);
     if total > 0.0 {
         (total, expectation / total)
     } else {
@@ -186,29 +283,33 @@ fn span_posterior(
 
 /// `P(config | n starts uniform on the span)`: both span endpoints
 /// occupied and every internal gap at most `θq`.
-fn config_probability(l_tilde: usize, n: u64, theta_q: usize, tables: &SharedStirling) -> f64 {
+///
+/// `span` carries the hoisted `(l̃, θq)` tables; the only per-`n` work
+/// left is one shared Stirling-row fetch and the `m` accumulation. Every
+/// floating-point operation keeps the association order of the original
+/// per-`(n, m)` formula `((ln C + ln m!) + ln S(n, m)) − n·ln l̃ + ln g`,
+/// so the hoisting is bit-identical.
+fn config_probability(l_tilde: usize, n: u64, span: &SpanTables, tables: &SharedStirling) -> f64 {
     if l_tilde == 1 {
         return 1.0; // all starts on the single position
     }
     if n < 2 {
         return 0.0; // two distinct endpoints need two bots
     }
-    let ln_l = (l_tilde as f64).ln();
     let m_max = (n as usize).min(l_tilde);
-    // Every m in the loop draws from the same binomial row (l̃−2); fetch it
-    // once per call (memoized across calls, cells and epochs).
-    let occ_row = tables.ln_binomial_row((l_tilde - 2) as u64);
+    // One lock acquisition hands back ln S(n, ·) for every m below.
+    let stir_row = tables.ln_stirling2_row(n);
+    let n_ln_l = n as f64 * span.ln_l;
     let mut acc = LogSumAcc::new();
     for m in 2..=m_max {
-        let g = g_gap_probability(l_tilde, m, theta_q, tables);
-        if g <= 0.0 {
+        let g_ln = span.gap_ln[m];
+        if g_ln == f64::NEG_INFINITY {
             continue;
         }
         // P(occupy exactly these m positions incl. endpoints)
         //   = C(l̃−2, m−2) · m! · S(n, m) / l̃ⁿ.
-        let ln_occ = occ_row[m - 2] + ln_factorial(m as u64) + tables.ln_stirling2(n, m as u64)
-            - n as f64 * ln_l;
-        acc.add(ln_occ + g.ln());
+        let ln_occ = span.base_ln[m] + stir_row[m] - n_ln_l;
+        acc.add(ln_occ + g_ln);
     }
     let v = acc.value();
     if v == f64::NEG_INFINITY {
@@ -221,7 +322,7 @@ fn config_probability(l_tilde: usize, n: u64, theta_q: usize, tables: &SharedSti
 /// `g(l̃, m)`: probability that `m` occupied positions with both endpoints
 /// of the `l̃` span fixed have every internal gap ≤ `θq` (inclusion–
 /// exclusion over compositions; printed verbatim in the paper).
-fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize, tables: &SharedStirling) -> f64 {
+fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize) -> f64 {
     if m == 1 {
         return if l_tilde == 1 { 1.0 } else { 0.0 };
     }
@@ -233,11 +334,10 @@ fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize, tables: &SharedSt
     if l_tilde > (m - 1) * theta_q + 1 {
         return 0.0;
     }
-    let denom = tables.ln_binomial_row((l_tilde - 2) as u64)[m - 2];
+    let denom = ln_binomial((l_tilde - 2) as u64, (m - 2) as u64);
     if denom == f64::NEG_INFINITY {
         return 0.0;
     }
-    let choose_row = tables.ln_binomial_row((m - 1) as u64);
     // Signed log-space accumulation of the alternating sum.
     let mut positive = 0.0f64;
     let mut negative = 0.0f64;
@@ -246,7 +346,9 @@ fn g_gap_probability(l_tilde: usize, m: usize, theta_q: usize, tables: &SharedSt
         if reach < (m as i64 - 2) {
             break; // all further terms vanish
         }
-        let ln_term = choose_row[k] + tables.ln_binomial_row(reach as u64)[m - 2] - denom;
+        let ln_term = ln_binomial((m - 1) as u64, k as u64)
+            + ln_binomial(reach as u64, (m - 2) as u64)
+            - denom;
         let term = ln_term.exp();
         if k % 2 == 0 {
             positive += term;
@@ -329,27 +431,33 @@ mod tests {
         );
     }
 
+    /// `config_probability` through a freshly-built span table, as the
+    /// production path does.
+    fn config_prob(l_tilde: usize, n: u64, theta_q: usize, tables: &SharedStirling) -> f64 {
+        let mut span = SpanTables::new(l_tilde, theta_q);
+        span.ensure((n as usize).min(l_tilde));
+        config_probability(l_tilde, n, &span, tables)
+    }
+
     #[test]
     fn g_function_hand_cases() {
-        let t = SharedStirling::new();
         // Span 3, 2 points, θq = 2 → the single gap of 2 is allowed.
-        assert!((g_gap_probability(3, 2, 2, &t) - 1.0).abs() < 1e-12);
+        assert!((g_gap_probability(3, 2, 2) - 1.0).abs() < 1e-12);
         // θq = 1 forbids the gap of 2.
-        assert_eq!(g_gap_probability(3, 2, 1, &t), 0.0);
+        assert_eq!(g_gap_probability(3, 2, 1), 0.0);
         // Full occupancy always satisfies the gap bound.
-        assert!((g_gap_probability(5, 5, 1, &t) - 1.0).abs() < 1e-12);
+        assert!((g_gap_probability(5, 5, 1) - 1.0).abs() < 1e-12);
         // m = 1 only coherent with a single position.
-        assert_eq!(g_gap_probability(1, 1, 10, &t), 1.0);
-        assert_eq!(g_gap_probability(7, 1, 10, &t), 0.0);
+        assert_eq!(g_gap_probability(1, 1, 10), 1.0);
+        assert_eq!(g_gap_probability(7, 1, 10), 0.0);
     }
 
     #[test]
     fn g_is_a_probability() {
-        let t = SharedStirling::new();
         for l in 2..60usize {
             for m in 2..=l.min(20) {
                 for tq in [1usize, 3, 7, 50] {
-                    let v = g_gap_probability(l, m, tq, &t);
+                    let v = g_gap_probability(l, m, tq);
                     assert!((0.0..=1.0).contains(&v), "g({l},{m},{tq}) = {v}");
                 }
             }
@@ -359,12 +467,11 @@ mod tests {
     #[test]
     fn g_monotone_in_theta_q() {
         // Loosening the gap bound can only admit more configurations.
-        let t = SharedStirling::new();
         for l in [10usize, 25, 40] {
             for m in [3usize, 5, 8] {
-                let a = g_gap_probability(l, m, 3, &t);
-                let b = g_gap_probability(l, m, 6, &t);
-                let c = g_gap_probability(l, m, 100, &t);
+                let a = g_gap_probability(l, m, 3);
+                let b = g_gap_probability(l, m, 6);
+                let c = g_gap_probability(l, m, 100);
                 assert!(a <= b + 1e-12 && b <= c + 1e-12, "l={l} m={m}: {a} {b} {c}");
             }
         }
@@ -374,22 +481,36 @@ mod tests {
     fn config_probability_bounds_and_cases() {
         let t = SharedStirling::new();
         // Single position: certain.
-        assert_eq!(config_probability(1, 5, 10, &t), 1.0);
+        assert_eq!(config_prob(1, 5, 10, &t), 1.0);
         // Two endpoints, one bot: impossible.
-        assert_eq!(config_probability(5, 1, 10, &t), 0.0);
+        assert_eq!(config_prob(5, 1, 10, &t), 0.0);
         // Two positions, n bots: both occupied with prob 1 − 2^{1−n}.
         for n in 2..8u64 {
             let want = 1.0 - 2f64.powi(1 - n as i32);
-            let got = config_probability(2, n, 10, &t);
+            let got = config_prob(2, n, 10, &t);
             assert!((got - want).abs() < 1e-9, "n={n}: {got} vs {want}");
         }
         // Always a probability.
         for l in 2..30usize {
             for n in 2..30u64 {
-                let v = config_probability(l, n, 7, &t);
+                let v = config_prob(l, n, 7, &t);
                 assert!((0.0..=1.0).contains(&v), "P({l},{n}) = {v}");
             }
         }
+    }
+
+    #[test]
+    fn shape_eval_reports_kernel_stats() {
+        let t = SharedStirling::new();
+        let (e, stats) =
+            expected_bots_for_shape(SegmentKind::Boundary, 2000, 500, 64.0 / 10_000.0, &t);
+        assert!(e >= 1.0);
+        // One gap table per evaluated span, reused by every posterior
+        // iteration after the first.
+        assert!(stats.gap_tables_built > 0);
+        assert!(stats.gap_table_reuses > stats.gap_tables_built);
+        let direct = expected_bots_for_segment(&b_seg(2000), 500, 64.0 / 10_000.0, &t);
+        assert_eq!(e.to_bits(), direct.to_bits(), "wrapper must not perturb");
     }
 
     #[test]

@@ -32,8 +32,11 @@ use std::sync::{Arc, PoisonError, RwLock};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct StirlingTable {
-    /// `rows[n][m]` = ln S(n, m) for 0 <= m <= n.
-    rows: Vec<Vec<f64>>,
+    /// `rows[n][m]` = ln S(n, m) for 0 <= m <= n. Rows sit behind `Arc`s
+    /// so whole-row borrows ([`row`](Self::row)) are a pointer clone — the
+    /// Theorem-1 posterior sum reads a full row per `n` and would
+    /// otherwise pay a lock/lookup per `(n, m)` pair.
+    rows: Vec<Arc<Vec<f64>>>,
 }
 
 impl StirlingTable {
@@ -70,6 +73,19 @@ impl StirlingTable {
         self.rows.get(n as usize).map(|row| row[m as usize])
     }
 
+    /// The whole row `[ln S(n, 0), …, ln S(n, n)]`, filling the triangle up
+    /// to `n` first. The returned handle shares the cached storage.
+    pub fn row(&mut self, n: u64) -> Arc<Vec<f64>> {
+        self.fill_to(n as usize);
+        Arc::clone(&self.rows[n as usize])
+    }
+
+    /// [`row`](Self::row) without filling: `None` when row `n` is not yet
+    /// materialised.
+    pub fn peek_row(&self, n: u64) -> Option<Arc<Vec<f64>>> {
+        self.rows.get(n as usize).map(Arc::clone)
+    }
+
     /// Number of rows currently materialised (for diagnostics/tests).
     pub fn rows_filled(&self) -> usize {
         self.rows.len()
@@ -78,7 +94,7 @@ impl StirlingTable {
     fn fill_to(&mut self, n: usize) {
         if self.rows.is_empty() {
             // Row 0: S(0,0) = 1.
-            self.rows.push(vec![0.0]);
+            self.rows.push(Arc::new(vec![0.0]));
         }
         while self.rows.len() <= n {
             let prev = self.rows.last().expect("row 0 exists");
@@ -94,7 +110,7 @@ impl StirlingTable {
             }
             // m = n: S(n,n) = 1.
             row.push(0.0);
-            self.rows.push(row);
+            self.rows.push(Arc::new(row));
         }
     }
 }
@@ -152,6 +168,26 @@ impl SharedStirling {
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         table.ln_stirling2(n, m)
+    }
+
+    /// The full Stirling row `[ln S(n, 0), …, ln S(n, n)]`, filling the
+    /// triangle up to `n` on first use. One shared-lock acquisition hands
+    /// back the whole row, so hot loops that need `ln S(n, m)` for every
+    /// `m` (the Theorem-1 occupancy sum) index a plain slice instead of
+    /// paying a lock per `(n, m)` pair. Values are identical to
+    /// [`ln_stirling2`](Self::ln_stirling2) entry by entry.
+    pub fn ln_stirling2_row(&self, n: u64) -> Arc<Vec<f64>> {
+        {
+            let table = self.stirling.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(row) = table.peek_row(n) {
+                return row;
+            }
+        }
+        let mut table = self
+            .stirling
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        table.row(n)
     }
 
     /// The full row `[ln C(n, 0), …, ln C(n, n)]`, memoized per `n`. Rows

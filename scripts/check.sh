@@ -9,9 +9,9 @@ cd "$(dirname "$0")/.."
 
 echo "==> deprecated entry-point grep gate"
 # The dual sequential/parallel entry points are deprecated shims; new code
-# must go through the unified ExecPolicy API. The only allowed occurrences
-# are the shim definitions themselves (and their shim-coverage tests) in
-# the four files below.
+# must go through the unified ExecPolicy API. `chart_parallel` is fully
+# removed (no occurrences allowed anywhere); the other shim definitions
+# (and their shim-coverage tests) remain confined to the files below.
 pattern='chart_parallel|match_stream_parallel|process_trace_parallel|run_sequential'
 offenders=$(grep -rlE "$pattern" \
   --include='*.rs' src crates tests examples \
@@ -21,7 +21,6 @@ offenders=$(grep -rlE "$pattern" \
       -e crates/dns/src/topology.rs \
       -e crates/matcher/src/stream.rs \
       -e crates/matcher/src/lib.rs \
-      -e crates/core/src/botmeter.rs \
       -e crates/exec/src/lib.rs \
   || true)
 if [[ -n "$offenders" ]]; then
@@ -64,10 +63,11 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> perf smoke (throughput + streaming residency gate)"
-# Fails if raw simulation throughput drops more than 25% below the
-# committed BENCH_pipeline.json baseline, or if the streaming pipeline
-# loses its bounded-memory property. Best-of-2 to absorb scheduler noise.
+echo "==> perf smoke (throughput + charting + streaming residency gate)"
+# Fails if raw simulation throughput or estimator-charting throughput
+# (chart_lookups_per_sec) drops more than 25% below the committed
+# BENCH_pipeline.json baseline, or if the streaming pipeline loses its
+# bounded-memory property. Best-of-N to absorb scheduler noise.
 ./target/release/perf_smoke
 
 echo "All checks passed."

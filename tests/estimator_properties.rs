@@ -2,7 +2,8 @@
 
 use botmeter::core::{
     absolute_relative_error, extract_segments, BernoulliEstimator, CoverageEstimator,
-    EstimationContext, Estimator, PoissonEstimator, Segment, SegmentKind, TimingEstimator,
+    EstimationContext, Estimator, PoissonEstimator, RhoQuantization, Segment, SegmentKernelCache,
+    SegmentKind, TimingEstimator,
 };
 use botmeter::dga::{BarrelClass, DgaFamily, DgaParams, QueryTiming};
 use botmeter::dns::{DomainName, ObservedLookup, ServerId, SimDuration, SimInstant, TtlPolicy};
@@ -146,6 +147,74 @@ proptest! {
         prop_assert!((forward - backward).abs() < 1e-9);
     }
 
+    /// The exact-mode kernel cache is a transparent memo: its value is
+    /// bit-identical to the uncached Theorem-1 evaluation at the same ρ,
+    /// and replaying the query is a hit returning the same bits.
+    #[test]
+    fn kernel_cache_exact_matches_uncached(
+        len in 2usize..3000,
+        theta_q in 20usize..600,
+        rho_mantissa in 1.0f64..10.0,
+        rho_neg_exp in 1u32..6,
+        boundary in any::<bool>(),
+    ) {
+        let rho = rho_mantissa * 10f64.powi(-(rho_neg_exp as i32));
+        let kind = if boundary { SegmentKind::Boundary } else { SegmentKind::Middle };
+        let seg = Segment { start: 0, len, kind };
+        let tables = SharedStirling::new();
+        let uncached = botmeter::core::expected_bots_for_segment(&seg, theta_q, rho, &tables);
+
+        let cache = SegmentKernelCache::exact();
+        let first = cache.expected_bots(&seg, theta_q, rho, &tables);
+        prop_assert!(!first.memo_hit);
+        prop_assert_eq!(first.value.to_bits(), uncached.to_bits(),
+                        "exact cache diverged from uncached kernel: {} vs {uncached}",
+                        first.value);
+        let replay = cache.expected_bots(&seg, theta_q, rho, &tables);
+        prop_assert!(replay.memo_hit, "identical query must hit the memo table");
+        prop_assert_eq!(replay.value.to_bits(), uncached.to_bits());
+    }
+
+    /// The quantized cache evaluates at the snapped density: its value is
+    /// bit-identical to the uncached kernel at `snap_rho(ρ)` (so the hit
+    /// value is never an approximation of the key it is stored under —
+    /// trivially within 1e-9 relative of the kernel at the cache's ρ), and
+    /// any ρ in the same grid bucket replays as a hit.
+    #[test]
+    fn kernel_cache_quantized_matches_uncached_at_snapped_rho(
+        len in 2usize..3000,
+        theta_q in 20usize..600,
+        rho_mantissa in 1.0f64..10.0,
+        rho_neg_exp in 1u32..6,
+        boundary in any::<bool>(),
+    ) {
+        let rho = rho_mantissa * 10f64.powi(-(rho_neg_exp as i32));
+        let kind = if boundary { SegmentKind::Boundary } else { SegmentKind::Middle };
+        let seg = Segment { start: 0, len, kind };
+        let tables = SharedStirling::new();
+
+        let cache = SegmentKernelCache::default();
+        prop_assert!(matches!(cache.quantization(), RhoQuantization::Relative { .. }));
+        let snapped = cache.snap_rho(rho);
+        let relative_shift = (snapped - rho).abs() / rho;
+        prop_assert!(relative_shift < 1e-5, "snap moved ρ by {relative_shift}");
+        let uncached = botmeter::core::expected_bots_for_segment(&seg, theta_q, snapped, &tables);
+
+        let first = cache.expected_bots(&seg, theta_q, rho, &tables);
+        prop_assert!(!first.memo_hit);
+        prop_assert_eq!(first.value.to_bits(), uncached.to_bits(),
+                        "quantized cache diverged from uncached kernel at snapped ρ");
+        prop_assert!(absolute_relative_error(first.value, uncached.max(1e-300)) < 1e-9);
+        // Any density that snaps to the same bucket must hit with the
+        // identical stored value.
+        let nearby = snapped * (1.0 + 1e-8);
+        if cache.snap_rho(nearby) == snapped {
+            let replay = cache.expected_bots(&seg, theta_q, nearby, &tables);
+            prop_assert!(replay.memo_hit);
+            prop_assert_eq!(replay.value.to_bits(), uncached.to_bits());
+        }
+    }
+
     /// The Coverage estimator is monotone in the volume of observed
     /// lookups: truncating the stream cannot raise the estimate.
     #[test]
@@ -165,6 +234,64 @@ proptest! {
         let partial = CoverageEstimator.estimate(truncated, &c);
         prop_assert!(partial <= full + 1e-6,
                      "truncated stream gave higher estimate: {partial} > {full}");
+    }
+}
+
+/// Per-segment parallel charting is bit-identical to sequential charting,
+/// and the observed trace it charts is the same whether the pipeline
+/// materialized or streamed: all four `ExecPolicy` × `PipelineMode`
+/// combinations produce the same landscape bits and the same
+/// deterministic estimator counters (memo hits/misses, scheduled
+/// segments, cell counts).
+#[test]
+fn charting_is_bit_identical_across_policies_and_pipeline_modes() {
+    use botmeter::core::{BotMeter, BotMeterConfig};
+    use botmeter::obs::Obs;
+    use botmeter::sim::{PipelineMode, ScenarioSpec};
+
+    // Pin the worker count so the parallel paths actually run on
+    // single-core machines.
+    std::env::set_var("BOTMETER_THREADS", "4");
+    let run = |mode| {
+        ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(64)
+            .num_epochs(2)
+            .seed(13)
+            .pipeline(mode)
+            .build()
+            .expect("valid scenario")
+            .run(ExecPolicy::parallel())
+    };
+    let materialized = run(PipelineMode::Materialize);
+    let streamed = run(PipelineMode::Streaming { shard: None });
+    assert_eq!(
+        materialized.observed(),
+        streamed.observed(),
+        "pipeline modes disagree on the observed trace"
+    );
+
+    let mut landscapes = Vec::new();
+    let mut counters = Vec::new();
+    for (mode, outcome) in [("materialize", &materialized), ("streaming", &streamed)] {
+        for policy in [ExecPolicy::Sequential, ExecPolicy::parallel()] {
+            let (obs, registry) = Obs::collecting();
+            let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
+            landscapes.push((mode, policy, meter.chart(outcome.observed(), 0..2, policy)));
+            counters.push(registry.snapshot().deterministic_counters());
+        }
+    }
+    let (_, _, reference) = &landscapes[0];
+    for (mode, policy, landscape) in &landscapes[1..] {
+        assert_eq!(
+            landscape, reference,
+            "landscape diverged for {mode} / {policy:?}"
+        );
+    }
+    for (i, observed_counters) in counters.iter().enumerate().skip(1) {
+        assert_eq!(
+            observed_counters, &counters[0],
+            "deterministic counters diverged for variant {i}"
+        );
     }
 }
 
