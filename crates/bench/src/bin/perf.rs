@@ -30,6 +30,9 @@ struct Report {
     seed: u64,
     /// Worker threads available to parallel policies on this machine.
     threads: usize,
+    /// Logical cores the measuring machine actually exposes — committed so
+    /// a reader can tell a 1-core CI run from a real multicore benchmark.
+    available_cores: usize,
     raw_lookups: u64,
     observed_lookups: usize,
     landscape_cells: usize,
@@ -41,6 +44,23 @@ struct Report {
     speedup: f64,
     /// `parallel.peak_resident_records / streaming.peak_resident_records`.
     residency_reduction: f64,
+    /// Streaming multicore scaling evidence: the same fused pipeline with
+    /// a 1-thread policy vs the full pool, so a `threads: 1` "parallel"
+    /// row can never masquerade as a multicore result again.
+    scaling: Scaling,
+}
+
+#[derive(Serialize)]
+struct Scaling {
+    /// Worker threads the multi-thread streaming run resolved to.
+    threads: usize,
+    /// Logical cores available while measuring (a `ratio` near 1.0 with
+    /// `available_cores: 1` is expected, not a regression).
+    available_cores: usize,
+    single_thread_raw_lookups_per_sec: f64,
+    multi_thread_raw_lookups_per_sec: f64,
+    /// `multi_thread / single_thread` raw streaming throughput.
+    ratio: f64,
 }
 
 #[derive(Serialize)]
@@ -203,6 +223,11 @@ fn main() {
     let par = bench.measure(parallel, PipelineMode::Materialize);
     let seq = bench.measure(ExecPolicy::Sequential, PipelineMode::Materialize);
     let stream = bench.measure(parallel, streaming_mode);
+    let stream_single = bench.measure(ExecPolicy::Sequential, streaming_mode);
+    assert_eq!(
+        stream.raw_lookups, stream_single.raw_lookups,
+        "streaming runs must agree across policies"
+    );
     assert_eq!(
         par.raw_lookups, seq.raw_lookups,
         "parallel and sequential runs must agree"
@@ -218,6 +243,11 @@ fn main() {
 
     let par_total = par.simulate_secs + par.chart_secs;
     let seq_total = seq.simulate_secs + seq.chart_secs;
+    let available_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let single_rate = stream_single.raw_lookups as f64 / stream_single.simulate_secs.max(1e-9);
+    let multi_rate = stream.raw_lookups as f64 / stream.simulate_secs.max(1e-9);
     let report = Report {
         benchmark: "pipeline",
         family: "newGoZ",
@@ -225,6 +255,14 @@ fn main() {
         epochs,
         seed,
         threads,
+        available_cores,
+        scaling: Scaling {
+            threads: stream.threads,
+            available_cores,
+            single_thread_raw_lookups_per_sec: single_rate,
+            multi_thread_raw_lookups_per_sec: multi_rate,
+            ratio: multi_rate / single_rate.max(1e-9),
+        },
         raw_lookups: par.raw_lookups,
         observed_lookups: par.observed_lookups,
         landscape_cells: par.landscape_cells,

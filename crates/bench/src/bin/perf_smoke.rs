@@ -1,9 +1,11 @@
 //! CI throughput guard: replays a scaled-down pipeline and fails (exit 1)
 //! if raw simulation throughput or estimator-charting throughput regresses
 //! more than the allowed fraction below the committed
-//! `BENCH_pipeline.json` baseline, or if the streaming pipeline loses its
-//! bounded-memory property. Takes the best of a few runs so scheduler
-//! noise on shared CI workers doesn't trip the gate.
+//! `BENCH_pipeline.json` baseline, if the streaming pipeline loses its
+//! bounded-memory property, or if the streaming N-thread/1-thread scaling
+//! ratio falls below a core-count-aware floor derived from the committed
+//! `scaling` block. Takes the best of a few runs so scheduler noise on
+//! shared CI workers doesn't trip the gate.
 //!
 //! Usage: `perf_smoke [--baseline PATH] [--population N] [--epochs E]
 //! [--seed S] [--min-ratio R] [--runs K]`.
@@ -20,12 +22,21 @@ use std::time::Instant;
 #[derive(Deserialize)]
 struct Baseline {
     parallel: BaselineVariant,
+    /// Streaming 1-thread vs N-thread evidence; optional so the gate can
+    /// still run against a pre-scaling baseline (it then only checks the
+    /// core-count-derived floor).
+    scaling: Option<BaselineScaling>,
 }
 
 #[derive(Deserialize)]
 struct BaselineVariant {
     raw_lookups_per_sec: f64,
     chart_lookups_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct BaselineScaling {
+    ratio: f64,
 }
 
 fn main() {
@@ -163,6 +174,52 @@ fn main() {
             "streaming pipeline lost its memory bound: peak {} vs {} total raw lookups",
             streaming.peak_resident_records(),
             streaming.raw_lookups()
+        ));
+    }
+
+    // Multicore scaling gate: streaming N-thread vs 1-thread throughput.
+    // The floor adapts to the machine running the gate — a baseline ratio
+    // measured on 8 cores must not fail a 1- or 2-core CI worker — but on
+    // hardware comparable to the baseline's it holds the committed ratio
+    // (scaled by --min-ratio), so a multicore regression of the sharded
+    // producer can't land silently.
+    let cores_now = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let committed_ratio = baseline.scaling.as_ref().map(|s| s.ratio);
+    let scaling_floor = committed_ratio
+        .map(|r| r * min_ratio)
+        .unwrap_or(f64::INFINITY)
+        .min(0.5 * cores_now as f64)
+        .max(0.5);
+    let mut best_single = 0.0f64;
+    let mut best_multi = 0.0f64;
+    for _ in 0..runs {
+        let started = Instant::now();
+        let single = spec(PipelineMode::Streaming { shard: None }).run(ExecPolicy::Sequential);
+        let single_secs = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let multi = spec(PipelineMode::Streaming { shard: None }).run(ExecPolicy::parallel());
+        let multi_secs = started.elapsed().as_secs_f64();
+        assert_eq!(
+            single.raw_lookups(),
+            multi.raw_lookups(),
+            "streaming runs must agree across policies"
+        );
+        best_single = best_single.max(single.raw_lookups() as f64 / single_secs.max(1e-9));
+        best_multi = best_multi.max(multi.raw_lookups() as f64 / multi_secs.max(1e-9));
+    }
+    let scaling_ratio = best_multi / best_single.max(1e-9);
+    eprintln!(
+        "perf_smoke: streaming scaling {scaling_ratio:.2}x \
+         ({best_multi:.0} multi vs {best_single:.0} single lookups/sec) \
+         vs floor {scaling_floor:.2} on {cores_now} core(s), committed ratio {}",
+        committed_ratio.map_or_else(|| "absent".to_owned(), |r| format!("{r:.2}"))
+    );
+    if scaling_ratio < scaling_floor {
+        fail(&format!(
+            "multicore scaling regression: streaming N-thread/1-thread ratio \
+             {scaling_ratio:.2} is below floor {scaling_floor:.2} on {cores_now} core(s)"
         ));
     }
 

@@ -583,6 +583,254 @@ pub fn run_staged_with<T, P, C>(
     }
 }
 
+/// How many items beyond the consumer's cursor the multi-producer runner
+/// ([`run_pipelined_with`]) may claim at once. Fixed (not derived from the
+/// worker count) so anything accounted against the window — the streaming
+/// pipeline's deterministic residency bound — is identical under every
+/// [`ExecPolicy`]. Worker counts above this see no extra producer
+/// parallelism; today's pools (≤ 16 threads typical) fit inside it.
+pub const PIPELINE_WINDOW: usize = 8;
+
+/// Shared state of the multi-producer runner: claimed tickets, finished
+/// items waiting for their turn, and the consumer's cursor.
+struct PipeState<T> {
+    /// Next item index a producer may claim.
+    next_ticket: usize,
+    /// Next item index the consumer will accept.
+    next_consume: usize,
+    /// Finished items that arrived ahead of the consumer, keyed by index.
+    ready: std::collections::BTreeMap<usize, T>,
+    /// Producer threads still running (normally or not).
+    producers_alive: usize,
+    /// The consumer died; producers should stop claiming tickets.
+    aborted: bool,
+    /// Ticket claims that had to wait for the window to advance.
+    stalls: u64,
+    /// Deepest the ready buffer ever got.
+    high_water: u64,
+}
+
+struct PipeChannel<T> {
+    state: Mutex<PipeState<T>>,
+    /// Signalled when an item lands in `ready` or a producer exits.
+    ready: Condvar,
+    /// Signalled when the consumer advances (or aborts).
+    advanced: Condvar,
+}
+
+/// Decrements the live-producer count (and wakes the consumer) when a
+/// producer thread exits — *including* by panic. A panicking producer may
+/// have claimed a ticket it will never deliver, which would strand the
+/// consumer on `ready` and its peers on the full window, so the panic path
+/// additionally aborts the whole pipeline and wakes both sides; the
+/// payload then resurfaces when the scope joins the dead thread.
+struct ProducerExitGuard<'a, T>(&'a PipeChannel<T>);
+
+impl<T> Drop for ProducerExitGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.producers_alive -= 1;
+        if thread::panicking() {
+            s.aborted = true;
+        }
+        drop(s);
+        self.0.ready.notify_all();
+        self.0.advanced.notify_all();
+    }
+}
+
+/// Runs an indexed produce→consume pipeline with **multiple producer
+/// workers**: up to [`ExecPolicy::worker_threads`] threads build items
+/// concurrently while the calling thread consumes them **strictly in index
+/// order**.
+///
+/// This is the fan-out form of [`run_staged_with`]: where the staged runner
+/// pins production to one background thread, this one hands item indices to
+/// a pool of producers through a ticket window — a producer may claim index
+/// `i` only once `i < consumed + `[`PIPELINE_WINDOW`], so at most
+/// `PIPELINE_WINDOW` items are in flight (being built or buffered) beyond
+/// the consumer's cursor at any moment. The window is a fixed constant
+/// rather than a function of the worker count, so any memory accounting a
+/// caller derives from it is identical under every policy — the streaming
+/// pipeline's deterministic residency bound depends on exactly that.
+///
+/// `produce` must be a pure function of the index (it runs concurrently on
+/// several threads); `consume` runs only on the calling thread, so it may
+/// freely mutate carried state — cache topologies, fault streams,
+/// accumulators — exactly like the single-producer staged runner.
+///
+/// Sequential policies alternate the two closures inline, which is also the
+/// reference behaviour the determinism suites compare against. Metrics
+/// (scheduling-dependent, `sched.` prefix): `sched.stream.batches`,
+/// `sched.stream.items`, `sched.stream.producer_workers` (threads the
+/// parallel path actually spawned), `sched.stream.queue_high_water` and
+/// `sched.stream.backpressure_stalls` (ticket claims that blocked on the
+/// window).
+///
+/// # Panics
+///
+/// A panic in `produce` or `consume` tears the pipeline down cleanly (no
+/// deadlock on the window) and resurfaces on the calling thread.
+pub fn run_pipelined_with<T, P, C>(
+    policy: ExecPolicy,
+    obs: &Obs,
+    jobs: usize,
+    produce: P,
+    mut consume: C,
+) where
+    T: Send,
+    P: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    obs.counter_add("sched.stream.batches", 1);
+    obs.counter_add("sched.stream.items", jobs as u64);
+    if jobs == 0 {
+        return;
+    }
+    if policy.is_sequential() {
+        for i in 0..jobs {
+            let item = produce(i);
+            consume(i, item);
+        }
+        return;
+    }
+    let workers = policy.worker_threads().min(jobs).min(PIPELINE_WINDOW);
+    obs.gauge_max("sched.stream.producer_workers", workers as u64);
+    let channel = PipeChannel {
+        state: Mutex::new(PipeState {
+            next_ticket: 0,
+            next_consume: 0,
+            ready: std::collections::BTreeMap::new(),
+            producers_alive: workers,
+            aborted: false,
+            stalls: 0,
+            high_water: 0,
+        }),
+        ready: Condvar::new(),
+        advanced: Condvar::new(),
+    };
+    let consumer_outcome = thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _exit = ProducerExitGuard(&channel);
+                loop {
+                    // Claim the next ticket once it enters the window.
+                    let i = {
+                        let mut s = channel.state.lock().unwrap_or_else(PoisonError::into_inner);
+                        let mut waited = false;
+                        loop {
+                            if s.aborted || s.next_ticket >= jobs {
+                                return;
+                            }
+                            if s.next_ticket < s.next_consume + PIPELINE_WINDOW {
+                                break;
+                            }
+                            if !waited {
+                                s.stalls += 1;
+                                waited = true;
+                            }
+                            s = channel
+                                .advanced
+                                .wait(s)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                        s.next_ticket += 1;
+                        s.next_ticket - 1
+                    };
+                    // Build outside the lock so peers claim and the
+                    // consumer drains freely.
+                    let item = produce(i);
+                    let mut s = channel.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    if s.aborted {
+                        return;
+                    }
+                    s.ready.insert(i, item);
+                    s.high_water = s.high_water.max(s.ready.len() as u64);
+                    drop(s);
+                    channel.ready.notify_all();
+                }
+            });
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            let next = {
+                let mut s = channel.state.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if s.aborted {
+                        // A producer panicked; its ticket will never be
+                        // delivered. The payload resurfaces at scope join.
+                        return;
+                    }
+                    if s.next_consume >= jobs {
+                        return;
+                    }
+                    let turn = s.next_consume;
+                    if let Some(item) = s.ready.remove(&turn) {
+                        s.next_consume += 1;
+                        break (turn, item);
+                    }
+                    if s.producers_alive == 0 {
+                        // A producer died before building this item; the
+                        // panic resurfaces when the scope joins.
+                        return;
+                    }
+                    s = channel
+                        .ready
+                        .wait(s)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            channel.advanced.notify_all();
+            consume(next.0, next.1);
+        }));
+        if outcome.is_err() {
+            // Unblock producers stuck on the window so the scope can wind
+            // down instead of deadlocking.
+            let mut s = channel.state.lock().unwrap_or_else(PoisonError::into_inner);
+            s.aborted = true;
+            drop(s);
+            channel.advanced.notify_all();
+        }
+        outcome
+        // A producer panic propagates here when the scope joins it.
+    });
+    let s = channel
+        .state
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    obs.counter_add("sched.stream.backpressure_stalls", s.stalls);
+    obs.gauge_max("sched.stream.queue_high_water", s.high_water);
+    if let Err(payload) = consumer_outcome {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Stable merge of already-sorted runs: equivalent to stably sorting the
+/// concatenation of `runs` in order, assuming each run is itself a stable
+/// sort of its source segment. Ties always take the earliest run's element
+/// first, so run order carries the same tie-breaking weight concatenation
+/// order would.
+///
+/// This is the reduction step of the sharded streaming pipeline: per-range
+/// producers pre-sort their partitions, and the consumer merges them in
+/// job-range order to reproduce exactly the global stable sort.
+pub fn merge_sorted_runs<T, K, F>(runs: Vec<Vec<T>>, key: F) -> Vec<T>
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let mut merged: Option<Vec<T>> = None;
+    for run in runs {
+        if run.is_empty() {
+            continue;
+        }
+        merged = Some(match merged {
+            None => run,
+            Some(acc) => merge_stable(acc, run, &key),
+        });
+    }
+    merged.unwrap_or_default()
+}
+
 /// Stable two-run merge: ties take the left element first.
 fn merge_stable<T, K: Ord, F: Fn(&T) -> K>(a: Vec<T>, b: Vec<T>, key: &F) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -918,6 +1166,159 @@ mod tests {
                 .unwrap_or("");
             assert_eq!(msg, "consumer died");
         });
+    }
+
+    #[test]
+    fn pipelined_runner_consumes_in_index_order_under_every_worker_count() {
+        for workers in [1usize, 2, 4, 8, 16] {
+            let mut seen = Vec::new();
+            run_pipelined_with(
+                ExecPolicy::with_threads(workers),
+                &Obs::noop(),
+                300,
+                |i| i * 3,
+                |i, item| seen.push((i, item)),
+            );
+            assert_eq!(seen.len(), 300, "{workers} workers");
+            for (k, &(i, item)) in seen.iter().enumerate() {
+                assert_eq!(i, k);
+                assert_eq!(item, k * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_runner_zero_jobs_is_inert() {
+        run_pipelined_with(
+            ExecPolicy::with_threads(4),
+            &Obs::noop(),
+            0,
+            |i| i,
+            |_, _| panic!("no items to consume"),
+        );
+    }
+
+    #[test]
+    fn pipelined_runner_bounds_the_window_and_reports_metrics() {
+        let (obs, registry) = botmeter_obs::Obs::collecting();
+        run_pipelined_with(
+            ExecPolicy::with_threads(4),
+            &obs,
+            100,
+            |i| vec![i; 8],
+            |_, _| thread::sleep(std::time::Duration::from_micros(100)),
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sched.stream.batches"), Some(1));
+        assert_eq!(snap.counter("sched.stream.items"), Some(100));
+        assert_eq!(snap.counter("sched.stream.producer_workers"), Some(4));
+        let high = snap.counter("sched.stream.queue_high_water").unwrap_or(0);
+        assert!(
+            high <= PIPELINE_WINDOW as u64,
+            "window bound violated: {high}"
+        );
+        assert!(snap
+            .deterministic_counters()
+            .iter()
+            .all(|c| !c.name.starts_with("sched.")));
+    }
+
+    #[test]
+    fn pipelined_runner_producer_panic_resurfaces_without_deadlock() {
+        with_silent_panics(|| {
+            let consumed = AtomicUsize::new(0);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_pipelined_with(
+                    ExecPolicy::with_threads(3),
+                    &Obs::noop(),
+                    60,
+                    |i| {
+                        if i == 9 {
+                            panic!("producer died");
+                        }
+                        i
+                    },
+                    |_, _| {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+            }));
+            assert!(caught.is_err(), "producer panic must resurface");
+            // Only a prefix strictly before the dead item was consumed.
+            assert!(consumed.load(Ordering::Relaxed) <= 9);
+        });
+    }
+
+    #[test]
+    fn pipelined_runner_consumer_panic_resurfaces_without_deadlock() {
+        with_silent_panics(|| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_pipelined_with(
+                    ExecPolicy::with_threads(3),
+                    &Obs::noop(),
+                    500,
+                    |i| i,
+                    |i, _| {
+                        if i == 5 {
+                            panic!("consumer died");
+                        }
+                    },
+                );
+            }));
+            let payload = caught.expect_err("consumer panic must resurface");
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .copied()
+                .unwrap_or("");
+            assert_eq!(msg, "consumer died");
+        });
+    }
+
+    #[test]
+    fn pipelined_runner_consume_may_mutate_carried_state() {
+        // The consumer closure runs only on the calling thread, so carried
+        // state (like the streaming pipeline's topology and fault stream)
+        // needs no synchronisation.
+        let mut acc = 0usize;
+        run_pipelined_with(
+            ExecPolicy::with_threads(4),
+            &Obs::noop(),
+            64,
+            |i| i,
+            |_, item| acc += item,
+        );
+        assert_eq!(acc, (0..64).sum());
+    }
+
+    #[test]
+    fn merge_sorted_runs_equals_stable_sort_of_concatenation() {
+        // Duplicate keys across runs so tie-breaking (earliest run first)
+        // is observable through the payload.
+        let runs: Vec<Vec<(u32, usize)>> = (0..5)
+            .map(|r| {
+                let mut run: Vec<(u32, usize)> = (0..200)
+                    .map(|i| {
+                        (
+                            ((r * 200 + i) as u32).wrapping_mul(2654435761) % 11,
+                            r * 200 + i,
+                        )
+                    })
+                    .collect();
+                run.sort_by_key(|&(k, _)| k);
+                run
+            })
+            .collect();
+        let mut reference: Vec<(u32, usize)> = runs.clone().into_iter().flatten().collect();
+        // Re-sorting the concatenation of stable-sorted runs stably equals
+        // stable-sorting the original concatenation.
+        reference.sort_by_key(|&(k, _)| k);
+        let merged = merge_sorted_runs(runs, |&(k, _)| k);
+        assert_eq!(merged, reference);
+        assert!(merge_sorted_runs(Vec::<Vec<u32>>::new(), |&x| x).is_empty());
+        assert_eq!(
+            merge_sorted_runs(vec![vec![], vec![1u32, 3], vec![], vec![2]], |&x| x),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

@@ -58,16 +58,37 @@ use botmeter_dns::DomainName;
 pub trait DomainMatcher {
     /// Whether `domain` is attributed to the targeted DGA.
     fn matches(&self, domain: &DomainName) -> bool;
+
+    /// Probes a batch of domains at once, writing one verdict per domain
+    /// into `hits` (cleared first, then filled to `domains.len()`).
+    ///
+    /// Semantically identical to calling [`matches`](Self::matches) once
+    /// per domain — the `batch_properties` suite pins that equivalence —
+    /// but implementations may amortize per-probe overhead across the
+    /// batch, and the stream scanner probes through this entry point in
+    /// blocks so such implementations get dense, cache-friendly input.
+    fn matches_batch(&self, domains: &[&DomainName], hits: &mut Vec<bool>) {
+        hits.clear();
+        hits.extend(domains.iter().map(|d| self.matches(d)));
+    }
 }
 
 impl<M: DomainMatcher + ?Sized> DomainMatcher for &M {
     fn matches(&self, domain: &DomainName) -> bool {
         (**self).matches(domain)
     }
+
+    fn matches_batch(&self, domains: &[&DomainName], hits: &mut Vec<bool>) {
+        (**self).matches_batch(domains, hits)
+    }
 }
 
 impl<M: DomainMatcher + ?Sized> DomainMatcher for Box<M> {
     fn matches(&self, domain: &DomainName) -> bool {
         (**self).matches(domain)
+    }
+
+    fn matches_batch(&self, domains: &[&DomainName], hits: &mut Vec<bool>) {
+        (**self).matches_batch(domains, hits)
     }
 }

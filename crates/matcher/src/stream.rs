@@ -2,7 +2,7 @@
 //! matched sub-streams the estimators consume (Fig. 2, steps 3–4).
 
 use crate::DomainMatcher;
-use botmeter_dns::{ObservedLookup, ServerId};
+use botmeter_dns::{DomainName, ObservedLookup, ServerId};
 use botmeter_exec::ExecPolicy;
 use botmeter_obs::Obs;
 use serde::{Deserialize, Serialize};
@@ -11,6 +11,13 @@ use std::collections::BTreeMap;
 /// Below this stream length the parallel matcher falls back to the
 /// sequential scan: thread start-up costs more than the matching itself.
 const MIN_PARALLEL_MATCH: usize = 2048;
+
+/// How many lookups the scan probes per [`DomainMatcher::matches_batch`]
+/// call: the domain refs and verdicts of one block stay resident in two
+/// small reused buffers, so batch-aware matchers see dense input without
+/// the scan ever cloning a non-matching lookup. Purely a blocking factor —
+/// results and deterministic counters are identical for any value.
+const PROBE_BLOCK: usize = 64;
 
 /// The result of matching an observed stream against a DGA matcher:
 /// matched lookups grouped per forwarding server, each group kept in
@@ -232,10 +239,18 @@ pub fn match_stream_recorded<M: DomainMatcher + Sync>(
 }
 
 /// Emits the batched `matcher.*` counters for one finished scan.
+///
+/// The `matcher.batch.*` pair accounts the probes that flowed through the
+/// vectorized [`DomainMatcher::matches_batch`] entry point — every scanned
+/// lookup does, since [`scan`] probes in [`PROBE_BLOCK`]-sized blocks. Both
+/// are pure functions of the stream content (never of the blocking factor
+/// or policy), keeping them inside the deterministic-counter contract.
 fn record_metrics(obs: &Obs, matched: &MatchedTraffic) {
     if obs.enabled() {
         obs.counter_add("matcher.probes", matched.total_scanned() as u64);
         obs.counter_add("matcher.matches", matched.total_matched() as u64);
+        obs.counter_add("matcher.batch.probes", matched.total_scanned() as u64);
+        obs.counter_add("matcher.batch.matches", matched.total_matched() as u64);
         let quality = matched.quality();
         if quality.out_of_order > 0 {
             obs.counter_add("matcher.out_of_order", quality.out_of_order as u64);
@@ -246,12 +261,22 @@ fn record_metrics(obs: &Obs, matched: &MatchedTraffic) {
     }
 }
 
-/// The sequential scan both policies bottom out in.
+/// The sequential scan both policies bottom out in: probes the stream in
+/// [`PROBE_BLOCK`]-sized blocks through [`DomainMatcher::matches_batch`]
+/// (two small buffers reused across blocks) and clones only the hits.
 fn scan<M: DomainMatcher>(observed: &[ObservedLookup], matcher: &M) -> MatchedTraffic {
     let mut matched = MatchedTraffic::default();
-    for lookup in observed {
-        if matcher.matches(&lookup.domain) {
-            matched.push(lookup.clone());
+    let mut refs: Vec<&DomainName> = Vec::with_capacity(PROBE_BLOCK.min(observed.len()));
+    let mut hits: Vec<bool> = Vec::with_capacity(PROBE_BLOCK.min(observed.len()));
+    for block in observed.chunks(PROBE_BLOCK) {
+        refs.clear();
+        refs.extend(block.iter().map(|l| &l.domain));
+        matcher.matches_batch(&refs, &mut hits);
+        debug_assert_eq!(hits.len(), block.len(), "matches_batch verdict count");
+        for (lookup, &hit) in block.iter().zip(&hits) {
+            if hit {
+                matched.push(lookup.clone());
+            }
         }
     }
     matched.scanned = observed.len();
@@ -338,6 +363,18 @@ impl<'a, M: DomainMatcher + Sync> StreamMatcher<'a, M> {
     /// [`ingest`](Self::ingest)).
     pub fn matched_so_far(&self) -> &MatchedTraffic {
         &self.acc
+    }
+
+    /// Probes a batch of domains against the underlying matcher, one
+    /// verdict per domain (`hits` is cleared and refilled) — the raw
+    /// vectorized membership test, with none of the stream bookkeeping.
+    ///
+    /// Callers that already hold their candidates densely (a decoder ring
+    /// of interned names, a dedup front-end) can pre-filter through this
+    /// before paying [`ingest`](Self::ingest)'s per-lookup grouping.
+    /// Verdicts are identical to [`DomainMatcher::matches`] probe by probe.
+    pub fn probe_batch(&self, domains: &[&DomainName], hits: &mut Vec<bool>) {
+        self.matcher.matches_batch(domains, hits);
     }
 
     /// Emits the batched `matcher.*` metrics and returns the result —

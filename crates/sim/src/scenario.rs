@@ -13,20 +13,33 @@ use botmeter_obs::Obs;
 use botmeter_stats::SeedSequence;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 /// How many fixed-width time shards the streaming pipeline cuts each epoch
 /// into by default.
 const DEFAULT_SHARDS_PER_EPOCH: u64 = 16;
 
-/// How many finished shards the streaming pipeline's bounded hand-off
-/// buffer may hold between the generate and filter stages.
-const STAGE_CAPACITY: usize = 2;
+/// How many shards the streaming pipeline's deterministic residency
+/// accounting charges as simultaneously in flight: the producer-ticket
+/// window of [`botmeter_exec::run_pipelined_with`] (claimed or buffered
+/// beyond the consumer's cursor) plus the shard being consumed. A fixed
+/// constant — not a function of the worker count — so the reported
+/// high-water mark is bit-identical under every [`ExecPolicy`].
+const STREAM_ACCOUNT_WINDOW: usize = botmeter_exec::PIPELINE_WINDOW + 1;
 
 /// Optional per-shard observer the streaming pipeline feeds each released
 /// chunk of observed lookups.
 type ShardSink<'a> = Option<&'a mut dyn FnMut(&[ObservedLookup])>;
+
+/// One producer worker's output for a shard: the records that fall inside
+/// the shard's own time slice plus the runs that overshoot into later
+/// shards, every run stable-sorted by the global key `(t, client)`.
+struct ShardBatch {
+    own: Vec<RawLookup>,
+    overflow: Vec<(usize, Vec<RawLookup>)>,
+    generated: u64,
+}
 
 /// How a scenario run materialises its intermediate raw trace.
 ///
@@ -361,11 +374,13 @@ impl ScenarioSpec {
     /// soon as their shard has been filtered; the count survives as
     /// [`ScenarioOutcome::raw_lookups`]).
     ///
-    /// Under a parallel policy the shard producer (replay + sort) runs on
-    /// a background thread while the calling thread filters and faults the
-    /// previous shard, with at most [`STAGE_CAPACITY`] finished shards
-    /// buffered between them. Memory stays bounded by a few shards of raw
-    /// records; the deterministic high-water mark is reported as
+    /// Under a parallel policy shard production (replay + sort) fans out
+    /// across the worker pool — each shard built end-to-end by one worker
+    /// inside the bounded ticket window of
+    /// [`botmeter_exec::run_pipelined_with`] — while the calling thread
+    /// filters and faults finished shards strictly in shard order. Memory
+    /// stays bounded by a few shards of raw records; the deterministic
+    /// high-water mark is reported as
     /// [`ScenarioOutcome::peak_resident_records`] and through the obs
     /// counters `sim.stream.shards` / `sim.stream.peak_resident_records`
     /// (backpressure stalls appear under `sched.stream.*`, which is
@@ -399,21 +414,29 @@ impl ScenarioSpec {
     /// `[k·w, (k+1)·w)`; the last shard is a catch-all `[k·w, ∞)` so the
     /// horizon estimate only sizes the shard count, never correctness.
     ///
-    /// Equivalence with the materializing path rests on three invariants:
+    /// Shard *production* (per-bot replay + sort) fans out across the
+    /// worker pool — each shard is owned end-to-end by one producer worker
+    /// of [`botmeter_exec::run_pipelined_with`] — while the reduction
+    /// (cache filtering, faulting) runs on the calling thread strictly in
+    /// shard order. Equivalence with the materializing path rests on three
+    /// invariants:
     ///
-    /// 1. **Jobs per shard are a contiguous range.** The flattened job
-    ///    list is nondecreasing in activation time and a bot's lookups
-    ///    never precede its activation, so generating shard `k` means
-    ///    advancing one cursor; records that overshoot the shard edge are
-    ///    carried (in job order) into the next shard. Splicing carry
-    ///    before freshly generated records reproduces the global
-    ///    concatenation order, and because shard membership is a function
-    ///    of the primary sort key `t`, per-shard stable sorts concatenate
-    ///    into exactly the global stable sort.
+    /// 1. **Deterministic shard ownership and reduction order.** The
+    ///    flattened job list is nondecreasing in activation time, so each
+    ///    shard owns a precomputed contiguous job range. A producer replays
+    ///    its range in job order and partitions the records by destination
+    ///    shard (a record may land past its range's own time slice); each
+    ///    partition is stably pre-sorted by the global key `(t, client)`.
+    ///    The consumer stable-merges, per shard, the overflow runs carried
+    ///    from earlier ranges (in range order) with the shard's own run —
+    ///    and a stable merge of stable-sorted segments in concatenation
+    ///    order *is* the global stable sort restricted to the shard, so the
+    ///    per-shard traces concatenate into exactly the materializing
+    ///    path's globally sorted trace.
     /// 2. **Cache state chains.** One `Topology` filters every shard in
-    ///    order; its per-server cache state carries across shard
-    ///    boundaries, and per-call counter deltas telescope to the batch
-    ///    totals.
+    ///    order on the consumer side; its per-server cache state carries
+    ///    across shard boundaries, and per-call counter deltas telescope to
+    ///    the batch totals.
     /// 3. **Fault state chains.** A [`FaultStream`] threads each stage's
     ///    rng and working state across shards (see `botmeter-faults`), so
     ///    chunked faulting is bit-identical to whole-trace faulting.
@@ -444,94 +467,108 @@ impl ScenarioSpec {
         let horizon = last_activation + self.family.params().max_activation_duration();
         let num_shards = (horizon.as_millis() / shard_ms + 1) as usize;
 
-        // Producer state: the job cursor, the records that overshot the
-        // current shard edge (in job order), and the deterministic
-        // resident-memory accounting.
-        let mut job_cursor = 0usize;
-        let mut carry: Vec<RawLookup> = Vec::new();
-        let mut raw_total = 0u64;
-        let mut peak_resident = 0u64;
-        // Shard sizes still in flight downstream: up to STAGE_CAPACITY
-        // buffered plus one being consumed.
-        let mut in_flight: VecDeque<usize> = VecDeque::new();
-
-        // Consumer state: the carried cache topology, the incremental
-        // fault application and the accumulated observed trace.
-        let mut topology = Topology::single_local(self.ttl);
-        topology.set_obs(self.obs.clone());
-        let mut fault_stream = self.faults.as_ref().map(FaultPlan::stream);
-        let mut observed: Vec<ObservedLookup> = Vec::new();
-        let mut filtered_any = false;
-
-        botmeter_exec::run_staged_with(
-            policy,
-            &self.obs,
-            num_shards,
-            STAGE_CAPACITY,
-            |k| {
-                let last = k + 1 == num_shards;
-                let shard_end = SimInstant::ZERO + shard_len * (k as u64 + 1);
-                // Generate every not-yet-replayed job activated before the
-                // shard edge — a contiguous job range.
-                let gen_start = job_cursor;
-                if last {
-                    job_cursor = jobs.len();
+        // Every shard's contiguous job range, precomputed so producers can
+        // claim shards in any order: activation times are globally
+        // nondecreasing along the job list, so one forward cursor assigns
+        // each job to the shard containing its activation.
+        let mut shard_ranges: Vec<(usize, usize)> = Vec::with_capacity(num_shards);
+        {
+            let mut cursor = 0usize;
+            for k in 0..num_shards {
+                let start = cursor;
+                if k + 1 == num_shards {
+                    cursor = jobs.len();
                 } else {
-                    while job_cursor < jobs.len() {
-                        let (p, b) = jobs[job_cursor];
+                    let shard_end = SimInstant::ZERO + shard_len * (k as u64 + 1);
+                    while cursor < jobs.len() {
+                        let (p, b) = jobs[cursor];
                         if plans[p].bots[b].0 < shard_end {
-                            job_cursor += 1;
+                            cursor += 1;
                         } else {
                             break;
                         }
                     }
                 }
-                let gen_jobs = job_cursor - gen_start;
-                let mut generated: Vec<RawLookup> = if policy.is_sequential() || gen_jobs < 2 {
-                    let mut out = Vec::new();
-                    for &job in &jobs[gen_start..job_cursor] {
-                        out.extend(self.replay_job(&plans, job, theta_q));
-                    }
-                    out
-                } else {
-                    let replays =
-                        botmeter_exec::run_indexed_with(policy, &self.obs, gen_jobs, |i| {
-                            self.replay_job(&plans, jobs[gen_start + i], theta_q)
-                        });
-                    let mut out = Vec::with_capacity(replays.iter().map(Vec::len).sum());
-                    for lookups in replays {
-                        out.extend(lookups);
-                    }
-                    out
-                };
-                raw_total += generated.len() as u64;
-                // Stable partition of carry-then-generated around the shard
-                // edge: `in_shard` keeps global concatenation order.
-                let mut in_shard = Vec::with_capacity(carry.len() + generated.len());
-                let mut next_carry = Vec::new();
-                for lookup in carry.drain(..).chain(generated.drain(..)) {
-                    if last || lookup.t < shard_end {
-                        in_shard.push(lookup);
+                shard_ranges.push((start, cursor));
+            }
+        }
+
+        // Producer side: pure per shard. Replay the owned job range in job
+        // order, split the records by destination shard (membership is a
+        // function of the primary sort key `t`, so a record's shard never
+        // depends on which worker produced it) and stable-sort every
+        // partition by the global key.
+        let sort_key = |l: &RawLookup| (l.t, l.client);
+        let produce = |k: usize| -> ShardBatch {
+            let (start, end) = shard_ranges[k];
+            let last = k + 1 == num_shards;
+            let mut own: Vec<RawLookup> = Vec::new();
+            let mut overflow: BTreeMap<usize, Vec<RawLookup>> = BTreeMap::new();
+            let mut generated = 0u64;
+            for &job in &jobs[start..end] {
+                for lookup in self.replay_job(&plans, job, theta_q) {
+                    generated += 1;
+                    let dest = if last {
+                        k
                     } else {
-                        next_carry.push(lookup);
+                        ((lookup.t.as_millis() / shard_ms) as usize).clamp(k, num_shards - 1)
+                    };
+                    if dest == k {
+                        own.push(lookup);
+                    } else {
+                        overflow.entry(dest).or_default().push(lookup);
                     }
                 }
-                carry = next_carry;
-                // Deterministic resident high-water mark: everything this
-                // stage holds plus every shard still in flight downstream.
-                let downstream: usize = in_flight.iter().sum();
-                peak_resident =
-                    peak_resident.max((in_shard.len() + carry.len() + downstream) as u64);
-                in_flight.push_back(in_shard.len());
-                while in_flight.len() > STAGE_CAPACITY + 1 {
-                    in_flight.pop_front();
+            }
+            own.sort_by_key(sort_key);
+            let overflow: Vec<(usize, Vec<RawLookup>)> = overflow
+                .into_iter()
+                .map(|(dest, mut run)| {
+                    run.sort_by_key(sort_key);
+                    (dest, run)
+                })
+                .collect();
+            ShardBatch {
+                own,
+                overflow,
+                generated,
+            }
+        };
+
+        // Consumer state: the carried cache topology, the incremental
+        // fault application, the accumulated observed trace, and the
+        // overflow runs awaiting their destination shard (keyed by shard,
+        // each holding runs in ascending range order because shards are
+        // consumed in order).
+        let mut topology = Topology::single_local(self.ttl);
+        topology.set_obs(self.obs.clone());
+        let mut fault_stream = self.faults.as_ref().map(FaultPlan::stream);
+        let mut observed: Vec<ObservedLookup> = Vec::new();
+        let mut filtered_any = false;
+        let mut pending: BTreeMap<usize, Vec<Vec<RawLookup>>> = BTreeMap::new();
+        let mut raw_total = 0u64;
+        // Deterministic residency accounting inputs: per-shard generated
+        // counts, and a difference array charging each overflow run to the
+        // consumption steps it spends parked in `pending`.
+        let mut gen_sizes: Vec<u64> = vec![0; num_shards];
+        let mut carry_diff: Vec<i64> = vec![0; num_shards + 1];
+
+        botmeter_exec::run_pipelined_with(
+            policy,
+            &self.obs,
+            num_shards,
+            produce,
+            |k, batch: ShardBatch| {
+                raw_total += batch.generated;
+                gen_sizes[k] = batch.generated;
+                let mut runs = pending.remove(&k).unwrap_or_default();
+                for (dest, run) in batch.overflow {
+                    carry_diff[k + 1] += run.len() as i64;
+                    carry_diff[dest] -= run.len() as i64;
+                    pending.entry(dest).or_default().push(run);
                 }
-                botmeter_exec::par_sort_by_key_with(policy, &self.obs, &mut in_shard, |l| {
-                    (l.t, l.client)
-                });
-                in_shard
-            },
-            |_k, in_shard| {
+                runs.push(batch.own);
+                let in_shard = botmeter_exec::merge_sorted_runs(runs, sort_key);
                 if in_shard.is_empty() {
                     return;
                 }
@@ -557,6 +594,27 @@ impl ScenarioSpec {
                 }
             },
         );
+
+        // Deterministic resident high-water mark: while shard `s` is being
+        // consumed, up to STREAM_ACCOUNT_WINDOW shards (the producer ticket
+        // window plus the one in hand) may be materialised, plus every
+        // overflow run parked for a later shard. Charged from the
+        // deterministic per-shard sizes, so the figure is identical under
+        // every policy and worker count.
+        let mut peak_resident = 0u64;
+        {
+            let window = STREAM_ACCOUNT_WINDOW.min(num_shards);
+            let mut window_sum: u64 = gen_sizes[..window].iter().sum();
+            let mut parked: i64 = 0;
+            for s in 0..num_shards {
+                parked += carry_diff[s];
+                peak_resident = peak_resident.max(window_sum + parked.max(0) as u64);
+                window_sum -= gen_sizes[s];
+                if s + window < num_shards {
+                    window_sum += gen_sizes[s + window];
+                }
+            }
+        }
         if !filtered_any {
             // Mirror the materializing path's single (empty) filter call so
             // the topology counters agree even for an empty trace.

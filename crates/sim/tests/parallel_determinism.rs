@@ -228,13 +228,25 @@ fn composed_fault_plan_is_bit_identical_across_policies() {
 /// trace, ground truth, fault report and every deterministic counter,
 /// including the formula-derived `sim.stream.*` residency metrics.
 fn assert_streaming_runs_match(build: impl Fn() -> ScenarioSpecBuilder, what: &str) {
+    assert_streaming_runs_match_under(build, ExecPolicy::parallel(), what);
+}
+
+/// [`assert_streaming_runs_match`] pinned to an explicit worker count, so
+/// the sharded-producer hand-off is exercised at every pool size the
+/// pipelined runner distinguishes (1 worker, a partial window, a full
+/// ticket window).
+fn assert_streaming_runs_match_under(
+    build: impl Fn() -> ScenarioSpecBuilder,
+    policy: ExecPolicy,
+    what: &str,
+) {
     let (obs_par, reg_par) = Obs::collecting();
     let (obs_seq, reg_seq) = Obs::collecting();
     let parallel = build()
         .obs(obs_par)
         .build()
         .expect("valid spec")
-        .run_streaming(ExecPolicy::parallel());
+        .run_streaming(policy);
     let sequential = build()
         .obs(obs_seq)
         .build()
@@ -307,6 +319,93 @@ fn faulted_streaming_run_is_bit_identical_across_policies() {
             .pipeline(PipelineMode::Streaming { shard: None })
     };
     assert_streaming_runs_match(build, "composed fault plan (streaming)");
+}
+
+/// Pool sizes the sharded producer treats differently: a single worker
+/// (strict produce/consume alternation), a partial ticket window, and a
+/// pool matching the full `PIPELINE_WINDOW`.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn faulted_streaming_runs_are_bit_identical_per_worker_count() {
+    force_parallel();
+    // Every stateful fault model, at every distinguished pool size: the
+    // parallel shard producers must hand each shard to the consumer-side
+    // FaultStream in exactly the order the sequential run feeds it.
+    for workers in WORKER_COUNTS {
+        for (name, model) in every_fault_model() {
+            let model_for_build = model.clone();
+            let build = move || {
+                ScenarioSpec::builder(DgaFamily::new_goz())
+                    .population(48)
+                    .num_epochs(2)
+                    .seed(17)
+                    .faults(FaultPlan::new(23).with(model_for_build.clone()))
+                    .pipeline(PipelineMode::Streaming { shard: None })
+            };
+            assert_streaming_runs_match_under(
+                &build,
+                ExecPolicy::with_threads(workers),
+                &format!("fault model {name} / {workers} workers (streaming)"),
+            );
+        }
+    }
+}
+
+#[test]
+fn composed_fault_plan_streaming_is_bit_identical_per_worker_count() {
+    force_parallel();
+    for workers in WORKER_COUNTS {
+        let build = || {
+            let mut plan = FaultPlan::new(99);
+            for (_, model) in every_fault_model() {
+                plan = plan.with(model);
+            }
+            ScenarioSpec::builder(DgaFamily::murofet())
+                .population(48)
+                .num_epochs(2)
+                .seed(29)
+                .faults(plan)
+                .pipeline(PipelineMode::Streaming { shard: None })
+        };
+        assert_streaming_runs_match_under(
+            build,
+            ExecPolicy::with_threads(workers),
+            &format!("composed fault plan / {workers} workers (streaming)"),
+        );
+    }
+}
+
+#[test]
+fn streaming_shard_widths_are_bit_identical_per_worker_count() {
+    force_parallel();
+    // Shard geometry times worker count: a tiny width (every record
+    // overflows forward past many empty shards), the default-ish minute
+    // width, and one shard swallowing whole epochs.
+    let widths = [
+        SimDuration::from_millis(1),
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(24 * 3600),
+    ];
+    for workers in WORKER_COUNTS {
+        for width in widths {
+            let build = move || {
+                ScenarioSpec::builder(DgaFamily::new_goz())
+                    .population(32)
+                    .seed(5)
+                    .faults(FaultPlan::new(7).with(FaultModel::Reorder {
+                        rate: 0.3,
+                        max_displacement: 5,
+                    }))
+                    .pipeline(PipelineMode::Streaming { shard: Some(width) })
+            };
+            assert_streaming_runs_match_under(
+                build,
+                ExecPolicy::with_threads(workers),
+                &format!("shard width {width:?} / {workers} workers (streaming)"),
+            );
+        }
+    }
 }
 
 #[test]

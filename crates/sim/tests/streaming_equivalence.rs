@@ -93,6 +93,26 @@ fn both_policies(build: impl Fn() -> ScenarioSpecBuilder, what: &str) {
     );
 }
 
+/// Explicit producer-pool sizes for the sharded streaming path: one
+/// worker, a partial ticket window, and the full `PIPELINE_WINDOW`.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// [`both_policies`] widened over every distinguished worker count.
+fn every_worker_count(build: impl Fn() -> ScenarioSpecBuilder, what: &str) {
+    assert_streaming_matches(
+        &build,
+        ExecPolicy::Sequential,
+        &format!("{what} / sequential"),
+    );
+    for workers in WORKER_COUNTS {
+        assert_streaming_matches(
+            &build,
+            ExecPolicy::with_threads(workers),
+            &format!("{what} / {workers} workers"),
+        );
+    }
+}
+
 /// Every fault model with parameters aggressive enough to fire on a small
 /// trace (mirrors `parallel_determinism`).
 fn every_fault_model() -> Vec<(&'static str, FaultModel)> {
@@ -200,6 +220,9 @@ fn streaming_matches_materialize_under_evasion_and_dynamic_rate() {
 #[test]
 fn streaming_matches_materialize_for_every_fault_model() {
     force_parallel();
+    // Every fault model at every distinguished producer-pool size: the
+    // parallel shard producers must feed the consumer-side FaultStream in
+    // exactly the reference order.
     for (name, model) in every_fault_model() {
         let model_for_build = model.clone();
         let build = move || {
@@ -210,7 +233,7 @@ fn streaming_matches_materialize_for_every_fault_model() {
                 .faults(FaultPlan::new(23).with(model_for_build.clone()))
                 .pipeline(PipelineMode::Streaming { shard: None })
         };
-        both_policies(&build, &format!("fault model {name}"));
+        every_worker_count(&build, &format!("fault model {name}"));
     }
 }
 
@@ -229,15 +252,15 @@ fn streaming_matches_materialize_for_composed_fault_plan() {
             .faults(plan)
             .pipeline(PipelineMode::Streaming { shard: None })
     };
-    both_policies(build, "composed fault plan");
+    every_worker_count(build, "composed fault plan");
 }
 
 #[test]
 fn streaming_matches_materialize_for_explicit_shard_widths() {
     force_parallel();
     // Degenerate (tiny) and coarse (multi-epoch) shard widths must both
-    // reproduce the reference trace: shard geometry is a pure performance
-    // knob, never a correctness one.
+    // reproduce the reference trace under every producer-pool size: shard
+    // geometry is a pure performance knob, never a correctness one.
     let widths = [
         SimDuration::from_millis(1),
         SimDuration::from_secs(60),
@@ -255,7 +278,7 @@ fn streaming_matches_materialize_for_explicit_shard_widths() {
                 }))
                 .pipeline(PipelineMode::Streaming { shard: Some(width) })
         };
-        both_policies(build, &format!("shard width {width:?}"));
+        every_worker_count(build, &format!("shard width {width:?}"));
     }
 }
 

@@ -30,6 +30,24 @@ if [[ -n "$offenders" ]]; then
   exit 1
 fi
 
+echo "==> thread::spawn grep gate (parallelism stays behind botmeter-exec)"
+# Every thread the workspace starts must come from the botmeter-exec pool,
+# so worker counts, panic propagation and sched.* accounting stay in one
+# place. `crates/stats/src/stirling.rs` predates the pool and only spawns
+# inside #[cfg(test)] code.
+spawn_offenders=$(grep -rln 'thread::spawn' \
+  --include='*.rs' src crates tests examples \
+  | grep -vxF \
+      -e crates/exec/src/lib.rs \
+      -e crates/stats/src/stirling.rs \
+  || true)
+if [[ -n "$spawn_offenders" ]]; then
+  echo "error: direct thread::spawn outside botmeter-exec:" >&2
+  echo "$spawn_offenders" >&2
+  echo "route parallel work through the botmeter-exec worker pool." >&2
+  exit 1
+fi
+
 echo "==> unwrap() grep gate (library code of core, dns, dga, matcher)"
 # User-reachable library paths must surface typed errors, not panic.
 # `unwrap()` stays legal in `#[cfg(test)]` modules (the awk below stops
@@ -63,11 +81,13 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> perf smoke (throughput + charting + streaming residency gate)"
+echo "==> perf smoke (throughput + charting + residency + scaling gate)"
 # Fails if raw simulation throughput or estimator-charting throughput
 # (chart_lookups_per_sec) drops more than 25% below the committed
-# BENCH_pipeline.json baseline, or if the streaming pipeline loses its
-# bounded-memory property. Best-of-N to absorb scheduler noise.
+# BENCH_pipeline.json baseline, if the streaming pipeline loses its
+# bounded-memory property, or if the streaming N-thread/1-thread scaling
+# ratio falls below the core-count-aware floor derived from the committed
+# scaling block. Best-of-N to absorb scheduler noise.
 ./target/release/perf_smoke
 
 echo "All checks passed."
