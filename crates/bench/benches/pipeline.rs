@@ -11,7 +11,7 @@
 //! plain variants exercise). The determinism tests guarantee every variant
 //! computes the same landscape.
 
-use botmeter_core::{BotMeter, BotMeterConfig};
+use botmeter_core::{BotMeter, BotMeterConfig, ChartRequest};
 use botmeter_dga::DgaFamily;
 use botmeter_exec::ExecPolicy;
 use botmeter_obs::Obs;
@@ -34,7 +34,11 @@ fn spec() -> ScenarioSpec {
 
 fn chart(outcome: &ScenarioOutcome, policy: ExecPolicy, obs: Obs) -> f64 {
     let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
-    let landscape = meter.chart(outcome.observed(), 0..EPOCHS, policy);
+    let landscape = meter.chart_with(
+        &ChartRequest::new(outcome.observed())
+            .epochs(0..EPOCHS)
+            .policy(policy),
+    );
     landscape.total_for_epoch(0)
 }
 

@@ -10,7 +10,7 @@
 //! coverage|sampling|windowoccupancy|hybrid] [--epochs E]
 //! [--neg-ttl-mins M] [--granularity-ms G]`.
 
-use botmeter_core::{BotMeter, BotMeterConfig, ModelKind};
+use botmeter_core::{BotMeter, BotMeterConfig, ChartRequest, ModelKind};
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{trace, ObservedLookup, SimDuration, TtlPolicy};
 use botmeter_exec::ExecPolicy;
@@ -70,7 +70,11 @@ fn main() {
         .ttl(TtlPolicy::paper_default().with_negative(SimDuration::from_mins(neg_ttl_mins)))
         .granularity(SimDuration::from_millis(granularity_ms));
     let meter = BotMeter::new(config);
-    let landscape = meter.chart(&observed, 0..epochs, ExecPolicy::default());
+    let landscape = meter.chart_with(
+        &ChartRequest::new(&observed)
+            .epochs(0..epochs)
+            .policy(ExecPolicy::default()),
+    );
     print!("{landscape}");
     if epochs > 1 {
         println!("\nlandscape heatmap (rows: servers worst-first, columns: epochs):");

@@ -13,7 +13,7 @@
 //! Usage: `perf [--population N] [--epochs E] [--seed S] [--out PATH]
 //! [--metrics-out PATH]`.
 
-use botmeter_core::{BotMeter, BotMeterConfig, Landscape};
+use botmeter_core::{BotMeter, BotMeterConfig, ChartRequest, Landscape};
 use botmeter_dga::DgaFamily;
 use botmeter_exec::ExecPolicy;
 use botmeter_obs::{MetricsSnapshot, Obs};
@@ -145,7 +145,11 @@ impl Bench {
 
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
         let started = Instant::now();
-        let landscape = meter.chart(outcome.observed(), 0..self.epochs, policy);
+        let landscape = meter.chart_with(
+            &ChartRequest::new(outcome.observed())
+                .epochs(0..self.epochs)
+                .policy(policy),
+        );
         let chart_secs = started.elapsed().as_secs_f64();
         (outcome, landscape, simulate_secs, chart_secs)
     }

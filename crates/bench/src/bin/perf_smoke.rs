@@ -10,7 +10,7 @@
 //! Usage: `perf_smoke [--baseline PATH] [--population N] [--epochs E]
 //! [--seed S] [--min-ratio R] [--runs K]`.
 
-use botmeter_core::{BotMeter, BotMeterConfig};
+use botmeter_core::{BotMeter, BotMeterConfig, ChartRequest};
 use botmeter_dga::DgaFamily;
 use botmeter_exec::ExecPolicy;
 use botmeter_sim::{PipelineMode, ScenarioSpec};
@@ -123,7 +123,11 @@ fn main() {
         // gate, in observed (cache-filtered) lookups charted per second.
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
         let started = Instant::now();
-        let landscape = meter.chart(outcome.observed(), 0..epochs, ExecPolicy::parallel());
+        let landscape = meter.chart_with(
+            &ChartRequest::new(outcome.observed())
+                .epochs(0..epochs)
+                .policy(ExecPolicy::parallel()),
+        );
         let chart_secs = started.elapsed().as_secs_f64();
         let chart_rate = outcome.observed().len() as f64 / chart_secs.max(1e-9);
         eprintln!(
@@ -149,7 +153,11 @@ fn main() {
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
         for sample in 0..2 {
             let started = Instant::now();
-            let _ = meter.chart(outcome.observed(), 0..epochs, ExecPolicy::parallel());
+            let _ = meter.chart_with(
+                &ChartRequest::new(outcome.observed())
+                    .epochs(0..epochs)
+                    .policy(ExecPolicy::parallel()),
+            );
             let chart_secs = started.elapsed().as_secs_f64();
             let chart_rate = outcome.observed().len() as f64 / chart_secs.max(1e-9);
             eprintln!(

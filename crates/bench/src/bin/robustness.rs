@@ -8,7 +8,7 @@
 //!
 //! Usage: `robustness [--population N] [--seed S] [--out PATH]`.
 
-use botmeter_core::{absolute_relative_error, BotMeter, BotMeterConfig, CellQuality};
+use botmeter_core::{absolute_relative_error, BotMeter, BotMeterConfig, CellQuality, ChartRequest};
 use botmeter_dga::DgaFamily;
 use botmeter_dns::SimInstant;
 use botmeter_exec::ExecPolicy;
@@ -73,15 +73,12 @@ impl Sweep {
             // the config would rightly reject.
             .max(1e-9);
 
-        let naive = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).chart(
-            outcome.observed(),
-            0..1,
-            ExecPolicy::parallel(),
-        );
+        let naive = BotMeter::new(BotMeterConfig::new(outcome.family().clone()))
+            .chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::parallel()));
         let corrected = BotMeter::new(
             BotMeterConfig::new(outcome.family().clone()).delivery_rate(rate.min(1.0)),
         )
-        .chart(outcome.observed(), 0..1, ExecPolicy::parallel());
+        .chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::parallel()));
 
         Point {
             intensity,

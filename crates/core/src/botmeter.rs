@@ -11,6 +11,7 @@ use crate::coverage::CoverageEstimator;
 use crate::estimator::{CellSlice, Estimator};
 use crate::kernel::{RhoQuantization, SegmentKernelCache};
 use crate::poisson::PoissonEstimator;
+use crate::request::ChartRequest;
 use crate::timing::TimingEstimator;
 use botmeter_dga::{BarrelClass, DgaFamily};
 use botmeter_dns::{ObservedLookup, ServerId, SimDuration, TtlPolicy};
@@ -23,7 +24,7 @@ use std::fmt;
 use std::ops::Range;
 
 /// Invalid analyst-supplied parameters, reported by
-/// [`BotMeter::try_chart`] instead of panicking.
+/// [`BotMeter::try_chart_with`] instead of panicking.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Error {
@@ -179,10 +180,11 @@ impl BotMeterConfig {
 
     /// Declares the fraction of border records that actually reach the
     /// analyst (known collector loss or sampling, e.g. 1-in-N mirroring).
-    /// [`BotMeter::chart`] divides every cell estimate by this rate and
-    /// flags the cells [`CellQuality::Degraded`] when it is below `1.0`.
+    /// [`BotMeter::chart_with`] divides every cell estimate by this rate
+    /// and flags the cells [`CellQuality::Degraded`] when it is below
+    /// `1.0`.
     ///
-    /// The value is validated when charting: [`BotMeter::try_chart`]
+    /// The value is validated when charting: [`BotMeter::try_chart_with`]
     /// rejects anything outside `(0, 1]` (or non-finite) with
     /// [`Error::BadDeliveryRate`].
     #[must_use]
@@ -216,10 +218,19 @@ pub struct LandscapeEntry {
 /// The DGA-botnet landscape: per-server, per-epoch population estimates.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Landscape {
-    entries: Vec<LandscapeEntry>,
+    pub(crate) entries: Vec<LandscapeEntry>,
 }
 
 impl Landscape {
+    /// Builds a landscape from explicit cells, restoring the canonical
+    /// (server asc, epoch asc) entry order — the constructor external
+    /// producers (e.g. the `botmeterd` incremental engine) go through so
+    /// their snapshots compare bit-for-bit against charted ones.
+    pub fn from_entries(mut entries: Vec<LandscapeEntry>) -> Landscape {
+        entries.sort_by_key(|e| (e.server, e.epoch));
+        Landscape { entries }
+    }
+
     /// All entries, ordered by (server, epoch).
     pub fn entries(&self) -> &[LandscapeEntry] {
         &self.entries
@@ -347,7 +358,8 @@ impl fmt::Display for Landscape {
 ///     .build()?
 ///     .run(botmeter_exec::ExecPolicy::default());
 /// let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-/// let landscape = meter.chart(outcome.observed(), 0..1, botmeter_exec::ExecPolicy::default());
+/// let landscape = meter.chart_with(
+///     &botmeter_core::ChartRequest::new(outcome.observed()));
 /// let total = landscape.total_for_epoch(0);
 /// assert!(total > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -377,8 +389,8 @@ impl BotMeter {
         self
     }
 
-    /// Attaches an observability handle; [`chart`](Self::chart) then
-    /// reports `matcher.*` and `chart.*` counters plus the per-cell
+    /// Attaches an observability handle; [`chart_with`](Self::chart_with)
+    /// then reports `matcher.*` and `chart.*` counters plus the per-cell
     /// `chart.estimate_ns` / `chart.epoch{e}.estimate_ns` latency
     /// histograms through it (default: the no-op handle).
     #[must_use]
@@ -409,9 +421,62 @@ impl BotMeter {
         }
     }
 
-    /// Charts the landscape under `policy`: matches `observed` against the
-    /// configured family's pools over `epochs`, groups per forwarding
-    /// server, slices per epoch and estimates every cell.
+    /// The analyst-facing configuration this meter was built from.
+    pub fn config(&self) -> &BotMeterConfig {
+        &self.config
+    }
+
+    /// Validates and returns the configured delivery rate.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadDeliveryRate`] when the rate is non-finite or outside
+    /// `(0, 1]`.
+    pub fn validated_delivery_rate(&self) -> Result<f64, Error> {
+        let rate = self.config.delivery_rate;
+        if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+            return Err(Error::BadDeliveryRate { rate });
+        }
+        Ok(rate)
+    }
+
+    /// The matcher one charting run over `epochs` probes: the family's
+    /// pool union over the range, restricted to the configured detection
+    /// window. [`chart_with`](Self::chart_with) builds one per call; a
+    /// long-running engine (`botmeterd`) builds one for its configured
+    /// window and keeps it across epochs, which is what makes its
+    /// incremental snapshots bit-identical to batch charts.
+    pub fn matcher_for(&self, epochs: Range<u64>) -> ChartMatcher {
+        ChartMatcher {
+            inner: ExactMatcher::from_family(&self.config.family, epochs),
+            window: self.detection_window.clone(),
+        }
+    }
+
+    /// A fresh estimation context for this configuration: family, TTLs,
+    /// granularity, detection window and an empty segment-kernel cache.
+    ///
+    /// The cache memoizes deterministically — a hit returns exactly what a
+    /// fresh computation would — so holding one context across many
+    /// charting rounds (as `botmeterd` does) changes latency, never
+    /// results.
+    pub fn estimation_context(&self) -> EstimationContext {
+        let mut ctx = EstimationContext::new(
+            self.config.family.clone(),
+            self.config.ttl,
+            self.config.granularity,
+        )
+        .with_kernel_cache(SegmentKernelCache::new(self.config.kernel_quantization));
+        if let Some(window) = &self.detection_window {
+            ctx = ctx.with_detection_window(window.clone());
+        }
+        ctx
+    }
+
+    /// Charts the landscape described by `request`: matches its observed
+    /// stream against the configured family's pools over the requested
+    /// epochs, groups per forwarding server, slices per epoch and
+    /// estimates every cell.
     ///
     /// Under a parallel policy the stream is matched in parallel chunks and
     /// the non-empty (server, epoch) cells fan out across the worker
@@ -427,66 +492,41 @@ impl BotMeter {
     /// negative raw estimates are clamped to `0.0` and flagged
     /// [`CellQuality::Invalid`] instead of leaking NaN/∞ into the chart.
     ///
-    /// An empty `epochs` range yields an empty landscape. A delivery rate
-    /// outside `(0, 1]` panics — use [`try_chart`](Self::try_chart) to get
-    /// a typed [`Error`] instead.
-    pub fn chart(
-        &self,
-        observed: &[ObservedLookup],
-        epochs: Range<u64>,
-        policy: ExecPolicy,
-    ) -> Landscape {
-        if epochs.is_empty() {
+    /// An empty epoch range yields an empty landscape. A delivery rate
+    /// outside `(0, 1]` panics — use
+    /// [`try_chart_with`](Self::try_chart_with) to get a typed [`Error`]
+    /// instead.
+    pub fn chart_with(&self, request: &ChartRequest<'_>) -> Landscape {
+        if request.epoch_range().is_empty() {
             return Landscape::default();
         }
-        match self.try_chart(observed, epochs, policy) {
+        match self.try_chart_with(request) {
             Ok(landscape) => landscape,
             Err(e) => panic!("invalid BotMeter parameters: {e}"),
         }
     }
 
-    /// [`chart`](Self::chart) with parameter validation: rejects a
-    /// non-finite or out-of-range delivery rate and an empty epoch range
+    /// [`chart_with`](Self::chart_with) with parameter validation: rejects
+    /// a non-finite or out-of-range delivery rate and an empty epoch range
     /// with a typed [`Error`] instead of panicking or silently returning
     /// nothing.
-    pub fn try_chart(
-        &self,
-        observed: &[ObservedLookup],
-        epochs: Range<u64>,
-        policy: ExecPolicy,
-    ) -> Result<Landscape, Error> {
-        let rate = self.config.delivery_rate;
-        if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
-            return Err(Error::BadDeliveryRate { rate });
-        }
+    pub fn try_chart_with(&self, request: &ChartRequest<'_>) -> Result<Landscape, Error> {
+        let rate = self.validated_delivery_rate()?;
+        let epochs = request.epoch_range();
         if epochs.is_empty() {
             return Err(Error::EmptyEpochRange {
                 start: epochs.start,
                 end: epochs.end,
             });
         }
-        let matcher = ExactMatcher::from_family(&self.config.family, epochs.clone());
+        let observed = request.observed();
+        let policy = request.exec_policy();
+        let matcher = self.matcher_for(epochs.clone());
         let estimator = self.resolve_model();
         let epoch_len = self.config.family.epoch_len();
+        let ctx = self.estimation_context();
 
-        let mut ctx = EstimationContext::new(
-            self.config.family.clone(),
-            self.config.ttl,
-            self.config.granularity,
-        )
-        .with_kernel_cache(SegmentKernelCache::new(self.config.kernel_quantization));
-        if let Some(window) = &self.detection_window {
-            ctx = ctx.with_detection_window(window.clone());
-        }
-
-        // Matching honours the detection window: unknown domains are
-        // invisible to the analyst.
-        let window = self.detection_window.as_ref();
-        let windowed = WindowedMatcher {
-            inner: &matcher,
-            window,
-        };
-        let filtered = match_stream_recorded(observed, &windowed, policy, &self.obs);
+        let filtered = match_stream_recorded(observed, &matcher, policy, &self.obs);
         let stream_quality = filtered.quality();
 
         // Slice every server's matched traffic per epoch. Cells are
@@ -569,16 +609,59 @@ impl BotMeter {
         }
         Ok(Landscape { entries })
     }
+
+    /// Charts the landscape under `policy` over `epochs`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `ChartRequest` and call `chart_with` instead"
+    )]
+    pub fn chart(
+        &self,
+        observed: &[ObservedLookup],
+        epochs: Range<u64>,
+        policy: ExecPolicy,
+    ) -> Landscape {
+        self.chart_with(&ChartRequest::new(observed).epochs(epochs).policy(policy))
+    }
+
+    /// Validating [`chart`](Self::chart).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `ChartRequest` and call `try_chart_with` instead"
+    )]
+    pub fn try_chart(
+        &self,
+        observed: &[ObservedLookup],
+        epochs: Range<u64>,
+        policy: ExecPolicy,
+    ) -> Result<Landscape, Error> {
+        self.try_chart_with(&ChartRequest::new(observed).epochs(epochs).policy(policy))
+    }
 }
 
-struct WindowedMatcher<'a, M> {
-    inner: &'a M,
-    window: Option<&'a HashSet<botmeter_dns::DomainName>>,
+/// The matcher a charting run probes: the configured family's pool union
+/// over one epoch range, restricted to the analyst's detection window
+/// (unknown domains are invisible). Built by [`BotMeter::matcher_for`] and
+/// shared between the batch [`BotMeter::chart_with`] path and the
+/// `botmeterd` incremental engine, so both match bit-identically.
+#[derive(Debug, Clone)]
+pub struct ChartMatcher {
+    inner: ExactMatcher,
+    window: Option<HashSet<botmeter_dns::DomainName>>,
 }
 
-impl<M: DomainMatcher> DomainMatcher for WindowedMatcher<'_, M> {
+impl DomainMatcher for ChartMatcher {
     fn matches(&self, domain: &botmeter_dns::DomainName) -> bool {
-        self.inner.matches(domain) && self.window.is_none_or(|w| w.contains(domain))
+        self.inner.matches(domain) && self.window.as_ref().is_none_or(|w| w.contains(domain))
+    }
+
+    fn matches_batch(&self, domains: &[&botmeter_dns::DomainName], hits: &mut Vec<bool>) {
+        self.inner.matches_batch(domains, hits);
+        if let Some(w) = &self.window {
+            for (hit, domain) in hits.iter_mut().zip(domains) {
+                *hit = *hit && w.contains(*domain);
+            }
+        }
     }
 }
 
@@ -625,7 +708,7 @@ mod tests {
             .unwrap()
             .run(ExecPolicy::default());
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
+        let landscape = meter.chart_with(&ChartRequest::new(outcome.observed()));
         assert!(!landscape.is_empty());
         // The single-local topology forwards through server 1.
         assert!(landscape.estimate(ServerId(1), 0) > 0.0);
@@ -658,15 +741,15 @@ mod tests {
             let config = BotMeterConfig::new(outcome.family().clone()).model(model);
             let (obs_seq, reg_seq) = Obs::collecting();
             let (obs_par, reg_par) = Obs::collecting();
-            let sequential = BotMeter::new(config.clone()).with_obs(obs_seq).chart(
-                outcome.observed(),
-                0..2,
-                ExecPolicy::Sequential,
+            let sequential = BotMeter::new(config.clone()).with_obs(obs_seq).chart_with(
+                &ChartRequest::new(outcome.observed())
+                    .epochs(0..2)
+                    .policy(ExecPolicy::Sequential),
             );
-            let parallel = BotMeter::new(config).with_obs(obs_par).chart(
-                outcome.observed(),
-                0..2,
-                ExecPolicy::parallel(),
+            let parallel = BotMeter::new(config).with_obs(obs_par).chart_with(
+                &ChartRequest::new(outcome.observed())
+                    .epochs(0..2)
+                    .policy(ExecPolicy::parallel()),
             );
             assert_eq!(
                 parallel,
@@ -712,7 +795,11 @@ mod tests {
             .run(ExecPolicy::default());
         let (obs, registry) = Obs::collecting();
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
-        let landscape = meter.chart(outcome.observed(), 0..2, ExecPolicy::Sequential);
+        let landscape = meter.chart_with(
+            &ChartRequest::new(outcome.observed())
+                .epochs(0..2)
+                .policy(ExecPolicy::Sequential),
+        );
         assert!(!landscape.is_empty());
         let snap = registry.snapshot();
         // Six fixpoint rounds over a shared quantized cache must converge
@@ -738,7 +825,8 @@ mod tests {
             .run(ExecPolicy::default());
         let (obs, registry) = Obs::collecting();
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
-        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::Sequential);
+        let landscape =
+            meter.chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::Sequential));
         let snap = registry.snapshot();
         assert_eq!(snap.counter("chart.cells"), Some(landscape.len() as u64));
         assert_eq!(snap.counter("chart.model.Bernoulli"), Some(1));
@@ -756,7 +844,7 @@ mod tests {
     #[test]
     fn chart_empty_stream_is_empty_landscape() {
         let meter = BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()));
-        let landscape = meter.chart(&[], 0..3, ExecPolicy::default());
+        let landscape = meter.chart_with(&ChartRequest::new(&[]).epochs(0..3));
         assert!(landscape.is_empty());
         assert_eq!(landscape.estimate(ServerId(1), 0), 0.0);
         assert_eq!(landscape.total_for_epoch(1), 0.0);
@@ -775,7 +863,7 @@ mod tests {
         let empty = BotMeter::new(BotMeterConfig::new(family.clone()))
             .with_detection_window(HashSet::new());
         assert!(empty
-            .chart(outcome.observed(), 0..1, ExecPolicy::default())
+            .chart_with(&ChartRequest::new(outcome.observed()))
             .is_empty());
         // A full window matches everything the plain meter does.
         let full_set: HashSet<_> = family.pool_for_epoch(0).into_iter().collect();
@@ -783,8 +871,8 @@ mod tests {
             BotMeter::new(BotMeterConfig::new(family.clone())).with_detection_window(full_set);
         let plain = BotMeter::new(BotMeterConfig::new(family));
         assert_eq!(
-            full.chart(outcome.observed(), 0..1, ExecPolicy::default()),
-            plain.chart(outcome.observed(), 0..1, ExecPolicy::default())
+            full.chart_with(&ChartRequest::new(outcome.observed())),
+            plain.chart_with(&ChartRequest::new(outcome.observed()))
         );
     }
 
@@ -883,7 +971,9 @@ mod tests {
             let meter =
                 BotMeter::new(BotMeterConfig::new(outcome.family().clone()).delivery_rate(bad));
             let err = meter
-                .try_chart(outcome.observed(), 0..1, ExecPolicy::Sequential)
+                .try_chart_with(
+                    &ChartRequest::new(outcome.observed()).policy(ExecPolicy::Sequential),
+                )
                 .unwrap_err();
             match err {
                 Error::BadDeliveryRate { rate } => {
@@ -899,12 +989,36 @@ mod tests {
     fn try_chart_rejects_empty_epoch_range_but_chart_is_lenient() {
         let meter = BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()));
         let err = meter
-            .try_chart(&[], 5..5, ExecPolicy::Sequential)
+            .try_chart_with(&ChartRequest::new(&[]).epochs(5..5))
             .unwrap_err();
         assert_eq!(err, Error::EmptyEpochRange { start: 5, end: 5 });
         assert!(err.to_string().contains("selects no epochs"));
         // The infallible facade keeps its historical behaviour.
-        assert!(meter.chart(&[], 5..5, ExecPolicy::Sequential).is_empty());
+        assert!(meter
+            .chart_with(&ChartRequest::new(&[]).epochs(5..5))
+            .is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_chart_shims_forward_to_chart_with() {
+        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
+            .population(16)
+            .seed(2)
+            .build()
+            .unwrap()
+            .run(ExecPolicy::default());
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+        let via_shim = meter.chart(outcome.observed(), 0..1, ExecPolicy::Sequential);
+        let via_request =
+            meter.chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::Sequential));
+        assert_eq!(via_shim, via_request);
+        assert_eq!(
+            meter
+                .try_chart(outcome.observed(), 0..1, ExecPolicy::Sequential)
+                .unwrap(),
+            via_request
+        );
     }
 
     #[test]
@@ -918,8 +1032,8 @@ mod tests {
         let family = outcome.family().clone();
         let plain = BotMeter::new(BotMeterConfig::new(family.clone()));
         let rescaled = BotMeter::new(BotMeterConfig::new(family).delivery_rate(0.5));
-        let base = plain.chart(outcome.observed(), 0..1, ExecPolicy::default());
-        let loss_aware = rescaled.chart(outcome.observed(), 0..1, ExecPolicy::default());
+        let base = plain.chart_with(&ChartRequest::new(outcome.observed()));
+        let loss_aware = rescaled.chart_with(&ChartRequest::new(outcome.observed()));
         assert_eq!(base.len(), loss_aware.len());
         for (b, l) in base.entries().iter().zip(loss_aware.entries()) {
             assert_eq!(l.estimate, b.estimate * 2.0, "exactly 2x under rate 0.5");
@@ -945,7 +1059,8 @@ mod tests {
             .collect();
         let (obs, registry) = Obs::collecting();
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
-        let landscape = meter.chart(&doubled, 0..1, ExecPolicy::Sequential);
+        let landscape =
+            meter.chart_with(&ChartRequest::new(&doubled).policy(ExecPolicy::Sequential));
         assert!(!landscape.is_empty());
         assert!(landscape
             .entries()

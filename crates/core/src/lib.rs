@@ -57,11 +57,13 @@ mod bernoulli;
 mod botmeter;
 mod config;
 mod coverage;
+mod delta;
 mod estimator;
 mod hybrid;
 mod kernel;
 mod metrics;
 mod poisson;
+mod request;
 mod sampling;
 mod segments;
 mod theorem1;
@@ -70,15 +72,18 @@ mod window_occupancy;
 
 pub use bernoulli::BernoulliEstimator;
 pub use botmeter::{
-    BotMeter, BotMeterConfig, CellQuality, Error, Landscape, LandscapeEntry, ModelKind,
+    BotMeter, BotMeterConfig, CellQuality, ChartMatcher, Error, Landscape, LandscapeEntry,
+    ModelKind,
 };
 pub use config::EstimationContext;
 pub use coverage::CoverageEstimator;
+pub use delta::{CellChange, DeltaError, LandscapeDelta, LandscapeVersion};
 pub use estimator::{CellSlice, Estimator};
 pub use hybrid::{HybridBernoulli, HybridEstimator};
 pub use kernel::{KernelEval, KernelKey, RhoQuantization, SegmentKernelCache};
 pub use metrics::{absolute_relative_error, mean_absolute_relative_error};
 pub use poisson::PoissonEstimator;
+pub use request::ChartRequest;
 pub use sampling::SamplingEstimator;
 pub use segments::{extract_segments, Segment, SegmentKind};
 pub use theorem1::{expected_bots_for_segment, expected_bots_for_shape, KernelStats};

@@ -1,0 +1,108 @@
+//! The [`ChartRequest`] builder: one growable parameter object for the
+//! charting entry points.
+//!
+//! [`BotMeter::chart`] accreted positional parameters (`observed`, then
+//! `epochs`, then `policy`) and each future knob — visibility priors for
+//! partial-coverage deployments, per-request detection windows — would have
+//! broken every call site again. A request object with private fields grows
+//! additively instead: new knobs get a defaulted builder method and old
+//! callers keep compiling.
+//!
+//! [`BotMeter::chart`]: crate::BotMeter::chart
+
+use botmeter_dns::ObservedLookup;
+use botmeter_exec::ExecPolicy;
+use std::ops::Range;
+
+/// Parameters of one charting run, consumed by
+/// [`BotMeter::chart_with`](crate::BotMeter::chart_with) /
+/// [`BotMeter::try_chart_with`](crate::BotMeter::try_chart_with).
+///
+/// Defaults: epoch range `0..1`, [`ExecPolicy::default()`].
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::ChartRequest;
+/// use botmeter_exec::ExecPolicy;
+///
+/// let observed = Vec::new();
+/// let request = ChartRequest::new(&observed)
+///     .epochs(0..3)
+///     .policy(ExecPolicy::parallel());
+/// assert_eq!(request.epoch_range(), 0..3);
+/// assert!(request.observed().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChartRequest<'a> {
+    observed: &'a [ObservedLookup],
+    epochs: Range<u64>,
+    policy: ExecPolicy,
+}
+
+impl<'a> ChartRequest<'a> {
+    /// A request charting `observed` over epoch `0` under the default
+    /// execution policy.
+    pub fn new(observed: &'a [ObservedLookup]) -> Self {
+        ChartRequest {
+            observed,
+            epochs: 0..1,
+            policy: ExecPolicy::default(),
+        }
+    }
+
+    /// Sets the epoch (day) range to chart.
+    #[must_use]
+    pub fn epochs(mut self, epochs: Range<u64>) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the execution policy the matching and estimation stages
+    /// schedule under.
+    #[must_use]
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The observed lookup stream to chart.
+    pub fn observed(&self) -> &'a [ObservedLookup] {
+        self.observed
+    }
+
+    /// The epoch range to chart.
+    pub fn epoch_range(&self) -> Range<u64> {
+        self.epochs.clone()
+    }
+
+    /// The execution policy.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_chart_epoch_zero_sequentially_or_parallel() {
+        let observed: Vec<ObservedLookup> = Vec::new();
+        let request = ChartRequest::new(&observed);
+        assert_eq!(request.epoch_range(), 0..1);
+        assert_eq!(request.exec_policy(), ExecPolicy::default());
+    }
+
+    #[test]
+    fn builder_overrides_stick() {
+        let observed: Vec<ObservedLookup> = Vec::new();
+        let request = ChartRequest::new(&observed)
+            .epochs(2..9)
+            .policy(ExecPolicy::Sequential);
+        assert_eq!(request.epoch_range(), 2..9);
+        assert_eq!(request.exec_policy(), ExecPolicy::Sequential);
+        let cloned = request.clone();
+        assert_eq!(cloned.epoch_range(), 2..9);
+    }
+}

@@ -1,0 +1,190 @@
+//! `botmeterd` — the incremental charting daemon over a JSON-Lines feed.
+//!
+//! Reads an unbounded stream of observed lookups from stdin (the same
+//! JSON-Lines format `simulate` emits and `estimate` consumes), ingests it
+//! in shards, and prints one JSON summary line per published snapshot:
+//! version, changed-cell counts against the previous snapshot, residency
+//! and stream-quality counters. At end of input it publishes the trailing
+//! partial epoch and prints the final landscape to stderr.
+//!
+//! ```sh
+//! simulate --family newgoz --population 64 --epochs 7 | \
+//!     botmeterd --family newgoz --epochs 7
+//! ```
+//!
+//! Usage: `botmeterd --family NAME [--epochs E] [--model MODEL]
+//! [--threads N] [--close-lag L] [--retention R] [--shard-records S]
+//! [--delivery-rate F]`.
+
+use botmeter_core::{BotMeter, BotMeterConfig, LandscapeVersion, ModelKind};
+use botmeter_daemon::{BotMeterDaemon, DaemonOptions};
+use botmeter_dga::DgaFamily;
+use botmeter_dns::{trace, ObservedLookup};
+use botmeter_exec::ExecPolicy;
+use std::io;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut family: Option<DgaFamily> = None;
+    let mut model = ModelKind::Auto;
+    let mut epochs = 1u64;
+    let mut threads = 0usize;
+    let mut close_lag = 1u64;
+    let mut retention = 8usize;
+    let mut shard_records = 4096usize;
+    let mut delivery_rate = 1.0f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = args.get(i).cloned();
+        match flag {
+            "--family" => {
+                let name = value.unwrap_or_else(|| usage("--family needs a name"));
+                family = Some(
+                    DgaFamily::by_name(&name)
+                        .unwrap_or_else(|| usage(&format!("unknown family {name:?}"))),
+                );
+            }
+            "--model" => {
+                let name = value.unwrap_or_else(|| usage("--model needs a name"));
+                model = match name.to_ascii_lowercase().as_str() {
+                    "auto" => ModelKind::Auto,
+                    "timing" => ModelKind::Timing,
+                    "poisson" => ModelKind::Poisson,
+                    "bernoulli" => ModelKind::Bernoulli,
+                    "coverage" => ModelKind::Coverage,
+                    "sampling" => ModelKind::Sampling,
+                    "windowoccupancy" => ModelKind::WindowOccupancy,
+                    "hybrid" => ModelKind::Hybrid,
+                    other => usage(&format!("unknown model {other:?}")),
+                };
+            }
+            "--epochs" => epochs = parse(value, "--epochs"),
+            "--threads" => threads = parse(value, "--threads"),
+            "--close-lag" => close_lag = parse(value, "--close-lag"),
+            "--retention" => retention = parse(value, "--retention"),
+            "--shard-records" => shard_records = parse(value, "--shard-records"),
+            "--delivery-rate" => delivery_rate = parse(value, "--delivery-rate"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let family = family.unwrap_or_else(|| usage("--family is required"));
+    let policy = if threads == 0 {
+        ExecPolicy::default()
+    } else {
+        ExecPolicy::with_threads(threads)
+    };
+
+    let meter = BotMeter::new(
+        BotMeterConfig::new(family)
+            .model(model)
+            .delivery_rate(delivery_rate),
+    );
+    let options = DaemonOptions::new(0..epochs)
+        .policy(policy)
+        .close_lag(close_lag)
+        .retention(retention.max(2)) // keep a previous snapshot to diff against
+        .auto_publish(false); // publishing is driven per shard below
+    let mut daemon = BotMeterDaemon::new(meter, options).unwrap_or_else(|e| usage(&e.to_string()));
+
+    let stdin = io::stdin();
+    let mut shard: Vec<ObservedLookup> = Vec::with_capacity(shard_records.max(1));
+    let mut last_epoch_published: Option<u64> = None;
+    for record in trace::read_jsonl_iter::<ObservedLookup, _>(stdin.lock()) {
+        let lookup = record.unwrap_or_else(|e| usage(&e.to_string()));
+        shard.push(lookup);
+        if shard.len() >= shard_records.max(1) {
+            drain_shard(&mut daemon, &mut shard, &mut last_epoch_published);
+        }
+    }
+    drain_shard(&mut daemon, &mut shard, &mut last_epoch_published);
+    // Publish the trailing partial epoch.
+    let version = daemon.publish_now();
+    report(&daemon, version);
+
+    if let Some((version, landscape)) = daemon.latest() {
+        eprintln!("[botmeterd] final snapshot {version}:");
+        eprint!("{landscape}");
+    }
+    let stats = daemon.stats();
+    eprintln!(
+        "[botmeterd] ingested {} matched {} stale {} peak-resident {} publishes {}",
+        stats.ingested,
+        stats.matched,
+        stats.stale_records,
+        stats.peak_resident_records,
+        stats.publishes
+    );
+}
+
+/// Ingests the buffered shard and publishes when the last matched epoch
+/// advanced — the stdin equivalent of the engine's auto-publish trigger,
+/// but explicit so every boundary crossing yields exactly one report line.
+fn drain_shard(
+    daemon: &mut BotMeterDaemon,
+    shard: &mut Vec<ObservedLookup>,
+    last_epoch_published: &mut Option<u64>,
+) {
+    if shard.is_empty() {
+        return;
+    }
+    daemon.ingest(shard);
+    shard.clear();
+    let head_epoch = daemon.head_epoch();
+    if head_epoch > *last_epoch_published {
+        *last_epoch_published = head_epoch;
+        let version = daemon.publish_now();
+        report(daemon, version);
+    }
+}
+
+/// Prints one machine-readable summary line for a freshly published
+/// snapshot: its version, the change counts against the previous retained
+/// snapshot, and the engine's residency counters.
+fn report(daemon: &BotMeterDaemon, version: LandscapeVersion) {
+    let stats = daemon.stats();
+    let (added, removed, reestimated) = match version.0.checked_sub(1) {
+        Some(prev) if prev >= 1 => daemon
+            .store()
+            .delta(LandscapeVersion(prev), version)
+            .map(|d| (d.added(), d.removed(), d.reestimated()))
+            .unwrap_or((0, 0, 0)),
+        _ => daemon
+            .store()
+            .at(version)
+            .map(|l| (l.len(), 0, 0))
+            .unwrap_or((0, 0, 0)),
+    };
+    println!(
+        "{{\"version\":{},\"cells\":{},\"added\":{},\"removed\":{},\"reestimated\":{},\
+         \"resident_records\":{},\"stale_records\":{},\"matched\":{},\"ingested\":{}}}",
+        version.0,
+        daemon.cell_count(),
+        added,
+        removed,
+        reestimated,
+        stats.resident_records,
+        stats.stale_records,
+        stats.matched,
+        stats.ingested
+    );
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: botmeterd --family NAME [--epochs E] [--model MODEL] \
+         [--threads N] [--close-lag L] [--retention R] \
+         [--shard-records S] [--delivery-rate F]   (trace on stdin)"
+    );
+    std::process::exit(2);
+}

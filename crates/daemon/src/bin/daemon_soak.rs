@@ -1,0 +1,170 @@
+//! `daemon_soak` — the bounded soak harness CI runs against `botmeterd`'s
+//! engine.
+//!
+//! Drives N epochs of deterministic synthetic traffic (rotating active
+//! servers, see [`botmeter_daemon::synthetic`]) through a
+//! [`BotMeterDaemon`] and verifies, exiting non-zero on the first
+//! violation:
+//!
+//! 1. **Equivalence** — at every checkpoint the published snapshot is
+//!    bit-identical to a from-scratch batch chart over everything ingested;
+//! 2. **Flat residency** — peak resident records stay bounded by a few
+//!    epochs' worth of traffic, independent of how many epochs ran;
+//! 3. **Delta integrity** — every adjacent snapshot pair round-trips
+//!    through its [`LandscapeDelta`](botmeter_core::LandscapeDelta);
+//! 4. **Incrementality** — re-estimated cells stay proportional to changed
+//!    traffic, far below publishes × landscape size.
+//!
+//! Usage: `daemon_soak [--epochs N] [--family NAME] [--servers S]
+//! [--active A] [--per-server K] [--check-every C]`.
+
+use botmeter_core::{BotMeter, BotMeterConfig};
+use botmeter_daemon::synthetic::{epoch_traffic, SoakLayout};
+use botmeter_daemon::{BotMeterDaemon, DaemonOptions};
+use botmeter_dga::DgaFamily;
+use botmeter_dns::ObservedLookup;
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut epochs = 30u64;
+    let mut family = DgaFamily::murofet();
+    let mut layout = SoakLayout::default();
+    let mut check_every = 10u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = args.get(i).cloned();
+        match flag {
+            "--epochs" => epochs = parse(value, "--epochs"),
+            "--family" => {
+                let name = value.unwrap_or_else(|| usage("--family needs a name"));
+                family = DgaFamily::by_name(&name)
+                    .unwrap_or_else(|| usage(&format!("unknown family {name:?}")));
+            }
+            "--servers" => layout.servers = parse(value, "--servers"),
+            "--active" => layout.active = parse(value, "--active"),
+            "--per-server" => layout.per_server = parse(value, "--per-server"),
+            "--check-every" => check_every = parse(value, "--check-every"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if epochs == 0 {
+        usage("--epochs must be positive");
+    }
+
+    let close_lag = 1u64;
+    let (obs, registry) = Obs::collecting();
+    let meter = BotMeter::new(BotMeterConfig::new(family.clone()));
+    let mut daemon = BotMeterDaemon::new(
+        meter,
+        DaemonOptions::new(0..epochs)
+            .policy(ExecPolicy::Sequential)
+            .close_lag(close_lag)
+            .retention(4)
+            .auto_publish(false)
+            .obs(obs),
+    )
+    .unwrap_or_else(|e| fail(&format!("daemon construction failed: {e}")));
+
+    // The harness keeps the full trace the daemon deliberately does not.
+    let mut full: Vec<ObservedLookup> = Vec::new();
+    let mut prev_version = None;
+    for epoch in 0..epochs {
+        let traffic = epoch_traffic(&family, epoch, layout);
+        daemon.ingest(&traffic);
+        full.extend(traffic);
+        let version = daemon.publish_now();
+        // 3. Adjacent snapshots must round-trip through their delta.
+        if let Some(prev) = prev_version {
+            let delta = daemon
+                .store()
+                .delta(prev, version)
+                .unwrap_or_else(|| fail("adjacent versions not retained"));
+            let base = daemon.store().at(prev).expect("retained").clone();
+            let next = daemon.store().at(version).expect("retained");
+            match base.apply(&delta) {
+                Ok(rebuilt) if &rebuilt == next => {}
+                Ok(_) => fail(&format!(
+                    "delta {prev}->{version} rebuilt a different snapshot"
+                )),
+                Err(e) => fail(&format!("delta {prev}->{version} failed to apply: {e}")),
+            }
+        }
+        prev_version = Some(version);
+        // 1. Periodic incremental == batch check (the final epoch always).
+        if check_every > 0 && (epoch % check_every == 0 || epoch + 1 == epochs) {
+            let (_, snapshot) = daemon.latest().expect("published");
+            let reference = daemon.reference_chart(&full);
+            if snapshot != &reference {
+                fail(&format!(
+                    "snapshot diverged from batch chart at epoch {epoch}"
+                ));
+            }
+        }
+    }
+
+    let stats = daemon.stats();
+    // 2. Flat residency: bounded by the close window, not by epoch count.
+    let per_epoch = layout.records_per_epoch();
+    let residency_bound = per_epoch * (close_lag as usize + 2);
+    if stats.peak_resident_records > residency_bound {
+        fail(&format!(
+            "peak residency {} exceeds bound {residency_bound} ({per_epoch}/epoch, lag {close_lag})",
+            stats.peak_resident_records
+        ));
+    }
+    if epochs >= 10 && stats.peak_resident_records * 2 > stats.matched as usize {
+        fail(&format!(
+            "peak residency {} is not flat against {} matched records",
+            stats.peak_resident_records, stats.matched
+        ));
+    }
+    // 4. Incrementality: each publish re-estimated only the changed cells.
+    let full_recharting_cost: u64 = (1..=epochs).map(|e| e * layout.active.max(1) as u64).sum();
+    if stats.cells_reestimated >= full_recharting_cost {
+        fail(&format!(
+            "re-estimated {} cells; full recharting would cost {full_recharting_cost}",
+            stats.cells_reestimated
+        ));
+    }
+    let snapshot = registry.snapshot();
+    if snapshot.counter("daemon.resident_records") != Some(stats.peak_resident_records as u64) {
+        fail("daemon.resident_records gauge disagrees with the engine's peak");
+    }
+
+    println!(
+        "{{\"epochs\":{epochs},\"publishes\":{},\"cells\":{},\"reestimated\":{},\
+         \"peak_resident\":{},\"matched\":{},\"rechart_bound\":{full_recharting_cost}}}",
+        stats.publishes,
+        daemon.cell_count(),
+        stats.cells_reestimated,
+        stats.peak_resident_records,
+        stats.matched
+    );
+    eprintln!("[daemon_soak] ok: {epochs} epochs, flat residency, incremental == batch");
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a valid value")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: daemon_soak [--epochs N] [--family NAME] [--servers S] \
+         [--active A] [--per-server K] [--check-every C]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[daemon_soak] FAIL: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,157 @@
+//! The in-memory snapshot store `botmeterd` serves from.
+
+use botmeter_core::{Landscape, LandscapeDelta, LandscapeVersion};
+use std::collections::VecDeque;
+
+/// A bounded in-memory store of published landscape snapshots.
+///
+/// Every [`publish`](Self::publish) assigns the next monotonic
+/// [`LandscapeVersion`] (starting at `v1`); the store retains the most
+/// recent `retention` snapshots and answers point lookups
+/// ([`at`](Self::at)), the latest snapshot ([`latest`](Self::latest)) and
+/// exact change sets between any two retained versions
+/// ([`delta`](Self::delta)).
+///
+/// # Example
+///
+/// ```
+/// use botmeter_core::{Landscape, LandscapeVersion};
+/// use botmeter_daemon::LandscapeStore;
+///
+/// let mut store = LandscapeStore::new(2);
+/// let v1 = store.publish(Landscape::default());
+/// assert_eq!(v1, LandscapeVersion(1));
+/// assert_eq!(store.latest(), Some((v1, &Landscape::default())));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LandscapeStore {
+    retention: usize,
+    /// Retained snapshots, oldest first; versions are contiguous so the
+    /// version of `snapshots[i]` is `newest_version - (len - 1 - i)`.
+    snapshots: VecDeque<(LandscapeVersion, Landscape)>,
+    newest: LandscapeVersion,
+}
+
+impl LandscapeStore {
+    /// A store retaining the last `retention` snapshots (clamped to ≥ 1).
+    pub fn new(retention: usize) -> Self {
+        LandscapeStore {
+            retention: retention.max(1),
+            snapshots: VecDeque::new(),
+            newest: LandscapeVersion::ZERO,
+        }
+    }
+
+    /// Stores `landscape` under the next version and returns it, evicting
+    /// the oldest retained snapshot if the store is full.
+    pub fn publish(&mut self, landscape: Landscape) -> LandscapeVersion {
+        self.newest = self.newest.next();
+        self.snapshots.push_back((self.newest, landscape));
+        while self.snapshots.len() > self.retention {
+            self.snapshots.pop_front();
+        }
+        self.newest
+    }
+
+    /// The most recently published snapshot, if any.
+    pub fn latest(&self) -> Option<(LandscapeVersion, &Landscape)> {
+        self.snapshots.back().map(|(v, l)| (*v, l))
+    }
+
+    /// The snapshot published as `version`, if still retained.
+    pub fn at(&self, version: LandscapeVersion) -> Option<&Landscape> {
+        let (oldest, _) = self.snapshots.front()?;
+        if version < *oldest || version > self.newest {
+            return None;
+        }
+        let index = (version.0 - oldest.0) as usize;
+        self.snapshots.get(index).map(|(_, l)| l)
+    }
+
+    /// The exact change set from `from` to `to`, if both are retained:
+    /// `at(from).apply(delta)` reconstructs `at(to)` bit for bit.
+    pub fn delta(&self, from: LandscapeVersion, to: LandscapeVersion) -> Option<LandscapeDelta> {
+        Some(self.at(to)?.diff(self.at(from)?))
+    }
+
+    /// Versions currently retained, oldest first.
+    pub fn versions(&self) -> Vec<LandscapeVersion> {
+        self.snapshots.iter().map(|(v, _)| *v).collect()
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether nothing has been published (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The configured retention bound.
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botmeter_core::{CellQuality, LandscapeEntry};
+    use botmeter_dns::ServerId;
+
+    fn landscape(estimate: f64) -> Landscape {
+        Landscape::from_entries(vec![LandscapeEntry {
+            server: ServerId(1),
+            epoch: 0,
+            estimate,
+            quality: CellQuality::Ok,
+        }])
+    }
+
+    #[test]
+    fn versions_are_contiguous_and_monotonic() {
+        let mut store = LandscapeStore::new(4);
+        assert!(store.is_empty());
+        assert_eq!(store.latest(), None);
+        let v1 = store.publish(landscape(1.0));
+        let v2 = store.publish(landscape(2.0));
+        assert_eq!((v1, v2), (LandscapeVersion(1), LandscapeVersion(2)));
+        assert_eq!(store.versions(), vec![v1, v2]);
+        assert_eq!(store.latest().map(|(v, _)| v), Some(v2));
+        assert_eq!(store.at(v1), Some(&landscape(1.0)));
+        assert_eq!(store.at(LandscapeVersion(3)), None);
+        assert_eq!(store.at(LandscapeVersion::ZERO), None);
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut store = LandscapeStore::new(2);
+        let v1 = store.publish(landscape(1.0));
+        let v2 = store.publish(landscape(2.0));
+        let v3 = store.publish(landscape(3.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.at(v1), None, "v1 evicted");
+        assert_eq!(store.at(v2), Some(&landscape(2.0)));
+        assert_eq!(store.at(v3), Some(&landscape(3.0)));
+        assert_eq!(store.versions(), vec![v2, v3]);
+        // Retention is clamped to at least one snapshot.
+        assert_eq!(LandscapeStore::new(0).retention(), 1);
+    }
+
+    #[test]
+    fn delta_reconstructs_the_newer_snapshot() {
+        let mut store = LandscapeStore::new(4);
+        let v1 = store.publish(landscape(1.0));
+        let v2 = store.publish(landscape(2.5));
+        let delta = store.delta(v1, v2).expect("both retained");
+        assert_eq!(delta.reestimated(), 1);
+        let rebuilt = store.at(v1).unwrap().apply(&delta).expect("delta applies");
+        assert_eq!(&rebuilt, store.at(v2).unwrap());
+        assert!(store.delta(v2, LandscapeVersion(9)).is_none());
+        // Reverse deltas work too (diff is directional).
+        let back = store.delta(v2, v1).expect("both retained");
+        assert_eq!(store.at(v2).unwrap().apply(&back).unwrap(), landscape(1.0));
+    }
+}

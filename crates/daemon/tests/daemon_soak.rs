@@ -1,0 +1,175 @@
+//! Soak: one hundred simulated epochs through the daemon, asserting the
+//! three long-haul properties batch charting cannot give you — bounded
+//! memory, exact deltas, and cheap publishes — without ever giving up
+//! bit-identity to batch charting.
+
+use botmeter_core::{BotMeter, BotMeterConfig, LandscapeVersion};
+use botmeter_daemon::synthetic::{epoch_traffic, SoakLayout};
+use botmeter_daemon::{BotMeterDaemon, DaemonOptions};
+use botmeter_dga::DgaFamily;
+use botmeter_dns::ObservedLookup;
+use botmeter_exec::ExecPolicy;
+use botmeter_obs::Obs;
+
+const CLOSE_LAG: u64 = 1;
+
+struct SoakRun {
+    daemon: BotMeterDaemon,
+    registry: std::sync::Arc<botmeter_obs::MetricsRegistry>,
+    full: Vec<ObservedLookup>,
+    family: DgaFamily,
+    layout: SoakLayout,
+}
+
+fn start(family: DgaFamily, epochs: u64, layout: SoakLayout) -> SoakRun {
+    let (obs, registry) = Obs::collecting();
+    let meter = BotMeter::new(BotMeterConfig::new(family.clone()));
+    let daemon = BotMeterDaemon::new(
+        meter,
+        DaemonOptions::new(0..epochs)
+            .policy(ExecPolicy::Sequential)
+            .close_lag(CLOSE_LAG)
+            .retention(3)
+            .auto_publish(false)
+            .obs(obs),
+    )
+    .expect("valid options");
+    SoakRun {
+        daemon,
+        registry,
+        full: Vec::new(),
+        family,
+        layout,
+    }
+}
+
+impl SoakRun {
+    /// Ingests one epoch's synthetic traffic, publishes, and checks the
+    /// per-epoch invariants: snapshot == batch chart over everything so
+    /// far, and the adjacent delta round-trips.
+    fn run_epoch(&mut self, epoch: u64) -> LandscapeVersion {
+        let traffic = epoch_traffic(&self.family, epoch, self.layout);
+        self.daemon.ingest(&traffic);
+        self.full.extend(traffic);
+        let version = self.daemon.publish_now();
+
+        // (a) Bit-identical to a from-scratch chart over the same prefix.
+        let (_, snapshot) = self.daemon.latest().expect("published");
+        let reference = self.daemon.reference_chart(&self.full);
+        assert_eq!(
+            snapshot, &reference,
+            "epoch {epoch}: snapshot != batch chart"
+        );
+
+        // (c) prev.apply(delta) == next, for the adjacent retained pair.
+        if version.0 >= 2 {
+            let prev = LandscapeVersion(version.0 - 1);
+            let delta = self
+                .daemon
+                .store()
+                .delta(prev, version)
+                .expect("adjacent versions retained");
+            let rebuilt = self
+                .daemon
+                .store()
+                .at(prev)
+                .expect("retained")
+                .apply(&delta)
+                .expect("delta applies to its own base");
+            assert_eq!(
+                &rebuilt,
+                self.daemon.store().at(version).expect("retained"),
+                "epoch {epoch}: delta round-trip diverged"
+            );
+            // An epoch of localized traffic only adds/re-estimates the
+            // active servers' cells — never the whole landscape.
+            assert!(
+                delta.len() <= self.layout.active as usize + 1,
+                "epoch {epoch}: delta touched {} cells",
+                delta.len()
+            );
+        }
+        version
+    }
+}
+
+#[test]
+fn hundred_epoch_soak_stays_flat_and_bit_identical() {
+    const EPOCHS: u64 = 100;
+    let layout = SoakLayout::default();
+    let mut run = start(DgaFamily::murofet(), EPOCHS, layout);
+    for epoch in 0..EPOCHS {
+        run.run_epoch(epoch);
+    }
+    let stats = run.daemon.stats();
+    assert_eq!(stats.publishes, EPOCHS);
+    assert_eq!(
+        stats.matched as usize,
+        run.full.len(),
+        "synthetic traffic all matches"
+    );
+
+    // (b) Flat memory: the peak stays within the close window's worth of
+    // traffic — two orders of magnitude under "hold everything".
+    let per_epoch = layout.records_per_epoch();
+    let bound = per_epoch * (CLOSE_LAG as usize + 2);
+    assert!(
+        stats.peak_resident_records <= bound,
+        "peak {} exceeds {bound} (per-epoch {per_epoch})",
+        stats.peak_resident_records
+    );
+    assert!(
+        stats.peak_resident_records * 10 <= run.full.len(),
+        "residency not flat: peak {} vs {} ingested",
+        stats.peak_resident_records,
+        run.full.len()
+    );
+    // The obs gauge mirrors the engine's own high-water mark.
+    let snap = run.registry.snapshot();
+    assert_eq!(
+        snap.counter("daemon.resident_records"),
+        Some(stats.peak_resident_records as u64)
+    );
+    assert_eq!(snap.counter("daemon.publishes"), Some(EPOCHS));
+    assert!(snap.histogram("daemon.rechart_ns").map(|h| h.count) == Some(EPOCHS));
+
+    // (d) Incrementality: each publish re-estimated only that epoch's
+    // active cells, so total re-estimations are linear in epochs while the
+    // landscape itself grew to active × epochs cells.
+    let expected_cells = layout.active as u64 * EPOCHS;
+    assert_eq!(run.daemon.cell_count() as u64, expected_cells);
+    assert_eq!(
+        stats.cells_reestimated, expected_cells,
+        "one estimate per cell, ever"
+    );
+    let full_rechart_cost: u64 = (1..=EPOCHS).map(|e| e * layout.active as u64).sum();
+    assert!(stats.cells_reestimated * 10 < full_rechart_cost);
+}
+
+#[test]
+fn bernoulli_soak_reuses_the_kernel_cache_across_publishes() {
+    // newGoZ routes to the Bernoulli estimator, whose Theorem-1 segment
+    // kernels are memoized in the daemon's long-lived estimation context:
+    // later epochs re-hit shapes earlier epochs computed.
+    const EPOCHS: u64 = 20;
+    let layout = SoakLayout {
+        servers: 4,
+        active: 2,
+        per_server: 5,
+    };
+    let mut run = start(DgaFamily::new_goz(), EPOCHS, layout);
+    for epoch in 0..EPOCHS {
+        run.run_epoch(epoch);
+    }
+    let snap = run.registry.snapshot();
+    let hits = snap.counter("chart.kernel.memo_hits").unwrap_or(0);
+    let misses = snap.counter("chart.kernel.memo_misses").unwrap_or(0);
+    assert!(misses > 0, "kernels were computed");
+    assert!(
+        hits > misses,
+        "cache persistence must turn repeat shapes into hits ({hits} hits / {misses} misses)"
+    );
+    let stats = run.daemon.stats();
+    assert_eq!(stats.publishes, EPOCHS);
+    assert_eq!(stats.stale_records, 0);
+}

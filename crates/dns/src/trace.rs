@@ -56,20 +56,48 @@ pub fn write_jsonl<T: Serialize, W: Write>(records: &[T], mut writer: W) -> Resu
 /// # Ok::<(), botmeter_dns::trace::TraceError>(())
 /// ```
 pub fn read_jsonl<T: DeserializeOwned, R: BufRead>(reader: R) -> Result<Vec<T>, TraceError> {
-    let mut out = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line.map_err(TraceError::Io)?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let record = serde_json::from_str(trimmed).map_err(|source| TraceError::Parse {
-            line: i + 1,
-            source,
-        })?;
-        out.push(record);
-    }
-    Ok(out)
+    read_jsonl_iter(reader).collect()
+}
+
+/// Streaming [`read_jsonl`]: yields one record (or the first error) at a
+/// time without ever materialising the whole trace — the import path for
+/// unbounded feeds (`botmeterd` reads its stdin through this, chunking
+/// records into ingest shards).
+///
+/// Blank lines are skipped; parse errors carry the 1-based line number.
+///
+/// # Example
+///
+/// ```
+/// use botmeter_dns::{trace, ObservedLookup};
+/// let text = "{\"t\":0,\"server\":1,\"domain\":\"nx.example\"}\n\n\
+///             {\"t\":5,\"server\":2,\"domain\":\"nx.example\"}\n";
+/// let records: Vec<ObservedLookup> = trace::read_jsonl_iter(text.as_bytes())
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(records.len(), 2);
+/// # Ok::<(), botmeter_dns::trace::TraceError>(())
+/// ```
+pub fn read_jsonl_iter<T: DeserializeOwned, R: BufRead>(
+    reader: R,
+) -> impl Iterator<Item = Result<T, TraceError>> {
+    reader
+        .lines()
+        .enumerate()
+        .filter_map(|(i, line)| match line {
+            Err(e) => Some(Err(TraceError::Io(e))),
+            Ok(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    return None;
+                }
+                Some(
+                    serde_json::from_str(trimmed).map_err(|source| TraceError::Parse {
+                        line: i + 1,
+                        source,
+                    }),
+                )
+            }
+        })
 }
 
 /// A trace I/O failure.

@@ -44,6 +44,7 @@ pub use exact::{ExactMatcher, PlainListError};
 pub use pattern::PatternMatcher;
 #[allow(deprecated)]
 pub use stream::match_stream_parallel;
+pub use stream::QualityCursor;
 pub use stream::{
     match_stream, match_stream_recorded, MatchedTraffic, StreamMatcher, StreamQuality,
 };

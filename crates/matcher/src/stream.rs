@@ -79,6 +79,86 @@ impl StreamQuality {
     }
 }
 
+/// How one matched lookup relates to its server's previous matched lookup
+/// — the single classification both [`MatchedTraffic`] and
+/// [`QualityCursor`] count anomalies with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Adjacency {
+    InOrder,
+    OutOfOrder,
+    Duplicate,
+}
+
+/// Classifies `next` against its server's previous matched lookup: a
+/// strict timestamp inversion, an exact adjacent repeat (same timestamp,
+/// same domain), or neither.
+fn classify_adjacency(prev: &ObservedLookup, next: &ObservedLookup) -> Adjacency {
+    if next.t < prev.t {
+        Adjacency::OutOfOrder
+    } else if next.t == prev.t && next.domain == prev.domain {
+        Adjacency::Duplicate
+    } else {
+        Adjacency::InOrder
+    }
+}
+
+/// Bounded-state stream-health tracking across an unbounded matched
+/// stream: the cross-epoch replacement for accumulating a whole
+/// [`MatchedTraffic`] just to read its [`StreamQuality`].
+///
+/// A long-running engine (`botmeterd`) cannot hold every matched lookup,
+/// but the anomaly counts are defined over *adjacent matched pairs per
+/// server* — so one remembered lookup per server is all the state the
+/// sequential scan ever consults. Feed every matched lookup in arrival
+/// order through [`note_matched`](Self::note_matched) (and account scans
+/// with [`note_scanned`](Self::note_scanned)): the resulting
+/// [`quality`](Self::quality) is identical to
+/// `match_stream(..).quality()` over the same stream, for any chunking,
+/// while resident state stays one lookup per server.
+#[derive(Debug, Clone, Default)]
+pub struct QualityCursor {
+    last: BTreeMap<ServerId, ObservedLookup>,
+    quality: StreamQuality,
+}
+
+impl QualityCursor {
+    /// An empty cursor: nothing scanned, nothing matched.
+    pub fn new() -> Self {
+        QualityCursor::default()
+    }
+
+    /// Accounts `n` scanned lookups (matched or not).
+    pub fn note_scanned(&mut self, n: usize) {
+        self.quality.scanned += n;
+    }
+
+    /// Folds one *matched* lookup in arrival order: classifies it against
+    /// its server's previous matched lookup exactly like the batch scan
+    /// does, then becomes that server's new predecessor.
+    pub fn note_matched(&mut self, lookup: &ObservedLookup) {
+        self.quality.matched += 1;
+        if let Some(prev) = self.last.get(&lookup.server) {
+            match classify_adjacency(prev, lookup) {
+                Adjacency::OutOfOrder => self.quality.out_of_order += 1,
+                Adjacency::Duplicate => self.quality.duplicates += 1,
+                Adjacency::InOrder => {}
+            }
+        }
+        self.last.insert(lookup.server, lookup.clone());
+    }
+
+    /// The stream-health summary accumulated so far.
+    pub fn quality(&self) -> StreamQuality {
+        self.quality
+    }
+
+    /// How many servers the cursor currently remembers a predecessor for
+    /// — the cursor's entire resident state.
+    pub fn tracked_servers(&self) -> usize {
+        self.last.len()
+    }
+}
+
 impl MatchedTraffic {
     /// Servers that forwarded at least one matched lookup.
     pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
@@ -133,10 +213,10 @@ impl MatchedTraffic {
     /// chunked-parallel merge counts exactly what the sequential scan does.
     fn note_adjacency(&mut self, prev: Option<&ObservedLookup>, next: &ObservedLookup) {
         if let Some(prev) = prev {
-            if next.t < prev.t {
-                self.out_of_order += 1;
-            } else if next.t == prev.t && next.domain == prev.domain {
-                self.duplicates += 1;
+            match classify_adjacency(prev, next) {
+                Adjacency::OutOfOrder => self.out_of_order += 1,
+                Adjacency::Duplicate => self.duplicates += 1,
+                Adjacency::InOrder => {}
             }
         }
     }
@@ -663,6 +743,48 @@ mod tests {
             r_batch.snapshot().deterministic_counters(),
             r_inc.snapshot().deterministic_counters()
         );
+    }
+
+    #[test]
+    fn quality_cursor_equals_batch_scan_quality() {
+        let stream = anomalous_stream(6000);
+        let m = matcher();
+        let batch = match_stream(&stream, &m, ExecPolicy::Sequential);
+        let mut cursor = QualityCursor::new();
+        cursor.note_scanned(stream.len());
+        for lookup in &stream {
+            if m.matches(&lookup.domain) {
+                cursor.note_matched(lookup);
+            }
+        }
+        assert_eq!(cursor.quality(), batch.quality());
+        assert!(cursor.quality().is_degraded());
+        // The cursor's whole state is one lookup per server.
+        assert_eq!(cursor.tracked_servers(), batch.servers().count());
+    }
+
+    #[test]
+    fn quality_cursor_is_chunking_independent() {
+        let stream = anomalous_stream(3000);
+        let m = matcher();
+        let whole = {
+            let mut c = QualityCursor::new();
+            c.note_scanned(stream.len());
+            for l in stream.iter().filter(|l| m.matches(&l.domain)) {
+                c.note_matched(l);
+            }
+            c.quality()
+        };
+        for chunk_len in [1usize, 7, 64, 999] {
+            let mut c = QualityCursor::new();
+            for chunk in stream.chunks(chunk_len) {
+                c.note_scanned(chunk.len());
+                for l in chunk.iter().filter(|l| m.matches(&l.domain)) {
+                    c.note_matched(l);
+                }
+            }
+            assert_eq!(c.quality(), whole, "chunk_len {chunk_len} diverged");
+        }
     }
 
     #[test]

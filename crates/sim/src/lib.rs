@@ -46,6 +46,7 @@ mod bot;
 mod enterprise;
 mod evasion;
 mod scenario;
+mod sink;
 mod waves;
 
 pub use activation::ActivationModel;
@@ -56,4 +57,5 @@ pub use evasion::EvasionStrategy;
 pub use scenario::{
     PipelineMode, ScenarioBuildError, ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder,
 };
+pub use sink::{FnSink, ShardSink};
 pub use waves::WaveConfig;

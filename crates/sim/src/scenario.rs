@@ -3,6 +3,7 @@
 use crate::activation::ActivationModel;
 use crate::bot::{replay_barrel, simulate_activation};
 use crate::evasion::EvasionStrategy;
+use crate::sink::{FnSink, ShardSink};
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{
     ClientId, ObservedLookup, RawLookup, SimDuration, SimInstant, Topology, TtlPolicy,
@@ -27,10 +28,6 @@ const DEFAULT_SHARDS_PER_EPOCH: u64 = 16;
 /// constant — not a function of the worker count — so the reported
 /// high-water mark is bit-identical under every [`ExecPolicy`].
 const STREAM_ACCOUNT_WINDOW: usize = botmeter_exec::PIPELINE_WINDOW + 1;
-
-/// Optional per-shard observer the streaming pipeline feeds each released
-/// chunk of observed lookups.
-type ShardSink<'a> = Option<&'a mut dyn FnMut(&[ObservedLookup])>;
 
 /// One producer worker's output for a shard: the records that fall inside
 /// the shard's own time slice plus the runs that overshoot into later
@@ -393,21 +390,34 @@ impl ScenarioSpec {
         self.run_sharded(policy, shard, None)
     }
 
-    /// [`run_streaming`](Self::run_streaming) with a per-shard sink:
-    /// `on_shard` receives each shard's released observed records (post
-    /// cache-filter, quantisation and faults) in stream order, so callers
-    /// can match or aggregate incrementally without ever holding the whole
-    /// observed trace either. The returned outcome is identical to
-    /// [`run_streaming`](Self::run_streaming).
-    pub fn run_streaming_each<F>(&self, policy: ExecPolicy, mut on_shard: F) -> ScenarioOutcome
+    /// [`run_streaming`](Self::run_streaming) with a per-shard closure —
+    /// sugar over [`run_streaming_into`](Self::run_streaming_into) via
+    /// [`FnSink`].
+    pub fn run_streaming_each<F>(&self, policy: ExecPolicy, on_shard: F) -> ScenarioOutcome
     where
         F: FnMut(&[ObservedLookup]),
     {
+        let mut sink = FnSink(on_shard);
+        self.run_streaming_into(policy, &mut sink)
+    }
+
+    /// [`run_streaming`](Self::run_streaming) feeding a [`ShardSink`]:
+    /// `sink` receives each shard's released observed records (post
+    /// cache-filter, quantisation and faults) in stream order, so callers
+    /// can match or aggregate incrementally without ever holding the whole
+    /// observed trace either — the interface batch runs and the
+    /// `botmeterd` daemon ingest share. The returned outcome is identical
+    /// to [`run_streaming`](Self::run_streaming).
+    pub fn run_streaming_into(
+        &self,
+        policy: ExecPolicy,
+        sink: &mut dyn ShardSink,
+    ) -> ScenarioOutcome {
         let shard = match self.pipeline {
             PipelineMode::Streaming { shard } => shard,
             PipelineMode::Materialize => None,
         };
-        self.run_sharded(policy, shard, Some(&mut on_shard))
+        self.run_sharded(policy, shard, Some(sink))
     }
 
     /// The streaming pipeline core. Shard `k` covers simulated time
@@ -444,7 +454,7 @@ impl ScenarioSpec {
         &self,
         policy: ExecPolicy,
         shard: Option<SimDuration>,
-        mut on_shard: ShardSink<'_>,
+        mut on_shard: Option<&mut dyn ShardSink>,
     ) -> ScenarioOutcome {
         let authority = self.family.authority_for_epochs(self.num_epochs + 1);
         let (plans, ground_truth) = self.plan_epochs();
@@ -588,7 +598,7 @@ impl ScenarioSpec {
                 };
                 if !released.is_empty() {
                     if let Some(sink) = on_shard.as_deref_mut() {
-                        sink(&released);
+                        sink.on_shard(&released);
                     }
                     observed.extend(released);
                 }
@@ -623,7 +633,7 @@ impl ScenarioSpec {
         let fault_report = fault_stream.map(FaultStream::finish).map(|(tail, report)| {
             if !tail.is_empty() {
                 if let Some(sink) = on_shard {
-                    sink(&tail);
+                    sink.on_shard(&tail);
                 }
                 observed.extend(tail);
             }

@@ -8,7 +8,7 @@
 //! caching local resolver, then lets BotMeter recover the population from
 //! the border-visible stream alone — the end-to-end pipeline of Fig. 2.
 
-use botmeter::core::{absolute_relative_error, BotMeter, BotMeterConfig};
+use botmeter::core::{absolute_relative_error, BotMeter, BotMeterConfig, ChartRequest};
 use botmeter::dga::DgaFamily;
 use botmeter::exec::ExecPolicy;
 use botmeter::sim::ScenarioSpec;
@@ -36,7 +36,7 @@ fn main() {
     // 2. Point BotMeter at the observable stream. Model selection is
     //    automatic: newGoZ is AR, so the Bernoulli estimator is used.
     let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-    let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
+    let landscape = meter.chart_with(&ChartRequest::new(outcome.observed()));
 
     println!("\n{landscape}");
     let estimate = landscape.total_for_epoch(0);

@@ -30,6 +30,23 @@ if [[ -n "$offenders" ]]; then
   exit 1
 fi
 
+echo "==> deprecated chart() grep gate (charting goes through ChartRequest)"
+# `BotMeter::chart` / `try_chart` are deprecated shims kept for one release;
+# all in-tree callers must build a ChartRequest and go through `chart_with` /
+# `try_chart_with`. Only the shim definitions themselves (and their
+# #[allow(deprecated)] coverage test) may mention the old names.
+chart_offenders=$(grep -rlE '\.chart\(|\.try_chart\(' \
+  --include='*.rs' src crates tests examples \
+  | grep -vxF \
+      -e crates/core/src/botmeter.rs \
+  || true)
+if [[ -n "$chart_offenders" ]]; then
+  echo "error: deprecated chart()/try_chart() called outside the shim file:" >&2
+  echo "$chart_offenders" >&2
+  echo "build a ChartRequest and call chart_with()/try_chart_with() instead." >&2
+  exit 1
+fi
+
 echo "==> thread::spawn grep gate (parallelism stays behind botmeter-exec)"
 # Every thread the workspace starts must come from the botmeter-exec pool,
 # so worker counts, panic propagation and sched.* accounting stay in one

@@ -15,7 +15,10 @@
 //! * [`sim`] — bot activation processes and network/trace simulators;
 //! * [`matcher`] — the D3 (DGA-domain detection) matching stage;
 //! * [`core`] — the estimator library (Timing `MT`, Poisson `MP`,
-//!   Bernoulli `MB`, Coverage `MC`) and the [`core::BotMeter`] facade;
+//!   Bernoulli `MB`, Coverage `MC`) and the [`core::BotMeter`] facade
+//!   (charted through a [`core::ChartRequest`]);
+//! * [`daemon`] — `botmeterd`: the long-running incremental charting
+//!   engine with versioned, diffable landscape snapshots;
 //! * [`exec`] — the execution substrate behind the unified
 //!   [`exec::ExecPolicy`] API (every pipeline entry point takes one);
 //! * [`obs`] — the observability layer: attach an [`obs::Obs`] recorder to
@@ -47,6 +50,7 @@
 //! ```
 
 pub use botmeter_core as core;
+pub use botmeter_daemon as daemon;
 pub use botmeter_dga as dga;
 pub use botmeter_dns as dns;
 pub use botmeter_exec as exec;
@@ -59,10 +63,12 @@ pub use botmeter_stats as stats;
 /// One-stop imports for the common simulation → match → estimate pipeline.
 pub mod prelude {
     pub use botmeter_core::{
-        absolute_relative_error, BernoulliEstimator, BotMeter, BotMeterConfig, CoverageEstimator,
-        EstimationContext, Estimator, HybridEstimator, PoissonEstimator, SamplingEstimator,
-        TimingEstimator, WindowOccupancyEstimator,
+        absolute_relative_error, BernoulliEstimator, BotMeter, BotMeterConfig, ChartRequest,
+        CoverageEstimator, EstimationContext, Estimator, HybridEstimator, LandscapeDelta,
+        LandscapeVersion, PoissonEstimator, SamplingEstimator, TimingEstimator,
+        WindowOccupancyEstimator,
     };
+    pub use botmeter_daemon::{BotMeterDaemon, DaemonOptions, LandscapeStore};
     pub use botmeter_dga::{BarrelClass, DgaFamily, DgaParams, PoolClass, QueryTiming};
     pub use botmeter_dns::{
         DomainName, ObservedLookup, RawLookup, ServerId, SimDuration, SimInstant, TtlPolicy,
@@ -71,5 +77,5 @@ pub mod prelude {
     pub use botmeter_faults::{FaultModel, FaultPlan, FaultReport};
     pub use botmeter_matcher::{DetectionWindow, DomainMatcher};
     pub use botmeter_obs::{MetricsRegistry, MetricsSnapshot, Obs};
-    pub use botmeter_sim::{PipelineMode, ScenarioOutcome, ScenarioSpec};
+    pub use botmeter_sim::{PipelineMode, ScenarioOutcome, ScenarioSpec, ShardSink};
 }

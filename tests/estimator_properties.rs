@@ -245,7 +245,7 @@ proptest! {
 /// segments, cell counts).
 #[test]
 fn charting_is_bit_identical_across_policies_and_pipeline_modes() {
-    use botmeter::core::{BotMeter, BotMeterConfig};
+    use botmeter::core::{BotMeter, BotMeterConfig, ChartRequest};
     use botmeter::obs::Obs;
     use botmeter::sim::{PipelineMode, ScenarioSpec};
 
@@ -276,7 +276,15 @@ fn charting_is_bit_identical_across_policies_and_pipeline_modes() {
         for policy in [ExecPolicy::Sequential, ExecPolicy::parallel()] {
             let (obs, registry) = Obs::collecting();
             let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
-            landscapes.push((mode, policy, meter.chart(outcome.observed(), 0..2, policy)));
+            landscapes.push((
+                mode,
+                policy,
+                meter.chart_with(
+                    &ChartRequest::new(outcome.observed())
+                        .epochs(0..2)
+                        .policy(policy),
+                ),
+            ));
             counters.push(registry.snapshot().deterministic_counters());
         }
     }

@@ -1,7 +1,7 @@
 //! Multi-level hierarchy integration: the paper's Fig. 1 setting with
 //! several caching levels between clients and the vantage point.
 
-use botmeter::core::{BotMeter, BotMeterConfig, ModelKind};
+use botmeter::core::{BotMeter, BotMeterConfig, ChartRequest, ModelKind};
 use botmeter::dga::DgaFamily;
 use botmeter::dns::{ClientId, ObservedLookup, RawLookup, ServerId, TopologyBuilder, TtlPolicy};
 use botmeter::exec::ExecPolicy;
@@ -107,7 +107,7 @@ fn landscape_ranks_the_heavier_site_first() {
     // Two of three floors (≈ 2/3 of bots) hang under site A.
     let meter =
         BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage));
-    let landscape = meter.chart(&observed, 0..1, ExecPolicy::default());
+    let landscape = meter.chart_with(&ChartRequest::new(&observed));
     let a = landscape.estimate(site_a, 0);
     let b = landscape.estimate(site_b, 0);
     assert!(a > 0.0 && b > 0.0);

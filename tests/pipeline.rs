@@ -2,8 +2,8 @@
 //! across the taxonomy.
 
 use botmeter::core::{
-    absolute_relative_error, BotMeter, BotMeterConfig, EstimationContext, Estimator, ModelKind,
-    PoissonEstimator, TimingEstimator,
+    absolute_relative_error, BotMeter, BotMeterConfig, ChartRequest, EstimationContext, Estimator,
+    ModelKind, PoissonEstimator, TimingEstimator,
 };
 use botmeter::dga::DgaFamily;
 use botmeter::dns::ServerId;
@@ -26,7 +26,7 @@ fn full_pipeline_recovers_au_population() {
     for seed in 0..5 {
         let outcome = run(DgaFamily::murofet(), 64, seed);
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
+        let landscape = meter.chart_with(&ChartRequest::new(outcome.observed()));
         errors.push(absolute_relative_error(
             landscape.total_for_epoch(0),
             outcome.ground_truth()[0] as f64,
@@ -43,7 +43,7 @@ fn full_pipeline_recovers_ar_population_via_coverage() {
         let outcome = run(DgaFamily::new_goz(), 128, 100 + seed);
         let meter =
             BotMeter::new(BotMeterConfig::new(outcome.family().clone()).model(ModelKind::Coverage));
-        let landscape = meter.chart(outcome.observed(), 0..1, ExecPolicy::default());
+        let landscape = meter.chart_with(&ChartRequest::new(outcome.observed()));
         errors.push(absolute_relative_error(
             landscape.total_for_epoch(0),
             outcome.ground_truth()[0] as f64,
@@ -120,7 +120,7 @@ fn landscape_separates_servers_in_star_topology() {
     assert!(observed.iter().any(|o| o.server == servers[1]));
 
     let meter = BotMeter::new(BotMeterConfig::new(family).model(ModelKind::Coverage));
-    let landscape = meter.chart(&observed, 0..1, ExecPolicy::default());
+    let landscape = meter.chart_with(&ChartRequest::new(&observed));
     assert!(landscape.estimate(servers[0], 0) > 0.0);
     assert!(landscape.estimate(servers[1], 0) > 0.0);
     let _ = SimInstant::ZERO;
@@ -133,8 +133,8 @@ fn pipeline_is_deterministic() {
     assert_eq!(a.observed(), b.observed());
     let meter = BotMeter::new(BotMeterConfig::new(a.family().clone()));
     assert_eq!(
-        meter.chart(a.observed(), 0..1, ExecPolicy::default()),
-        meter.chart(b.observed(), 0..1, ExecPolicy::default())
+        meter.chart_with(&ChartRequest::new(a.observed())),
+        meter.chart_with(&ChartRequest::new(b.observed()))
     );
 }
 

@@ -3,7 +3,7 @@
 //! (loss-aware rescaling, quality flags, typed parameter errors), and a
 //! panicking task must not take its batch down with it.
 
-use botmeter::core::{BotMeter, BotMeterConfig, CellQuality, Error, Landscape};
+use botmeter::core::{BotMeter, BotMeterConfig, CellQuality, ChartRequest, Error, Landscape};
 use botmeter::dga::DgaFamily;
 use botmeter::dns::{SimDuration, SimInstant};
 use botmeter::exec::{try_run_indexed_with, ExecPolicy};
@@ -37,10 +37,10 @@ fn faulted_landscape_is_bit_identical_across_policies() {
             .build()
             .expect("valid spec")
             .run(policy);
-        BotMeter::new(BotMeterConfig::new(outcome.family().clone())).chart(
-            outcome.observed(),
-            0..2,
-            policy,
+        BotMeter::new(BotMeterConfig::new(outcome.family().clone())).chart_with(
+            &ChartRequest::new(outcome.observed())
+                .epochs(0..2)
+                .policy(policy),
         )
     };
     let sequential = chart(ExecPolicy::Sequential);
@@ -67,16 +67,10 @@ fn delivery_rate_correction_recovers_sampled_populations() {
         "sampler must thin the stream"
     );
 
-    let naive = BotMeter::new(BotMeterConfig::new(family.clone())).chart(
-        outcome.observed(),
-        0..1,
-        ExecPolicy::Sequential,
-    );
-    let corrected = BotMeter::new(BotMeterConfig::new(family).delivery_rate(0.5)).chart(
-        outcome.observed(),
-        0..1,
-        ExecPolicy::Sequential,
-    );
+    let naive = BotMeter::new(BotMeterConfig::new(family.clone()))
+        .chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::Sequential));
+    let corrected = BotMeter::new(BotMeterConfig::new(family).delivery_rate(0.5))
+        .chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::Sequential));
     assert_eq!(naive.len(), corrected.len());
     for (n, c) in naive.entries().iter().zip(corrected.entries()) {
         assert_eq!(c.estimate, n.estimate * 2.0);
@@ -87,13 +81,13 @@ fn delivery_rate_correction_recovers_sampled_populations() {
 #[test]
 fn try_chart_surfaces_typed_errors() {
     let meter = BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()).delivery_rate(f64::NAN));
-    match meter.try_chart(&[], 0..1, ExecPolicy::Sequential) {
+    match meter.try_chart_with(&ChartRequest::new(&[]).policy(ExecPolicy::Sequential)) {
         Err(Error::BadDeliveryRate { rate }) => assert!(rate.is_nan()),
         other => panic!("expected BadDeliveryRate, got {other:?}"),
     }
     let meter = BotMeter::new(BotMeterConfig::new(DgaFamily::new_goz()));
     assert_eq!(
-        meter.try_chart(&[], 2..2, ExecPolicy::Sequential),
+        meter.try_chart_with(&ChartRequest::new(&[]).epochs(2..2)),
         Err(Error::EmptyEpochRange { start: 2, end: 2 })
     );
 }
@@ -114,7 +108,7 @@ fn outage_degrades_but_never_corrupts_the_landscape() {
             .expect("valid spec")
             .run(ExecPolicy::Sequential);
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-        meter.chart(outcome.observed(), 0..1, ExecPolicy::Sequential)
+        meter.chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::Sequential))
     };
     let clean = run(None);
     let outage = run(Some(FaultPlan::new(41).with(FaultModel::Outage {

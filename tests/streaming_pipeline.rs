@@ -4,7 +4,7 @@
 //! matched traffic (and the landscape charted from it) must be
 //! bit-identical to the batch pipeline's.
 
-use botmeter::core::{BotMeter, BotMeterConfig};
+use botmeter::core::{BotMeter, BotMeterConfig, ChartRequest};
 use botmeter::dga::DgaFamily;
 use botmeter::exec::ExecPolicy;
 use botmeter::faults::{FaultModel, FaultPlan};
@@ -56,8 +56,16 @@ fn fused_streaming_match_equals_batch_match() {
 
         // And the landscape charted from the streamed observations agrees.
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-        let from_stream = meter.chart(outcome.observed(), 0..2, policy);
-        let from_batch = meter.chart(batch.observed(), 0..2, policy);
+        let from_stream = meter.chart_with(
+            &ChartRequest::new(outcome.observed())
+                .epochs(0..2)
+                .policy(policy),
+        );
+        let from_batch = meter.chart_with(
+            &ChartRequest::new(batch.observed())
+                .epochs(0..2)
+                .policy(policy),
+        );
         assert_eq!(from_stream, from_batch, "landscape diverged ({policy:?})");
     }
 }
