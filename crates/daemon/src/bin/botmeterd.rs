@@ -12,16 +12,51 @@
 //!     botmeterd --family newgoz --epochs 7
 //! ```
 //!
+//! With `--data-dir DIR` the daemon runs **crash-safe**: every shard is
+//! written to a checksummed write-ahead journal before ingest, the engine
+//! state is checkpointed atomically every `--checkpoint-every` shards, and
+//! on startup the daemon recovers from the newest readable checkpoint plus
+//! journal replay. Records already ingested before a crash are skipped on
+//! the refed stream, so a `kill -9` + restart publishes snapshots
+//! bit-identical to an uninterrupted run. SIGTERM/SIGINT trigger a final
+//! checkpoint flush and a clean exit.
+//!
 //! Usage: `botmeterd --family NAME [--epochs E] [--model MODEL]
 //! [--threads N] [--close-lag L] [--retention R] [--shard-records S]
-//! [--delivery-rate F]`.
+//! [--delivery-rate F] [--data-dir DIR] [--checkpoint-every N]
+//! [--final-snapshot PATH]`.
 
 use botmeter_core::{BotMeter, BotMeterConfig, LandscapeVersion, ModelKind};
-use botmeter_daemon::{BotMeterDaemon, DaemonOptions};
+use botmeter_daemon::{
+    BotMeterDaemon, DaemonOptions, DiskStorage, DurabilityOptions, DurableDaemon, Storage,
+};
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{trace, ObservedLookup};
 use botmeter_exec::ExecPolicy;
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; checked between shards.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `request_shutdown` for SIGTERM and SIGINT via the C runtime's
+/// `signal(2)` — the workspace vendors no libc bindings, and these two
+/// constants are identical on every platform the daemon targets.
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, request_shutdown as *const () as usize);
+        signal(SIGINT, request_shutdown as *const () as usize);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +68,9 @@ fn main() {
     let mut retention = 8usize;
     let mut shard_records = 4096usize;
     let mut delivery_rate = 1.0f64;
+    let mut data_dir: Option<String> = None;
+    let mut checkpoint_every = 16u64;
+    let mut final_snapshot: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -67,6 +105,14 @@ fn main() {
             "--retention" => retention = parse(value, "--retention"),
             "--shard-records" => shard_records = parse(value, "--shard-records"),
             "--delivery-rate" => delivery_rate = parse(value, "--delivery-rate"),
+            "--data-dir" => {
+                data_dir = Some(value.unwrap_or_else(|| usage("--data-dir needs a path")));
+            }
+            "--checkpoint-every" => checkpoint_every = parse(value, "--checkpoint-every"),
+            "--final-snapshot" => {
+                final_snapshot =
+                    Some(value.unwrap_or_else(|| usage("--final-snapshot needs a path")));
+            }
             other => usage(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -83,20 +129,45 @@ fn main() {
             .model(model)
             .delivery_rate(delivery_rate),
     );
+    let shard_records = shard_records.max(1);
+    // In durable mode the engine's own auto-publish drives reporting, so
+    // the publish schedule is a pure function of engine state and replays
+    // identically after a crash. The ephemeral path keeps the historical
+    // explicit per-shard trigger (identical schedule, binary-local state).
     let options = DaemonOptions::new(0..epochs)
         .policy(policy)
         .close_lag(close_lag)
         .retention(retention.max(2)) // keep a previous snapshot to diff against
-        .auto_publish(false); // publishing is driven per shard below
-    let mut daemon = BotMeterDaemon::new(meter, options).unwrap_or_else(|e| usage(&e.to_string()));
+        .auto_publish(data_dir.is_some());
 
+    match data_dir {
+        Some(dir) => run_durable(
+            meter,
+            options,
+            &dir,
+            checkpoint_every,
+            shard_records,
+            final_snapshot.as_deref(),
+        ),
+        None => run_ephemeral(meter, options, shard_records, final_snapshot.as_deref()),
+    }
+}
+
+/// The historical in-memory mode: no journal, no checkpoints.
+fn run_ephemeral(
+    meter: BotMeter,
+    options: DaemonOptions,
+    shard_records: usize,
+    final_snapshot: Option<&str>,
+) {
+    let mut daemon = BotMeterDaemon::new(meter, options).unwrap_or_else(|e| usage(&e.to_string()));
     let stdin = io::stdin();
-    let mut shard: Vec<ObservedLookup> = Vec::with_capacity(shard_records.max(1));
+    let mut shard: Vec<ObservedLookup> = Vec::with_capacity(shard_records);
     let mut last_epoch_published: Option<u64> = None;
     for record in trace::read_jsonl_iter::<ObservedLookup, _>(stdin.lock()) {
         let lookup = record.unwrap_or_else(|e| usage(&e.to_string()));
         shard.push(lookup);
-        if shard.len() >= shard_records.max(1) {
+        if shard.len() >= shard_records {
             drain_shard(&mut daemon, &mut shard, &mut last_epoch_published);
         }
     }
@@ -104,10 +175,151 @@ fn main() {
     // Publish the trailing partial epoch.
     let version = daemon.publish_now();
     report(&daemon, version);
+    finish(&daemon, final_snapshot);
+}
 
+/// Crash-safe mode: journal + checkpoints in `data_dir`, recovery on
+/// startup, resume-skip over the refed stream, graceful signal shutdown.
+fn run_durable(
+    meter: BotMeter,
+    options: DaemonOptions,
+    data_dir: &str,
+    checkpoint_every: u64,
+    shard_records: usize,
+    final_snapshot: Option<&str>,
+) {
+    install_signal_handlers();
+    let storage = DiskStorage::open(data_dir)
+        .unwrap_or_else(|e| usage(&format!("cannot open --data-dir {data_dir:?}: {e}")));
+    let (mut daemon, recovery) = DurableDaemon::open(
+        meter,
+        options,
+        storage,
+        DurabilityOptions::new(checkpoint_every),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("[botmeterd] recovery failed: {e}");
+        std::process::exit(1);
+    });
+    if recovery.checkpoint_seq > 0 || recovery.replayed_frames > 0 {
+        eprintln!(
+            "[botmeterd] recovered: checkpoint seq {} (+{} corrupt skipped), \
+             replayed {} journal frames / {} records, {} torn bytes discarded, \
+             resuming after record {}",
+            recovery.checkpoint_seq,
+            recovery.corrupt_checkpoints,
+            recovery.replayed_frames,
+            recovery.replayed_records,
+            recovery.torn_tail_bytes,
+            recovery.ingested_records,
+        );
+    }
+
+    // The feed restarts from the beginning of the trace; skip what the
+    // recovered engine already ingested, and size the first fresh shard to
+    // land the next boundary back on a multiple of `shard_records`, so the
+    // publish/checkpoint schedule is identical to an uninterrupted run.
+    let skip = recovery.ingested_records;
+    let misalignment = (skip % shard_records as u64) as usize;
+    let mut next_shard_len = if misalignment == 0 {
+        shard_records
+    } else {
+        shard_records - misalignment
+    };
+
+    let stdin = io::stdin();
+    let mut seen = 0u64;
+    let mut shard: Vec<ObservedLookup> = Vec::with_capacity(shard_records);
+    let mut interrupted = false;
+    for record in trace::read_jsonl_iter::<ObservedLookup, _>(stdin.lock()) {
+        let lookup = record.unwrap_or_else(|e| usage(&e.to_string()));
+        seen += 1;
+        if seen <= skip {
+            continue;
+        }
+        shard.push(lookup);
+        if shard.len() >= next_shard_len {
+            if let Some(version) = daemon.ingest(&shard) {
+                report(daemon.engine(), version);
+            }
+            shard.clear();
+            next_shard_len = shard_records;
+        }
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            interrupted = true;
+            break;
+        }
+    }
+    // A signal that arrived while the reader was blocked is only noticed
+    // once the read returns — re-check after the loop so "SIGTERM, then
+    // the feed closes" takes the graceful path, not the end-of-input one.
+    interrupted = interrupted || SHUTDOWN.load(Ordering::SeqCst);
+
+    if interrupted {
+        // Graceful shutdown: the buffered partial shard was never
+        // journaled, so it is simply dropped — the restart re-reads those
+        // records from the feed. Flush a final checkpoint and exit clean.
+        match daemon.shutdown() {
+            Ok(()) => eprintln!(
+                "[botmeterd] signal received: checkpointed at journal seq {}, exiting",
+                daemon.journal_seq()
+            ),
+            Err(e) => {
+                eprintln!("[botmeterd] signal received but final checkpoint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        std::process::exit(0);
+    }
+
+    if !shard.is_empty() {
+        if let Some(version) = daemon.ingest(&shard) {
+            report(daemon.engine(), version);
+        }
+        shard.clear();
+    }
+    // Publish the trailing partial epoch — but only when the engine has
+    // unpublished work. A restart that recovered a fully-caught-up state
+    // must not mint a new version for content it already published, or
+    // the version sequence would drift from an uninterrupted run's.
+    if daemon.engine().dirty_cells() > 0 || daemon.engine().store().is_empty() {
+        let version = daemon.publish_now();
+        report(daemon.engine(), version);
+    }
+    if let Err(e) = daemon.shutdown() {
+        eprintln!("[botmeterd] final checkpoint failed: {e}");
+    }
+    if daemon.is_degraded() {
+        eprintln!(
+            "[botmeterd] WARNING: journal degraded; {} shards rode on checkpoints alone",
+            daemon.durability_stats().unjournaled_shards
+        );
+    }
+    finish(daemon.engine(), final_snapshot);
+}
+
+/// Prints the final landscape and counters; optionally writes the
+/// snapshot to `final_snapshot` (atomically, via the storage layer) for
+/// byte-for-byte comparison by the chaos harness.
+fn finish(daemon: &BotMeterDaemon, final_snapshot: Option<&str>) {
     if let Some((version, landscape)) = daemon.latest() {
         eprintln!("[botmeterd] final snapshot {version}:");
         eprint!("{landscape}");
+        if let Some(path) = final_snapshot {
+            let target = std::path::Path::new(path);
+            let dir = target.parent().filter(|p| !p.as_os_str().is_empty());
+            let name = target
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_else(|| usage("--final-snapshot needs a file path"));
+            let body = format!("{version}\n{landscape}");
+            let write = DiskStorage::open(dir.unwrap_or(std::path::Path::new(".")))
+                .and_then(|mut s| s.write_atomic(name, body.as_bytes()));
+            if let Err(e) = write {
+                eprintln!("[botmeterd] could not write final snapshot {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     let stats = daemon.stats();
     eprintln!(
@@ -184,7 +396,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: botmeterd --family NAME [--epochs E] [--model MODEL] \
          [--threads N] [--close-lag L] [--retention R] \
-         [--shard-records S] [--delivery-rate F]   (trace on stdin)"
+         [--shard-records S] [--delivery-rate F] [--data-dir DIR] \
+         [--checkpoint-every N] [--final-snapshot PATH]   (trace on stdin)"
     );
     std::process::exit(2);
 }

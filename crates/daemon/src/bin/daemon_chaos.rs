@@ -1,0 +1,299 @@
+//! `daemon_chaos` — kill-and-restart harness for the crash-safe daemon.
+//!
+//! Proves `botmeterd`'s durability contract from the *outside*, against
+//! the real binary, the real filesystem and real `kill -9`:
+//!
+//! 1. **Reference run**: feed a deterministic trace to an uninterrupted
+//!    `botmeterd --data-dir`, capture its final snapshot file.
+//! 2. **Chaos cycles**: feed the same trace to a daemon sharing one data
+//!    directory, SIGKILL it after a deterministically-random number of
+//!    records, restart, repeat — then let the last incarnation run to end
+//!    of input and require its final snapshot to be **byte-identical** to
+//!    the reference.
+//! 3. **Corruption cycle**: flip a byte in the newest checkpoint between
+//!    two kills and require recovery to fall back to the previous
+//!    generation (plus journal replay) with the same final snapshot.
+//! 4. **Graceful cycle**: SIGTERM mid-feed must exit 0 after a final
+//!    checkpoint flush, and the follow-up run must again converge to the
+//!    reference snapshot.
+//!
+//! The kill *points* are deterministic (seeded [`ChaCha12Rng`]); where
+//! each SIGKILL lands inside the daemon is scheduler noise — which is the
+//! point: the contract must hold wherever the axe falls.
+//!
+//! Usage: `daemon_chaos [--cycles N] [--per-server L] [--epochs E]
+//! [--seed S] [--keep-dirs]`. Exits non-zero on any contract violation.
+
+use botmeter_daemon::synthetic::{epoch_traffic, SoakLayout};
+use botmeter_dga::DgaFamily;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const FAMILY: &str = "newgoz";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cycles = 20usize;
+    let mut per_server = 600u32;
+    let mut epochs = 3u64;
+    let mut seed = 0xC4A0_5EEDu64;
+    let mut keep_dirs = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        match flag {
+            "--cycles" => cycles = parse(args.get(i), "--cycles"),
+            "--per-server" => per_server = parse(args.get(i), "--per-server"),
+            "--epochs" => epochs = parse(args.get(i), "--epochs"),
+            "--seed" => seed = parse(args.get(i), "--seed"),
+            "--keep-dirs" => {
+                keep_dirs = true;
+                continue;
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let botmeterd = sibling("botmeterd");
+    let family = DgaFamily::by_name(FAMILY).expect("preset exists");
+    let layout = SoakLayout {
+        servers: 8,
+        active: 6,
+        per_server: per_server.max(1),
+    };
+    let mut trace = Vec::new();
+    for epoch in 0..epochs {
+        for lookup in epoch_traffic(&family, epoch, layout) {
+            let line = serde_json::to_string(&lookup).expect("lookups serialize");
+            trace.push(line);
+        }
+    }
+    let records = trace.len();
+    println!("[chaos] trace: {records} records over {epochs} epochs; {cycles} kill cycles");
+
+    let scratch = std::env::temp_dir().join(format!("botmeter-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap_or_else(|e| fail(&format!("mkdir scratch: {e}")));
+
+    // 1. Uninterrupted reference.
+    let ref_snap = scratch.join("reference.snap");
+    let ref_dir = scratch.join("reference.d");
+    let mut child = spawn(&botmeterd, epochs, &ref_dir, &ref_snap);
+    feed(&mut child, &trace, records);
+    let status = child.wait().expect("wait reference");
+    if !status.success() {
+        fail(&format!("reference run failed: {status}"));
+    }
+    let reference = std::fs::read(&ref_snap).unwrap_or_else(|e| fail(&format!("read ref: {e}")));
+    println!("[chaos] reference snapshot: {} bytes", reference.len());
+
+    // 2. Kill-9 cycles against one shared data directory.
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let chaos_dir = scratch.join("chaos.d");
+    let chaos_snap = scratch.join("chaos.snap");
+    for cycle in 0..cycles {
+        let kill_after = rng.gen_range(1..records);
+        let mut child = spawn(&botmeterd, epochs, &chaos_dir, &chaos_snap);
+        feed(&mut child, &trace, kill_after);
+        child.kill().expect("SIGKILL");
+        let status = child.wait().expect("wait killed child");
+        println!("[chaos] cycle {cycle}: SIGKILL after {kill_after} records (exit {status})");
+    }
+    converge(
+        &botmeterd,
+        epochs,
+        &chaos_dir,
+        &chaos_snap,
+        &trace,
+        &reference,
+        "kill-9 cycles",
+    );
+
+    // 3. Corruption cycle: damage the newest checkpoint mid-sequence; the
+    // next recovery must fall back a generation and still converge.
+    let kill_after = rng.gen_range(records / 2..records);
+    let mut child = spawn(&botmeterd, epochs, &chaos_dir, &chaos_snap);
+    feed(&mut child, &trace, kill_after);
+    child.kill().expect("SIGKILL");
+    child.wait().expect("wait killed child");
+    match newest_checkpoint(&chaos_dir) {
+        Some(path) => {
+            corrupt_middle_byte(&path);
+            println!("[chaos] corrupted {}", path.display());
+        }
+        None => println!("[chaos] no checkpoint written before the corruption kill; skipping flip"),
+    }
+    converge(
+        &botmeterd,
+        epochs,
+        &chaos_dir,
+        &chaos_snap,
+        &trace,
+        &reference,
+        "corruption cycle",
+    );
+
+    // 4. Graceful cycle: SIGTERM mid-feed must flush and exit 0.
+    let term_after = rng.gen_range(1..records);
+    let mut child = spawn(&botmeterd, epochs, &chaos_dir, &chaos_snap);
+    feed_keep_open(&mut child, &trace, term_after);
+    let sigterm = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("spawn kill(1)");
+    if !sigterm.success() {
+        fail("kill -TERM failed");
+    }
+    drop(child.stdin.take()); // close the feed; the handler is now set
+    let status = child.wait().expect("wait SIGTERMed child");
+    if status.code() != Some(0) {
+        fail(&format!("SIGTERM should exit 0, got {status}"));
+    }
+    println!("[chaos] SIGTERM after {term_after} records: clean exit");
+    converge(
+        &botmeterd,
+        epochs,
+        &chaos_dir,
+        &chaos_snap,
+        &trace,
+        &reference,
+        "graceful cycle",
+    );
+
+    if keep_dirs {
+        println!("[chaos] PASS (scratch kept at {})", scratch.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&scratch);
+        println!("[chaos] PASS");
+    }
+}
+
+/// Spawns `botmeterd` in durable mode over `data_dir`.
+fn spawn(botmeterd: &Path, epochs: u64, data_dir: &Path, snap: &Path) -> Child {
+    Command::new(botmeterd)
+        .args(["--family", FAMILY, "--epochs", &epochs.to_string()])
+        .args(["--shard-records", "500", "--checkpoint-every", "4"])
+        .arg("--data-dir")
+        .arg(data_dir)
+        .arg("--final-snapshot")
+        .arg(snap)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn {}: {e}", botmeterd.display())))
+}
+
+/// Writes the first `count` trace records to the child's stdin, then
+/// closes the feed. Broken pipes (child already dead) are tolerated.
+fn feed(child: &mut Child, trace: &[String], count: usize) {
+    feed_keep_open(child, trace, count);
+    drop(child.stdin.take());
+}
+
+/// Like [`feed`] but leaves stdin open, so a signal can land while the
+/// daemon is mid-stream rather than at end-of-input.
+fn feed_keep_open(child: &mut Child, trace: &[String], count: usize) {
+    let stdin = child.stdin.as_mut().expect("piped stdin");
+    for line in &trace[..count.min(trace.len())] {
+        if stdin
+            .write_all(line.as_bytes())
+            .and_then(|_| stdin.write_all(b"\n"))
+            .is_err()
+        {
+            return; // the child died mid-feed; that is chaos working
+        }
+    }
+    let _ = stdin.flush();
+}
+
+/// Runs one uninterrupted pass over the shared data directory and
+/// requires the final snapshot to match the reference byte-for-byte.
+fn converge(
+    botmeterd: &Path,
+    epochs: u64,
+    data_dir: &Path,
+    snap: &Path,
+    trace: &[String],
+    reference: &[u8],
+    label: &str,
+) {
+    let mut child = spawn(botmeterd, epochs, data_dir, snap);
+    feed(&mut child, trace, trace.len());
+    let status = child.wait().expect("wait convergence run");
+    if !status.success() {
+        fail(&format!("{label}: convergence run failed: {status}"));
+    }
+    let recovered = std::fs::read(snap).unwrap_or_else(|e| fail(&format!("read {label}: {e}")));
+    if recovered != reference {
+        fail(&format!(
+            "{label}: recovered snapshot differs from the uninterrupted reference \
+             ({} vs {} bytes)",
+            recovered.len(),
+            reference.len()
+        ));
+    }
+    // Durability state must survive for the next scenario; only the
+    // snapshot file is per-run.
+    println!("[chaos] {label}: snapshot bit-identical to reference");
+}
+
+/// The newest `checkpoint.*.bmck` in `dir`, by embedded sequence number.
+fn newest_checkpoint(dir: &Path) -> Option<PathBuf> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| n.starts_with("checkpoint.") && n.ends_with(".bmck"))
+        .collect();
+    names.sort();
+    names.pop().map(|n| dir.join(n))
+}
+
+/// Flips one byte in the middle of `path` in place (a deliberately
+/// non-atomic scribble — this simulates disk damage, not a writer).
+fn corrupt_middle_byte(path: &Path) {
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap_or_else(|e| fail(&format!("open for corruption: {e}")));
+    let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+    if len == 0 {
+        return;
+    }
+    let pos = len / 2;
+    let mut byte = [0u8];
+    file.seek(SeekFrom::Start(pos)).expect("seek");
+    file.read_exact(&mut byte).expect("read target byte");
+    byte[0] ^= 0xFF;
+    file.seek(SeekFrom::Start(pos)).expect("seek back");
+    file.write_all(&byte).expect("write corruption");
+}
+
+/// The path of a sibling binary in the same target directory.
+fn sibling(name: &str) -> PathBuf {
+    let mut path = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    path.set_file_name(name);
+    if !path.exists() {
+        fail(&format!(
+            "{} not found next to daemon_chaos — build it first (cargo build --bin botmeterd)",
+            path.display()
+        ));
+    }
+    path
+}
+
+fn parse<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(&format!("{flag} needs a valid value")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[chaos] FAIL: {msg}");
+    std::process::exit(1);
+}

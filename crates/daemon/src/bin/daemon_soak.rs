@@ -84,7 +84,7 @@ fn main() {
             let delta = daemon
                 .store()
                 .delta(prev, version)
-                .unwrap_or_else(|| fail("adjacent versions not retained"));
+                .unwrap_or_else(|e| fail(&format!("adjacent versions not retained: {e}")));
             let base = daemon.store().at(prev).expect("retained").clone();
             let next = daemon.store().at(version).expect("retained");
             match base.apply(&delta) {

@@ -10,6 +10,7 @@
 //! chart over the same observed prefix; see [`BotMeterDaemon`] for the
 //! exact contract and its one documented exception (stale arrivals).
 
+use crate::checkpoint::{CellCheckpoint, EngineCheckpoint, SnapshotCheckpoint, StatsCheckpoint};
 use crate::store::LandscapeStore;
 use botmeter_core::{
     BotMeter, CellQuality, CellSlice, ChartMatcher, ChartRequest, EstimationContext, Estimator,
@@ -115,6 +116,11 @@ impl DaemonOptions {
     /// The configured epoch window.
     pub fn epoch_range(&self) -> Range<u64> {
         self.epochs.clone()
+    }
+
+    /// The attached observability handle (a noop handle by default).
+    pub fn observability(&self) -> Obs {
+        self.obs.clone()
     }
 }
 
@@ -481,6 +487,129 @@ impl BotMeterDaemon {
                 .epochs(self.epochs.clone())
                 .policy(self.policy),
         )
+    }
+
+    /// Fingerprint of everything that shapes this engine's *results*:
+    /// family, estimator route, epoch window, close lag, delivery rate and
+    /// retention. Recovery refuses to load a checkpoint taken under a
+    /// different fingerprint — resuming murofet state into a newGoZ
+    /// engine would silently skew the landscape. The [`ExecPolicy`] is
+    /// deliberately excluded: results are policy-independent, so a daemon
+    /// may restart with a different worker count.
+    pub fn config_fingerprint(&self) -> String {
+        format!(
+            "family={};model={};epochs={}..{};close_lag={};rate={};retention={}",
+            self.meter.config().family().name(),
+            self.estimator.name(),
+            self.epochs.start,
+            self.epochs.end,
+            self.close_lag,
+            self.rate.to_bits(),
+            self.store.retention(),
+        )
+    }
+
+    /// Serializes the engine's complete recoverable state at journal
+    /// watermark `wal_seq` — the cell ledger, quality cursor, head
+    /// bookkeeping, counters and retained snapshots. The segment-kernel
+    /// cache is deliberately absent: it is a deterministic memo that
+    /// rebuilds lazily and cannot affect published results.
+    pub fn checkpoint_state(&self, wal_seq: u64) -> EngineCheckpoint {
+        EngineCheckpoint {
+            config: self.config_fingerprint(),
+            wal_seq,
+            cells: self
+                .cells
+                .iter()
+                .map(|(&(server, epoch), cell)| CellCheckpoint {
+                    server,
+                    epoch,
+                    lookups: cell.lookups.clone(),
+                    raw_bits: cell.raw.to_bits(),
+                    dirty: cell.dirty,
+                    frozen: cell.frozen,
+                    stale: cell.stale,
+                })
+                .collect(),
+            cursor: self.cursor.to_state(),
+            head: self.head,
+            prev_head_epoch: self.prev_head_epoch,
+            stats: StatsCheckpoint {
+                ingested: self.stats.ingested,
+                matched: self.stats.matched,
+                stale_records: self.stats.stale_records,
+                resident_records: self.stats.resident_records as u64,
+                peak_resident_records: self.stats.peak_resident_records as u64,
+                publishes: self.stats.publishes,
+                cells_reestimated: self.stats.cells_reestimated,
+            },
+            snapshots: self
+                .store
+                .versions()
+                .into_iter()
+                .filter_map(|v| {
+                    self.store
+                        .at(v)
+                        .map(|l| SnapshotCheckpoint::from_landscape(v, l))
+                })
+                .collect(),
+            newest_version: self.store.newest_version().0,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint: a fresh pipeline (matcher,
+    /// estimator, empty kernel cache) with the checkpointed state loaded
+    /// over it. Ingesting the stream suffix after the checkpoint's
+    /// watermark through the normal [`ingest`](Self::ingest) path then
+    /// publishes snapshots bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`new`](Self::new), plus
+    /// [`StoreError`](crate::StoreError) when the checkpointed snapshot
+    /// sequence is internally inconsistent. A config-fingerprint mismatch
+    /// is *not* checked here — the durability layer rejects it earlier
+    /// with full context.
+    pub fn from_checkpoint(
+        meter: BotMeter,
+        options: DaemonOptions,
+        state: &EngineCheckpoint,
+    ) -> Result<Self, crate::DurabilityError> {
+        let mut engine = Self::new(meter, options)?;
+        engine.cells = state
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    (c.server, c.epoch),
+                    CellState {
+                        lookups: c.lookups.clone(),
+                        raw: f64::from_bits(c.raw_bits),
+                        dirty: c.dirty,
+                        frozen: c.frozen,
+                        stale: c.stale,
+                    },
+                )
+            })
+            .collect();
+        engine.cursor = QualityCursor::from_state(state.cursor.clone());
+        engine.head = state.head;
+        engine.prev_head_epoch = state.prev_head_epoch;
+        engine.stats = DaemonStats {
+            ingested: state.stats.ingested,
+            matched: state.stats.matched,
+            stale_records: state.stats.stale_records,
+            resident_records: state.stats.resident_records as usize,
+            peak_resident_records: state.stats.peak_resident_records as usize,
+            publishes: state.stats.publishes,
+            cells_reestimated: state.stats.cells_reestimated,
+        };
+        engine.store = LandscapeStore::restore(
+            engine.store.retention(),
+            botmeter_core::LandscapeVersion(state.newest_version),
+            state.snapshots.iter().map(|s| s.to_landscape()).collect(),
+        )?;
+        Ok(engine)
     }
 }
 

@@ -26,13 +26,29 @@
 //! Memory stays bounded because epochs behind the
 //! [`close lag`](DaemonOptions::close_lag) freeze: their raw estimates are
 //! kept, their lookups dropped.
+//!
+//! On top of the engine sits the durability layer ([`DurableDaemon`]):
+//! a checksummed write-ahead journal ([`wal`]), atomic periodic
+//! checkpoints ([`checkpoint`]), and recovery that makes the published
+//! snapshot sequence bit-identical whether or not the daemon was
+//! `kill -9`ed along the way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+mod durable;
 mod engine;
+pub mod storage;
 mod store;
 pub mod synthetic;
+pub mod wal;
 
+pub use checkpoint::{CheckpointError, CheckpointManager, EngineCheckpoint};
+pub use durable::{
+    DurabilityError, DurabilityOptions, DurabilityStats, DurableDaemon, RecoveryReport, RetryPolicy,
+};
 pub use engine::{BotMeterDaemon, DaemonOptions, DaemonStats};
-pub use store::LandscapeStore;
+pub use storage::{DiskStorage, FailingStorage, MemStorage, Storage};
+pub use store::{LandscapeStore, StoreError};
+pub use wal::{Wal, WalCodecError};

@@ -44,10 +44,10 @@ pub use exact::{ExactMatcher, PlainListError};
 pub use pattern::PatternMatcher;
 #[allow(deprecated)]
 pub use stream::match_stream_parallel;
-pub use stream::QualityCursor;
 pub use stream::{
     match_stream, match_stream_recorded, MatchedTraffic, StreamMatcher, StreamQuality,
 };
+pub use stream::{CursorEntry, QualityCursor, QualityCursorState};
 pub use window::DetectionWindow;
 
 use botmeter_dns::DomainName;

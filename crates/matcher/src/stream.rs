@@ -157,6 +157,59 @@ impl QualityCursor {
     pub fn tracked_servers(&self) -> usize {
         self.last.len()
     }
+
+    /// Serializable snapshot of the cursor's entire state — what a
+    /// crash-safe daemon checkpoints so stream-health tracking resumes
+    /// exactly where the killed process left it.
+    pub fn to_state(&self) -> QualityCursorState {
+        QualityCursorState {
+            quality: self.quality,
+            last: self
+                .last
+                .iter()
+                .map(|(&server, lookup)| CursorEntry {
+                    server,
+                    lookup: lookup.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a cursor from a checkpointed state. Feeding the same
+    /// suffix of matched lookups into the rebuilt cursor yields the same
+    /// [`StreamQuality`] an uninterrupted cursor would report.
+    pub fn from_state(state: QualityCursorState) -> Self {
+        QualityCursor {
+            last: state
+                .last
+                .into_iter()
+                .map(|e| (e.server, e.lookup))
+                .collect(),
+            quality: state.quality,
+        }
+    }
+}
+
+/// One tracked server's remembered predecessor inside a
+/// [`QualityCursorState`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CursorEntry {
+    /// The forwarding server.
+    pub server: ServerId,
+    /// That server's most recent matched lookup.
+    pub lookup: ObservedLookup,
+}
+
+/// The serializable state of a [`QualityCursor`]: the accumulated
+/// [`StreamQuality`] plus one remembered lookup per tracked server.
+/// Round-trips through [`QualityCursor::to_state`] /
+/// [`QualityCursor::from_state`] without affecting future classifications.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QualityCursorState {
+    /// The stream-health summary accumulated so far.
+    pub quality: StreamQuality,
+    /// Per-server predecessors, in ascending server order.
+    pub last: Vec<CursorEntry>,
 }
 
 impl MatchedTraffic {
@@ -761,6 +814,37 @@ mod tests {
         assert!(cursor.quality().is_degraded());
         // The cursor's whole state is one lookup per server.
         assert_eq!(cursor.tracked_servers(), batch.servers().count());
+    }
+
+    #[test]
+    fn quality_cursor_state_round_trips_mid_stream() {
+        let stream = anomalous_stream(3000);
+        let m = matcher();
+        // Uninterrupted reference.
+        let mut whole = QualityCursor::new();
+        whole.note_scanned(stream.len());
+        for l in stream.iter().filter(|l| m.matches(&l.domain)) {
+            whole.note_matched(l);
+        }
+        // Checkpoint/restore at several cut points, including 0 and len.
+        for cut in [0usize, 1, 500, 1499, 3000] {
+            let mut first = QualityCursor::new();
+            first.note_scanned(cut);
+            for l in stream[..cut].iter().filter(|l| m.matches(&l.domain)) {
+                first.note_matched(l);
+            }
+            let state = first.to_state();
+            let json = serde_json::to_string(&state).expect("state serializes");
+            let back: QualityCursorState = serde_json::from_str(&json).expect("state parses");
+            assert_eq!(back, state, "serde round-trip at cut {cut}");
+            let mut resumed = QualityCursor::from_state(back);
+            resumed.note_scanned(stream.len() - cut);
+            for l in stream[cut..].iter().filter(|l| m.matches(&l.domain)) {
+                resumed.note_matched(l);
+            }
+            assert_eq!(resumed.quality(), whole.quality(), "cut {cut} diverged");
+            assert_eq!(resumed.tracked_servers(), whole.tracked_servers());
+        }
     }
 
     #[test]

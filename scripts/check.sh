@@ -86,6 +86,20 @@ if [[ -n "$unwrap_offenders" ]]; then
   exit 1
 fi
 
+echo "==> fs::write grep gate (daemon persistence is atomic-write only)"
+# Durability state in crates/daemon must go through the Storage trait's
+# write_atomic (temp file + fsync + rename) so a crash can never leave a
+# half-written checkpoint or snapshot behind. Bare std::fs::write is a
+# non-atomic overwrite and is banned in the daemon crate.
+fswrite_offenders=$(grep -rnE '(std::)?fs::write\(' \
+  --include='*.rs' crates/daemon \
+  || true)
+if [[ -n "$fswrite_offenders" ]]; then
+  echo "error: bare fs::write in crates/daemon; use Storage::write_atomic:" >&2
+  echo "$fswrite_offenders" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
