@@ -185,6 +185,41 @@ fn main() {
         ));
     }
 
+    // Sketch residency smoke: fold the same observed traffic through the
+    // constant-memory telemetry frontend and hold its deterministic
+    // `sketch.peak_resident_bytes` accounting to the `cells × budget`
+    // ceiling — O(servers × width), whatever the traffic volume.
+    {
+        use botmeter_matcher::SketchStream;
+        use botmeter_obs::Obs;
+        use botmeter_sketch::SketchConfig;
+
+        let meter = BotMeter::new(BotMeterConfig::new(streaming.family().clone()));
+        let config = SketchConfig::new(streaming.family().epoch_len())
+            .expect("family epoch length is non-zero");
+        let matcher = meter.matcher_for(0..epochs);
+        let mut frontend = SketchStream::new(&matcher, config, Obs::noop());
+        frontend.ingest(streaming.observed());
+        let (sketch, _) = frontend.finish();
+        let ceiling = sketch.cell_count() as u64 * config.cell_budget_bytes();
+        eprintln!(
+            "perf_smoke: sketch peak residency {} bytes over {} matched lookups \
+             ({} cells, ceiling {} bytes)",
+            sketch.peak_resident_bytes(),
+            sketch.total(),
+            sketch.cell_count(),
+            ceiling
+        );
+        if sketch.peak_resident_bytes() > ceiling {
+            fail(&format!(
+                "sketch frontend lost its memory bound: peak {} bytes exceeds \
+                 cells × cell_budget ceiling {}",
+                sketch.peak_resident_bytes(),
+                ceiling
+            ));
+        }
+    }
+
     // Multicore scaling gate: streaming N-thread vs 1-thread throughput.
     // The floor adapts to the machine running the gate — a baseline ratio
     // measured on 8 cores must not fail a 1- or 2-core CI worker — but on

@@ -1,0 +1,437 @@
+//! ARE-vs-width study for the constant-memory sketch telemetry frontend.
+//!
+//! Sweeps the bottom-k width over two family/model regimes — newGoZ
+//! (Bernoulli MB, set-consuming: wide sketches chart bit-identically) and
+//! murofet (Poisson MP, multiplicity-consuming: always flagged Degraded) —
+//! charting each width from the sketch and comparing cell-by-cell against
+//! the exact-mode landscape. Also records the deterministic
+//! `sketch.peak_resident_bytes` accounting and checks it against the
+//! `cells × cell_budget_bytes` ceiling, plus a volume-independence probe:
+//! doubling the bot population (≈2× matched volume) must not move a
+//! saturated sketch's resident footprint by a single byte.
+//!
+//! Full mode writes `BENCH_sketch.json`; `--smoke` re-runs a trimmed sweep
+//! and gates against the accuracy floors and (when present) the committed
+//! baseline's byte accounting, exiting 1 on any violation.
+//!
+//! Usage: `sketch_accuracy [--out PATH] [--baseline PATH] [--smoke]`.
+
+use botmeter_core::{BotMeter, BotMeterConfig, CellQuality, ChartRequest, Landscape};
+use botmeter_dga::DgaFamily;
+use botmeter_exec::ExecPolicy;
+use botmeter_matcher::SketchStream;
+use botmeter_obs::Obs;
+use botmeter_sim::{ScenarioOutcome, ScenarioSpec};
+use botmeter_sketch::{SketchConfig, SketchedTraffic};
+use serde::{Deserialize, Serialize};
+
+/// Widths swept in full mode; `--smoke` keeps the endpoints only.
+const WIDTHS: [usize; 6] = [8, 32, 128, 1024, 4096, 16384];
+
+/// Wide-sketch accuracy floor: the widest width must land within 5% of
+/// exact mode on the set-consuming regime (it is in fact bit-identical).
+const WIDE_ARE_CEILING: f64 = 0.05;
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    available_cores: usize,
+    widths: Vec<usize>,
+    families: Vec<FamilyReport>,
+    volume_independence: VolumeIndependence,
+}
+
+#[derive(Serialize)]
+struct FamilyReport {
+    family: String,
+    model: &'static str,
+    population: u64,
+    seed: u64,
+    epochs: u64,
+    observed_lookups: usize,
+    matched_total: u64,
+    exact_cells: usize,
+    sweep: Vec<SweepPoint>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SweepPoint {
+    width: usize,
+    mean_are: f64,
+    max_are: f64,
+    degraded_cells: usize,
+    lossy: bool,
+    cells: usize,
+    peak_resident_bytes: u64,
+    cell_budget_bytes: u64,
+    resident_bound_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct VolumeIndependence {
+    family: String,
+    width: usize,
+    population_small: u64,
+    population_large: u64,
+    matched_small: u64,
+    matched_large: u64,
+    peak_resident_bytes_small: u64,
+    peak_resident_bytes_large: u64,
+}
+
+/// The slice of a committed `BENCH_sketch.json` the smoke gate compares
+/// against (extra keys ignored).
+#[derive(Deserialize)]
+struct Baseline {
+    families: Vec<BaselineFamily>,
+}
+
+#[derive(Deserialize)]
+struct BaselineFamily {
+    family: String,
+    sweep: Vec<SweepPoint>,
+}
+
+struct Case {
+    family: DgaFamily,
+    model: &'static str,
+    population: u64,
+    seed: u64,
+    epochs: u64,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            family: DgaFamily::new_goz(),
+            model: "Bernoulli",
+            population: 48,
+            seed: 21,
+            epochs: 2,
+        },
+        Case {
+            family: DgaFamily::murofet(),
+            model: "Poisson",
+            population: 32,
+            seed: 9,
+            epochs: 2,
+        },
+    ]
+}
+
+fn run_scenario(family: &DgaFamily, population: u64, seed: u64, epochs: u64) -> ScenarioOutcome {
+    ScenarioSpec::builder(family.clone())
+        .population(population)
+        .num_epochs(epochs)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+        .run(ExecPolicy::Sequential)
+}
+
+fn sketch_config(family: &DgaFamily, width: usize) -> SketchConfig {
+    SketchConfig::new(family.epoch_len())
+        .expect("family epoch length is non-zero")
+        .width(width)
+        .expect("non-zero width")
+}
+
+fn build_sketch(
+    meter: &BotMeter,
+    outcome: &ScenarioOutcome,
+    epochs: u64,
+    width: usize,
+) -> SketchedTraffic {
+    let matcher = meter.matcher_for(0..epochs);
+    let config = sketch_config(outcome.family(), width);
+    let mut frontend = SketchStream::new(&matcher, config, Obs::noop());
+    frontend.ingest(outcome.observed());
+    frontend.finish().0
+}
+
+/// Mean and max absolute relative error of `sketched` against `exact`,
+/// cell-by-cell over the exact landscape's non-zero cells.
+fn are_against(exact: &Landscape, sketched: &Landscape) -> (f64, f64) {
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut compared = 0usize;
+    for cell in exact.entries() {
+        if cell.estimate <= 0.0 {
+            continue;
+        }
+        let twin = sketched
+            .entries()
+            .iter()
+            .find(|c| c.server == cell.server && c.epoch == cell.epoch)
+            .map_or(0.0, |c| c.estimate);
+        let are = (twin - cell.estimate).abs() / cell.estimate;
+        sum += are;
+        max = max.max(are);
+        compared += 1;
+    }
+    let mean = if compared == 0 {
+        0.0
+    } else {
+        sum / compared as f64
+    };
+    (mean, max)
+}
+
+fn sweep_case(case: &Case, widths: &[usize]) -> FamilyReport {
+    let outcome = run_scenario(&case.family, case.population, case.seed, case.epochs);
+    let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+    let exact = meter.chart_with(
+        &ChartRequest::new(outcome.observed())
+            .epochs(0..case.epochs)
+            .policy(ExecPolicy::Sequential),
+    );
+
+    let mut sweep = Vec::with_capacity(widths.len());
+    let mut matched_total = 0;
+    for &width in widths {
+        let sketch = build_sketch(&meter, &outcome, case.epochs, width);
+        matched_total = sketch.total();
+        let sketched = meter
+            .try_chart_with(&ChartRequest::from_sketch(&sketch).epochs(0..case.epochs))
+            .expect("sketch epoch length matches the family");
+        let (mean_are, max_are) = are_against(&exact, &sketched);
+        let degraded = sketched
+            .entries()
+            .iter()
+            .filter(|c| c.quality == CellQuality::Degraded)
+            .count();
+        let budget = sketch.config().cell_budget_bytes();
+        let point = SweepPoint {
+            width,
+            mean_are,
+            max_are,
+            degraded_cells: degraded,
+            lossy: sketch.any_lossy(),
+            cells: sketch.cell_count(),
+            peak_resident_bytes: sketch.peak_resident_bytes(),
+            cell_budget_bytes: budget,
+            resident_bound_bytes: sketch.cell_count() as u64 * budget,
+        };
+        eprintln!(
+            "sketch_accuracy: {} width {width}: mean ARE {:.4}, max ARE {:.4}, \
+             {} degraded / {} cells, peak {} bytes (bound {})",
+            case.family.name(),
+            point.mean_are,
+            point.max_are,
+            point.degraded_cells,
+            point.cells,
+            point.peak_resident_bytes,
+            point.resident_bound_bytes,
+        );
+        sweep.push(point);
+    }
+
+    FamilyReport {
+        family: case.family.name().to_owned(),
+        model: case.model,
+        population: case.population,
+        seed: case.seed,
+        epochs: case.epochs,
+        observed_lookups: outcome.observed().len(),
+        matched_total,
+        exact_cells: exact.len(),
+        sweep,
+    }
+}
+
+/// Doubles the population at a saturating width: the matched volume must
+/// grow while the sketch's resident footprint stays byte-identical.
+fn volume_probe() -> VolumeIndependence {
+    let family = DgaFamily::new_goz();
+    let width = 8;
+    let probe = |population: u64| {
+        let outcome = run_scenario(&family, population, 21, 2);
+        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
+        let sketch = build_sketch(&meter, &outcome, 2, width);
+        (sketch.total(), sketch.peak_resident_bytes())
+    };
+    let (matched_small, peak_small) = probe(48);
+    let (matched_large, peak_large) = probe(96);
+    eprintln!(
+        "sketch_accuracy: volume probe width {width}: {matched_small} → {matched_large} \
+         matched lookups, peak {peak_small} → {peak_large} bytes"
+    );
+    VolumeIndependence {
+        family: family.name().to_owned(),
+        width,
+        population_small: 48,
+        population_large: 96,
+        matched_small,
+        matched_large,
+        peak_resident_bytes_small: peak_small,
+        peak_resident_bytes_large: peak_large,
+    }
+}
+
+fn gate(report: &Report, baseline: Option<&Baseline>) {
+    for family in &report.families {
+        for point in &family.sweep {
+            if point.peak_resident_bytes > point.resident_bound_bytes {
+                fail(&format!(
+                    "{} width {}: peak {} bytes exceeds the O(cells × width) bound {}",
+                    family.family,
+                    point.width,
+                    point.peak_resident_bytes,
+                    point.resident_bound_bytes
+                ));
+            }
+        }
+    }
+
+    let newgoz = report
+        .families
+        .iter()
+        .find(|f| f.model == "Bernoulli")
+        .unwrap_or_else(|| fail("no set-consuming family in the sweep"));
+    let wide = newgoz
+        .sweep
+        .iter()
+        .max_by_key(|p| p.width)
+        .unwrap_or_else(|| fail("empty sweep"));
+    if wide.mean_are > WIDE_ARE_CEILING {
+        fail(&format!(
+            "wide sketch lost fidelity: width {} mean ARE {:.4} above ceiling {WIDE_ARE_CEILING}",
+            wide.width, wide.mean_are
+        ));
+    }
+    let narrow = newgoz
+        .sweep
+        .iter()
+        .min_by_key(|p| p.width)
+        .unwrap_or_else(|| fail("empty sweep"));
+    if !narrow.lossy || narrow.degraded_cells == 0 {
+        fail(&format!(
+            "narrow sketch (width {}) must evict and flag its cells Degraded \
+             (lossy {}, degraded {})",
+            narrow.width, narrow.lossy, narrow.degraded_cells
+        ));
+    }
+
+    let vi = &report.volume_independence;
+    if vi.matched_large <= vi.matched_small {
+        fail("volume probe did not increase the matched volume");
+    }
+    if vi.peak_resident_bytes_large != vi.peak_resident_bytes_small {
+        fail(&format!(
+            "sketch memory tracked traffic volume: peak went {} → {} bytes when the \
+             matched volume grew {} → {}",
+            vi.peak_resident_bytes_small,
+            vi.peak_resident_bytes_large,
+            vi.matched_small,
+            vi.matched_large
+        ));
+    }
+
+    // Byte-accounting ceiling vs the committed study: the accounting is
+    // deterministic, so on identical parameters measured == committed; the
+    // 10% headroom only absorbs intentional layout-constant changes that
+    // ship with a regenerated baseline.
+    if let Some(baseline) = baseline {
+        for family in &report.families {
+            let Some(committed) = baseline.families.iter().find(|f| f.family == family.family)
+            else {
+                continue;
+            };
+            for point in &family.sweep {
+                let Some(twin) = committed.sweep.iter().find(|p| p.width == point.width) else {
+                    continue;
+                };
+                let ceiling = (twin.peak_resident_bytes as f64 * 1.10) as u64;
+                if point.peak_resident_bytes > ceiling {
+                    fail(&format!(
+                        "{} width {}: peak {} bytes above committed ceiling {} \
+                         (baseline {} × 1.10)",
+                        family.family,
+                        point.width,
+                        point.peak_resident_bytes,
+                        ceiling,
+                        twin.peak_resident_bytes
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_sketch.json");
+    let mut baseline_path = String::from("BENCH_sketch.json");
+    let mut smoke = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--baseline needs a path"));
+            }
+            "--smoke" => smoke = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let widths: Vec<usize> = if smoke {
+        vec![WIDTHS[0], WIDTHS[WIDTHS.len() - 1]]
+    } else {
+        WIDTHS.to_vec()
+    };
+
+    let report = Report {
+        benchmark: "sketch_accuracy",
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        widths: widths.clone(),
+        families: cases()
+            .iter()
+            .map(|case| sweep_case(case, &widths))
+            .collect(),
+        volume_independence: volume_probe(),
+    };
+
+    if smoke {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<Baseline>(&text).ok());
+        if baseline.is_none() {
+            eprintln!(
+                "sketch_accuracy: no usable baseline at {baseline_path}; \
+                 gating on floors only"
+            );
+        }
+        gate(&report, baseline.as_ref());
+        println!("sketch_accuracy: OK");
+    } else {
+        gate(&report, None);
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&out_path, json + "\n")
+            .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+        println!("sketch_accuracy: wrote {out_path}");
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("sketch_accuracy: FAIL: {message}");
+    std::process::exit(1);
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("sketch_accuracy: {message}");
+    eprintln!("usage: sketch_accuracy [--out PATH] [--baseline PATH] [--smoke]");
+    std::process::exit(2);
+}

@@ -11,13 +11,13 @@ use crate::coverage::CoverageEstimator;
 use crate::estimator::{CellSlice, Estimator};
 use crate::kernel::{RhoQuantization, SegmentKernelCache};
 use crate::poisson::PoissonEstimator;
-use crate::request::ChartRequest;
+use crate::request::{ChartRequest, TelemetrySource};
 use crate::timing::TimingEstimator;
 use botmeter_dga::{BarrelClass, DgaFamily};
-use botmeter_dns::{ObservedLookup, ServerId, SimDuration, TtlPolicy};
-use botmeter_exec::ExecPolicy;
-use botmeter_matcher::{match_stream_recorded, DomainMatcher, ExactMatcher};
+use botmeter_dns::{DomainName, ObservedLookup, ServerId, SimDuration, SimInstant, TtlPolicy};
+use botmeter_matcher::{match_stream_recorded, DomainMatcher, ExactMatcher, MatchedTraffic};
 use botmeter_obs::Obs;
+use botmeter_sketch::SketchedTraffic;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -41,6 +41,15 @@ pub enum Error {
         /// Range end (exclusive).
         end: u64,
     },
+    /// A sketch telemetry source was accumulated under an epoch length
+    /// different from the charted family's — its (server, epoch) cells
+    /// would not line up with landscape cells.
+    SketchEpochMismatch {
+        /// The sketch's epoch length in milliseconds.
+        sketch_ms: u64,
+        /// The family's epoch length in milliseconds.
+        family_ms: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -53,6 +62,13 @@ impl fmt::Display for Error {
             Error::EmptyEpochRange { start, end } => {
                 write!(f, "epoch range {start}..{end} selects no epochs")
             }
+            Error::SketchEpochMismatch {
+                sketch_ms,
+                family_ms,
+            } => write!(
+                f,
+                "sketch epoch length {sketch_ms} ms does not match the family's {family_ms} ms"
+            ),
         }
     }
 }
@@ -213,6 +229,13 @@ pub struct LandscapeEntry {
     /// serialisations, defaulting to [`CellQuality::Ok`]).
     #[serde(default)]
     pub quality: CellQuality,
+    /// Quantified relative error bound when the estimate was produced
+    /// from approximate (sketch) telemetry: the fraction by which the
+    /// estimate may deviate from its exact-mode counterpart. `None` for
+    /// exact telemetry, so exact-mode serialisations are byte-identical
+    /// to pre-sketch ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error_bound: Option<f64>,
 }
 
 /// The DGA-botnet landscape: per-server, per-epoch population estimates.
@@ -296,25 +319,34 @@ impl Landscape {
     /// ```
     pub fn merge<I: IntoIterator<Item = Landscape>>(landscapes: I) -> Landscape {
         use std::collections::BTreeMap;
-        let mut cells: BTreeMap<(ServerId, u64), (f64, CellQuality)> = BTreeMap::new();
+        let mut cells: BTreeMap<(ServerId, u64), (f64, CellQuality, Option<f64>)> = BTreeMap::new();
         for landscape in landscapes {
             for e in landscape.entries {
                 let cell = cells
                     .entry((e.server, e.epoch))
-                    .or_insert((0.0, CellQuality::Ok));
+                    .or_insert((0.0, CellQuality::Ok, None));
                 cell.0 += e.estimate;
                 cell.1 = cell.1.worst(e.quality);
+                // The merged cell is only as trustworthy as its sketchiest
+                // contribution: keep the widest error bound.
+                cell.2 = match (cell.2, e.error_bound) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
             }
         }
         Landscape {
             entries: cells
                 .into_iter()
-                .map(|((server, epoch), (estimate, quality))| LandscapeEntry {
-                    server,
-                    epoch,
-                    estimate,
-                    quality,
-                })
+                .map(
+                    |((server, epoch), (estimate, quality, error_bound))| LandscapeEntry {
+                        server,
+                        epoch,
+                        estimate,
+                        quality,
+                        error_bound,
+                    },
+                )
                 .collect(),
         }
     }
@@ -519,32 +551,48 @@ impl BotMeter {
                 end: epochs.end,
             });
         }
-        let observed = request.observed();
         let policy = request.exec_policy();
-        let matcher = self.matcher_for(epochs.clone());
         let estimator = self.resolve_model();
         let epoch_len = self.config.family.epoch_len();
         let ctx = self.estimation_context();
 
-        let filtered = match_stream_recorded(observed, &matcher, policy, &self.obs);
-        let stream_quality = filtered.quality();
-
-        // Slice every server's matched traffic per epoch. Cells are
-        // collected in (server asc, epoch asc) order, which fixes the entry
-        // order of the landscape independently of how they are estimated.
-        let mut cells: Vec<(ServerId, u64, Vec<ObservedLookup>)> = Vec::new();
-        for (server, lookups) in filtered.iter() {
-            for epoch in epochs.clone() {
-                let slice: Vec<ObservedLookup> = lookups
-                    .iter()
-                    .filter(|l| l.t.epoch_day(epoch_len) == epoch)
-                    .cloned()
-                    .collect();
-                if !slice.is_empty() {
-                    cells.push((server, epoch, slice));
-                }
+        // Resolve the telemetry source into per-cell lookup slices plus a
+        // stream-health summary. Cells are collected in (server asc, epoch
+        // asc) order in every arm, which fixes the entry order of the
+        // landscape independently of how they are estimated. The fourth
+        // component is the sketch error bound: `Some` marks a cell whose
+        // estimate may deviate from exact mode (flagged Degraded below).
+        let (cells, stream_quality) = match request.source() {
+            TelemetrySource::Observed(observed) => {
+                let matcher = self.matcher_for(epochs.clone());
+                let filtered = match_stream_recorded(observed, &matcher, policy, &self.obs);
+                let quality = filtered.quality();
+                (Self::slice_cells(&filtered, &epochs, epoch_len), quality)
             }
-        }
+            TelemetrySource::Matched(filtered) => (
+                Self::slice_cells(filtered, &epochs, epoch_len),
+                filtered.quality(),
+            ),
+            TelemetrySource::Sketch(sketch) => {
+                if sketch.config().epoch_len() != epoch_len {
+                    return Err(Error::SketchEpochMismatch {
+                        sketch_ms: sketch.config().epoch_len().as_millis(),
+                        family_ms: epoch_len.as_millis(),
+                    });
+                }
+                // Set-consuming models (the Bernoulli MB works on the
+                // *set* of distinct NXDs per cell) are exact as long as
+                // the cell never evicted; everything that reads timing or
+                // multiplicity is approximate under sketch telemetry.
+                let set_based = estimator.name() == "Bernoulli";
+                let quality = request.attached_stream_quality().unwrap_or_default();
+                (Self::sketch_cells(sketch, &epochs, set_based), quality)
+            }
+            // `TelemetrySource` is non-exhaustive for future frontends;
+            // charting an unknown source would be silently wrong.
+            #[allow(unreachable_patterns)]
+            other => unreachable!("unsupported telemetry source {other:?}"),
+        };
 
         if self.obs.enabled() {
             self.obs.counter_add("chart.cells", cells.len() as u64);
@@ -558,7 +606,7 @@ impl BotMeter {
         // global and per-epoch `estimate_ns` histograms.
         let cell_slices: Vec<CellSlice<'_>> = cells
             .iter()
-            .map(|(_, epoch, slice)| CellSlice {
+            .map(|(_, epoch, slice, _)| CellSlice {
                 epoch: *epoch,
                 lookups: slice,
             })
@@ -577,9 +625,13 @@ impl BotMeter {
         let entries: Vec<LandscapeEntry> = cells
             .into_iter()
             .zip(estimates)
-            .map(|((server, epoch, _), raw)| {
+            .map(|((server, epoch, _, sketch_bound), raw)| {
                 let (estimate, quality) = if !raw.is_finite() || raw < 0.0 {
                     (0.0, CellQuality::Invalid)
+                } else if sketch_bound.is_some() {
+                    // Sketch telemetry could not reproduce this cell's
+                    // exact matched substream — never silently wrong.
+                    (raw / rate, CellQuality::Degraded)
                 } else {
                     (raw / rate, baseline)
                 };
@@ -588,6 +640,7 @@ impl BotMeter {
                     epoch,
                     estimate,
                     quality,
+                    error_bound: sketch_bound,
                 }
             })
             .collect();
@@ -610,32 +663,97 @@ impl BotMeter {
         Ok(Landscape { entries })
     }
 
-    /// Charts the landscape under `policy` over `epochs`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `ChartRequest` and call `chart_with` instead"
-    )]
-    pub fn chart(
-        &self,
-        observed: &[ObservedLookup],
-        epochs: Range<u64>,
-        policy: ExecPolicy,
-    ) -> Landscape {
-        self.chart_with(&ChartRequest::new(observed).epochs(epochs).policy(policy))
+    /// Slices exact matched traffic per (server, epoch) cell, preserving
+    /// the per-server arrival order of the matched substream. Exact cells
+    /// carry no sketch error bound.
+    fn slice_cells(
+        filtered: &MatchedTraffic,
+        epochs: &Range<u64>,
+        epoch_len: SimDuration,
+    ) -> Vec<(ServerId, u64, Vec<ObservedLookup>, Option<f64>)> {
+        let mut cells = Vec::new();
+        for (server, lookups) in filtered.iter() {
+            for epoch in epochs.clone() {
+                let slice: Vec<ObservedLookup> = lookups
+                    .iter()
+                    .filter(|l| l.t.epoch_day(epoch_len) == epoch)
+                    .cloned()
+                    .collect();
+                if !slice.is_empty() {
+                    cells.push((server, epoch, slice, None));
+                }
+            }
+        }
+        cells
     }
 
-    /// Validating [`chart`](Self::chart).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `ChartRequest` and call `try_chart_with` instead"
-    )]
-    pub fn try_chart(
-        &self,
-        observed: &[ObservedLookup],
-        epochs: Range<u64>,
-        policy: ExecPolicy,
-    ) -> Result<Landscape, Error> {
-        self.try_chart_with(&ChartRequest::new(observed).epochs(epochs).policy(policy))
+    /// Synthesizes per-cell lookup slices from sketch telemetry.
+    ///
+    /// Each retained domain contributes its first sighting, plus its last
+    /// when it recurred, ordered by `(time, hash rank, domain)` — a pure
+    /// function of the sketch state, so charting is deterministic no
+    /// matter how the sketch was accumulated. Set-consuming estimators
+    /// over a never-lossy cell see exactly the distinct-domain set the
+    /// exact pipeline would, and get no error bound; every other
+    /// combination gets a quantified bound (and a `Degraded` flag): the
+    /// bottom-k distinct-count relative error `1/sqrt(width-2)` when the
+    /// cell evicted, widened by the fraction of matched volume the
+    /// synthesis could not replay for timing/multiplicity models.
+    fn sketch_cells(
+        sketch: &SketchedTraffic,
+        epochs: &Range<u64>,
+        set_based: bool,
+    ) -> Vec<(ServerId, u64, Vec<ObservedLookup>, Option<f64>)> {
+        let width = sketch.config().hh_width();
+        let mut cells = Vec::new();
+        for (server, epoch, cell) in sketch.cells() {
+            if !epochs.contains(&epoch) {
+                continue;
+            }
+            let mut events: Vec<(u64, u64, &DomainName)> = Vec::new();
+            for r in cell.retained_domains() {
+                events.push((r.first_ms, r.rank, r.domain));
+                if r.count >= 2 && r.last_ms > r.first_ms {
+                    events.push((r.last_ms, r.rank, r.domain));
+                }
+            }
+            if events.is_empty() {
+                continue;
+            }
+            events.sort();
+            let emitted = events.len() as u64;
+            let slice: Vec<ObservedLookup> = events
+                .into_iter()
+                .map(|(t, _, domain)| {
+                    ObservedLookup::new(SimInstant::from_millis(t), server, domain.clone())
+                })
+                .collect();
+            let bound = if set_based && !cell.is_lossy() {
+                None
+            } else {
+                // Telemetry-level relative error: the KMV distinct-count
+                // error, the fraction of the distinct set truncated away
+                // (lossy cells hand the model `width` of ≈`distinct`
+                // domains), and — for models that read multiplicity or
+                // timing — the fraction of sightings collapsed by the
+                // first/last compression. Nonlinear models can amplify
+                // this beyond the bound; the `Degraded` flag, not the
+                // number, is the "do not trust blindly" signal.
+                let mut bound = cell.distinct_error_bound(width);
+                if cell.is_lossy() {
+                    let distinct = cell.distinct_estimate().max(1.0);
+                    let set_loss = 1.0 - cell.retained() as f64 / distinct;
+                    bound = bound.max(set_loss.clamp(0.0, 1.0));
+                }
+                if !set_based {
+                    let lost = 1.0 - emitted as f64 / cell.total().max(1) as f64;
+                    bound = bound.max(lost.clamp(0.0, 1.0));
+                }
+                Some(bound)
+            };
+            cells.push((server, epoch, slice, bound));
+        }
+        cells
     }
 }
 
@@ -668,6 +786,7 @@ impl DomainMatcher for ChartMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use botmeter_exec::ExecPolicy;
     use botmeter_sim::ScenarioSpec;
 
     fn entry(server: u32, epoch: u64, estimate: f64) -> LandscapeEntry {
@@ -676,6 +795,7 @@ mod tests {
             epoch,
             estimate,
             quality: CellQuality::Ok,
+            error_bound: None,
         }
     }
 
@@ -997,28 +1117,6 @@ mod tests {
         assert!(meter
             .chart_with(&ChartRequest::new(&[]).epochs(5..5))
             .is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_chart_shims_forward_to_chart_with() {
-        let outcome = ScenarioSpec::builder(DgaFamily::new_goz())
-            .population(16)
-            .seed(2)
-            .build()
-            .unwrap()
-            .run(ExecPolicy::default());
-        let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone()));
-        let via_shim = meter.chart(outcome.observed(), 0..1, ExecPolicy::Sequential);
-        let via_request =
-            meter.chart_with(&ChartRequest::new(outcome.observed()).policy(ExecPolicy::Sequential));
-        assert_eq!(via_shim, via_request);
-        assert_eq!(
-            meter
-                .try_chart(outcome.observed(), 0..1, ExecPolicy::Sequential)
-                .unwrap(),
-            via_request
-        );
     }
 
     #[test]

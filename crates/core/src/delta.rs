@@ -55,6 +55,11 @@ pub enum CellChange {
         estimate: f64,
         /// The new quality flag.
         quality: CellQuality,
+        /// The new sketch error bound, if the cell was charted from
+        /// sketch telemetry (absent in exact mode, and absent from the
+        /// JSON so pre-sketch deltas parse and serialize unchanged).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        error_bound: Option<f64>,
     },
     /// The cell exists in the older snapshot only.
     Removed {
@@ -67,9 +72,13 @@ pub enum CellChange {
         estimate: f64,
         /// The old quality flag.
         quality: CellQuality,
+        /// The old sketch error bound, if any (verified on removal like
+        /// the estimate).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        error_bound: Option<f64>,
     },
-    /// The cell exists in both snapshots with a different estimate or
-    /// quality flag.
+    /// The cell exists in both snapshots with a different estimate,
+    /// quality flag or error bound.
     Reestimated {
         /// The cell's forwarding server.
         server: ServerId,
@@ -83,6 +92,12 @@ pub enum CellChange {
         old_quality: CellQuality,
         /// The quality flag in the newer snapshot.
         new_quality: CellQuality,
+        /// The sketch error bound in the older snapshot, if any.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        old_error_bound: Option<f64>,
+        /// The sketch error bound in the newer snapshot, if any.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        new_error_bound: Option<f64>,
     },
 }
 
@@ -204,10 +219,22 @@ impl fmt::Display for DeltaError {
 
 impl std::error::Error for DeltaError {}
 
-/// Bit-exact cell comparison: estimates compare by their IEEE-754 bits, so
-/// the diff honours the workspace's bit-for-bit determinism contract.
+/// Bit-exact cell comparison: estimates (and sketch error bounds) compare
+/// by their IEEE-754 bits, so the diff honours the workspace's bit-for-bit
+/// determinism contract.
 fn same_cell(a: &LandscapeEntry, b: &LandscapeEntry) -> bool {
-    a.estimate.to_bits() == b.estimate.to_bits() && a.quality == b.quality
+    a.estimate.to_bits() == b.estimate.to_bits()
+        && a.quality == b.quality
+        && same_bound(a.error_bound, b.error_bound)
+}
+
+/// Bit-exact comparison of two optional error bounds.
+fn same_bound(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+        _ => false,
+    }
 }
 
 impl Landscape {
@@ -230,6 +257,7 @@ impl Landscape {
                     epoch: new.epoch,
                     estimate: new.estimate,
                     quality: new.quality,
+                    error_bound: new.error_bound,
                 }),
                 Some(before) if !same_cell(before, new) => changes.push(CellChange::Reestimated {
                     server: new.server,
@@ -238,6 +266,8 @@ impl Landscape {
                     new_estimate: new.estimate,
                     old_quality: before.quality,
                     new_quality: new.quality,
+                    old_error_bound: before.error_bound,
+                    new_error_bound: new.error_bound,
                 }),
                 Some(_) => {}
             }
@@ -248,6 +278,7 @@ impl Landscape {
                 epoch,
                 estimate: gone.estimate,
                 quality: gone.quality,
+                error_bound: gone.error_bound,
             });
         }
         changes.sort_by_key(|c| (c.server(), c.epoch()));
@@ -277,6 +308,7 @@ impl Landscape {
                     epoch,
                     estimate,
                     quality,
+                    error_bound,
                 } => {
                     if cells.contains_key(&key) {
                         return Err(DeltaError::UnexpectedCell { server, epoch });
@@ -288,6 +320,7 @@ impl Landscape {
                             epoch,
                             estimate,
                             quality,
+                            error_bound,
                         },
                     );
                 }
@@ -296,6 +329,7 @@ impl Landscape {
                     epoch,
                     estimate,
                     quality,
+                    error_bound,
                 } => {
                     let held = cells
                         .remove(&key)
@@ -305,6 +339,7 @@ impl Landscape {
                         epoch,
                         estimate,
                         quality,
+                        error_bound,
                     };
                     if !same_cell(&held, &expected) {
                         return Err(DeltaError::CellMismatch { server, epoch });
@@ -317,6 +352,8 @@ impl Landscape {
                     new_estimate,
                     old_quality,
                     new_quality,
+                    old_error_bound,
+                    new_error_bound,
                 } => {
                     let held = cells
                         .get_mut(&key)
@@ -326,12 +363,14 @@ impl Landscape {
                         epoch,
                         estimate: old_estimate,
                         quality: old_quality,
+                        error_bound: old_error_bound,
                     };
                     if !same_cell(held, &expected) {
                         return Err(DeltaError::CellMismatch { server, epoch });
                     }
                     held.estimate = new_estimate;
                     held.quality = new_quality;
+                    held.error_bound = new_error_bound;
                 }
             }
         }
@@ -349,6 +388,7 @@ mod tests {
             epoch,
             estimate,
             quality,
+            error_bound: None,
         }
     }
 
@@ -428,6 +468,35 @@ mod tests {
             ref other => panic!("unexpected change {other:?}"),
         }
         assert_eq!(prev.apply(&delta).unwrap(), next);
+    }
+
+    #[test]
+    fn error_bound_transition_is_a_reestimate_and_round_trips() {
+        let mut sketched = entry(1, 0, 5.0, CellQuality::Degraded);
+        sketched.error_bound = Some(0.125);
+        let prev = landscape(vec![entry(1, 0, 5.0, CellQuality::Degraded)]);
+        let next = landscape(vec![sketched]);
+        let delta = next.diff(&prev);
+        assert_eq!(delta.reestimated(), 1);
+        match delta.changes()[0] {
+            CellChange::Reestimated {
+                old_error_bound,
+                new_error_bound,
+                ..
+            } => {
+                assert_eq!(old_error_bound, None);
+                assert_eq!(new_error_bound, Some(0.125));
+            }
+            ref other => panic!("unexpected change {other:?}"),
+        }
+        assert_eq!(prev.apply(&delta).unwrap(), next);
+        // Exact-mode deltas serialize without the new fields, so
+        // pre-sketch delta JSON stays parseable and byte-stable.
+        let exact = prev.diff(&landscape(vec![]));
+        let json = serde_json::to_string(&exact).unwrap();
+        assert!(!json.contains("error_bound"), "json: {json}");
+        let legacy: LandscapeDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(legacy, exact);
     }
 
     #[test]

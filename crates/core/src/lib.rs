@@ -83,7 +83,7 @@ pub use hybrid::{HybridBernoulli, HybridEstimator};
 pub use kernel::{KernelEval, KernelKey, RhoQuantization, SegmentKernelCache};
 pub use metrics::{absolute_relative_error, mean_absolute_relative_error};
 pub use poisson::PoissonEstimator;
-pub use request::ChartRequest;
+pub use request::{ChartRequest, TelemetrySource};
 pub use sampling::SamplingEstimator;
 pub use segments::{extract_segments, Segment, SegmentKind};
 pub use theorem1::{expected_bots_for_segment, expected_bots_for_shape, KernelStats};

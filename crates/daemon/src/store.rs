@@ -251,6 +251,7 @@ mod tests {
             epoch: 0,
             estimate,
             quality: CellQuality::Ok,
+            error_bound: None,
         }])
     }
 

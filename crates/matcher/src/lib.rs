@@ -36,12 +36,14 @@
 mod collision;
 mod exact;
 mod pattern;
+mod sketching;
 mod stream;
 mod window;
 
 pub use collision::CollisionFilter;
 pub use exact::{ExactMatcher, PlainListError};
 pub use pattern::PatternMatcher;
+pub use sketching::SketchStream;
 #[allow(deprecated)]
 pub use stream::match_stream_parallel;
 pub use stream::{

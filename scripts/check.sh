@@ -30,18 +30,15 @@ if [[ -n "$offenders" ]]; then
   exit 1
 fi
 
-echo "==> deprecated chart() grep gate (charting goes through ChartRequest)"
-# `BotMeter::chart` / `try_chart` are deprecated shims kept for one release;
-# all in-tree callers must build a ChartRequest and go through `chart_with` /
-# `try_chart_with`. Only the shim definitions themselves (and their
-# #[allow(deprecated)] coverage test) may mention the old names.
+echo "==> removed chart() grep gate (charting goes through ChartRequest)"
+# `BotMeter::chart` / `try_chart` were deprecated shims and are now fully
+# removed: no file may mention the old names. Every charting call builds a
+# ChartRequest and goes through `chart_with` / `try_chart_with`.
 chart_offenders=$(grep -rlE '\.chart\(|\.try_chart\(' \
   --include='*.rs' src crates tests examples \
-  | grep -vxF \
-      -e crates/core/src/botmeter.rs \
   || true)
 if [[ -n "$chart_offenders" ]]; then
-  echo "error: deprecated chart()/try_chart() called outside the shim file:" >&2
+  echo "error: removed chart()/try_chart() entry points referenced:" >&2
   echo "$chart_offenders" >&2
   echo "build a ChartRequest and call chart_with()/try_chart_with() instead." >&2
   exit 1
@@ -71,6 +68,7 @@ echo "==> unwrap() grep gate (library code of core, dns, dga, matcher)"
 # scanning a file once it reaches that marker) and in `//` comment lines.
 unwrap_offenders=$(
   find crates/core/src crates/dns/src crates/dga/src crates/matcher/src \
+    crates/sketch/src \
     -name '*.rs' -print0 \
   | xargs -0 awk '
       FNR == 1 { in_tests = 0 }
@@ -120,5 +118,14 @@ echo "==> perf smoke (throughput + charting + residency + scaling gate)"
 # ratio falls below the core-count-aware floor derived from the committed
 # scaling block. Best-of-N to absorb scheduler noise.
 ./target/release/perf_smoke
+
+echo "==> sketch accuracy smoke (ARE floors + constant-memory ceiling)"
+# Trimmed ARE-vs-width sweep of the sketch telemetry frontend. Fails if the
+# widest sketch loses set-based fidelity (mean ARE above 5% of exact mode),
+# if a saturated narrow sketch stops flagging its cells Degraded, if
+# sketch.peak_resident_bytes exceeds the cells x cell_budget_bytes ceiling
+# or the committed BENCH_sketch.json accounting, or if doubling the matched
+# volume moves a saturated sketch's resident footprint.
+./target/release/sketch_accuracy --smoke
 
 echo "All checks passed."

@@ -14,6 +14,9 @@
 //! * [`dns`] — the hierarchical caching-and-forwarding DNS substrate;
 //! * [`sim`] — bot activation processes and network/trace simulators;
 //! * [`matcher`] — the D3 (DGA-domain detection) matching stage;
+//! * [`sketch`] — the constant-memory telemetry frontend: per-server HLL
+//!   registers plus a bottom-k distinct sample over matched domains,
+//!   `O(servers × width)` resident whatever the traffic volume;
 //! * [`core`] — the estimator library (Timing `MT`, Poisson `MP`,
 //!   Bernoulli `MB`, Coverage `MC`) and the [`core::BotMeter`] facade
 //!   (charted through a [`core::ChartRequest`]);
@@ -58,6 +61,7 @@ pub use botmeter_faults as faults;
 pub use botmeter_matcher as matcher;
 pub use botmeter_obs as obs;
 pub use botmeter_sim as sim;
+pub use botmeter_sketch as sketch;
 pub use botmeter_stats as stats;
 
 /// One-stop imports for the common simulation → match → estimate pipeline.
@@ -65,7 +69,7 @@ pub mod prelude {
     pub use botmeter_core::{
         absolute_relative_error, BernoulliEstimator, BotMeter, BotMeterConfig, ChartRequest,
         CoverageEstimator, EstimationContext, Estimator, HybridEstimator, LandscapeDelta,
-        LandscapeVersion, PoissonEstimator, SamplingEstimator, TimingEstimator,
+        LandscapeVersion, PoissonEstimator, SamplingEstimator, TelemetrySource, TimingEstimator,
         WindowOccupancyEstimator,
     };
     pub use botmeter_daemon::{BotMeterDaemon, DaemonOptions, LandscapeStore};
@@ -75,7 +79,8 @@ pub mod prelude {
     };
     pub use botmeter_exec::ExecPolicy;
     pub use botmeter_faults::{FaultModel, FaultPlan, FaultReport};
-    pub use botmeter_matcher::{DetectionWindow, DomainMatcher};
+    pub use botmeter_matcher::{DetectionWindow, DomainMatcher, SketchStream};
     pub use botmeter_obs::{MetricsRegistry, MetricsSnapshot, Obs};
     pub use botmeter_sim::{PipelineMode, ScenarioOutcome, ScenarioSpec, ShardSink};
+    pub use botmeter_sketch::{SketchConfig, SketchedTraffic};
 }

@@ -1,0 +1,81 @@
+//! Exact-mode regression guard: charting from the raw observed stream must
+//! stay **byte-identical** to the pre-sketch pipeline (PR 8 behavior).
+//!
+//! The committed fixtures under `tests/golden/` were generated from the
+//! pipeline as it stood before the `botmeter-sketch` telemetry frontend
+//! landed. Any change to matching, slicing, estimation or `Landscape`
+//! serialisation that alters exact-mode output — even a serde field that
+//! sneaks into the JSON — fails here.
+//!
+//! To regenerate after an *intentional* output change:
+//! `BOTMETER_BLESS_GOLDEN=1 cargo test --test exact_golden`.
+
+use botmeter::prelude::*;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn chart_json(
+    family: DgaFamily,
+    population: u64,
+    seed: u64,
+    epochs: std::ops::Range<u64>,
+) -> String {
+    let outcome = ScenarioSpec::builder(family)
+        .population(population)
+        .num_epochs(epochs.end)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+        .run(ExecPolicy::Sequential);
+    let meter = BotMeter::new(botmeter::core::BotMeterConfig::new(
+        outcome.family().clone(),
+    ));
+    let landscape = meter
+        .try_chart_with(
+            &ChartRequest::new(outcome.observed())
+                .epochs(epochs)
+                .policy(ExecPolicy::Sequential),
+        )
+        .expect("chartable");
+    let mut json = serde_json::to_string_pretty(&landscape).expect("serialisable");
+    json.push('\n');
+    json
+}
+
+fn check_golden(name: &str, json: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BOTMETER_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, json).expect("write golden");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        committed, json,
+        "exact-mode landscape for {name} diverged from the committed pre-sketch \
+         fixture; if the change is intentional, regenerate with \
+         BOTMETER_BLESS_GOLDEN=1 cargo test --test exact_golden"
+    );
+}
+
+#[test]
+fn exact_mode_newgoz_byte_identical_to_pre_sketch_pipeline() {
+    check_golden(
+        "exact_newgoz.json",
+        &chart_json(DgaFamily::new_goz(), 48, 21, 0..2),
+    );
+}
+
+#[test]
+fn exact_mode_murofet_byte_identical_to_pre_sketch_pipeline() {
+    check_golden(
+        "exact_murofet.json",
+        &chart_json(DgaFamily::murofet(), 32, 9, 0..2),
+    );
+}

@@ -12,18 +12,23 @@
 //! * enums ⇢ externally tagged (`"Variant"` or `{"Variant": ...}`),
 //!   matching real serde's JSON representation.
 //!
-//! Of the `#[serde(...)]` attributes, only `#[serde(default)]` on named
-//! fields is supported (a missing key deserialises to `Default::default()`);
-//! everything else the workspace uses none of.
+//! Of the `#[serde(...)]` attributes, named fields support
+//! `#[serde(default)]` (a missing key deserialises to
+//! `Default::default()`) and `#[serde(skip_serializing_if = "path")]`
+//! (the field's key is omitted when `path(&field)` is true, matching real
+//! serde — used for schema-evolution fields that must keep old JSON
+//! byte-stable); everything else the workspace uses none of.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One named field: its identifier plus whether `#[serde(default)]` lets a
-/// missing key fall back to `Default::default()` on deserialisation.
+/// One named field: its identifier, whether `#[serde(default)]` lets a
+/// missing key fall back to `Default::default()` on deserialisation, and
+/// the `#[serde(skip_serializing_if = "...")]` predicate path, if any.
 #[derive(Debug, Clone)]
 struct Field {
     name: String,
     default: bool,
+    skip_if: Option<String>,
 }
 
 /// The field layout of a struct or enum variant.
@@ -65,38 +70,66 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Whether a `#[...]` attribute body (the bracket group's stream) is
-/// `serde(default)`.
-fn is_serde_default(group: &proc_macro::Group) -> bool {
+/// Parses a `#[...]` attribute body (the bracket group's stream) as a
+/// `serde(...)` field attribute, folding any recognised options into
+/// `(default, skip_if)`. Unrecognised options are ignored, like real
+/// serde ignores options for features a type does not use.
+fn parse_serde_field_attr(
+    group: &proc_macro::Group,
+    default: &mut bool,
+    skip_if: &mut Option<String>,
+) {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
-    match (tokens.first(), tokens.get(1)) {
+    let args = match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
             if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
         {
-            args.stream()
-                .into_iter()
-                .any(|tt| matches!(&tt, TokenTree::Ident(a) if a.to_string() == "default"))
+            args.stream().into_iter().collect::<Vec<TokenTree>>()
         }
-        _ => false,
+        _ => return,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if let TokenTree::Ident(id) = &args[i] {
+            match id.to_string().as_str() {
+                "default" => *default = true,
+                "skip_serializing_if" => {
+                    // `skip_serializing_if = "path::to::predicate"`: the
+                    // literal token keeps its surrounding quotes.
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (args.get(i + 1), args.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let raw = lit.to_string();
+                            *skip_if = Some(raw.trim_matches('"').to_string());
+                            i += 2;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
     }
 }
 
-/// Like [`skip_attributes`], but also reports whether one of the consumed
-/// attributes was `#[serde(default)]`.
-fn skip_field_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+/// Like [`skip_attributes`], but also collects the recognised
+/// `#[serde(...)]` field options from the consumed attributes.
+fn skip_field_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool, Option<String>) {
     let mut default = false;
+    let mut skip_if = None;
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
-                default |= is_serde_default(g);
+                parse_serde_field_attr(g, &mut default, &mut skip_if);
                 i += 2;
             }
             _ => break,
         }
     }
-    (i, default)
+    (i, default, skip_if)
 }
 
 /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -145,12 +178,13 @@ fn parse_named_fields(group: &[TokenTree]) -> Vec<Field> {
     split_top_level_commas(group)
         .into_iter()
         .filter_map(|field_tokens| {
-            let (i, default) = skip_field_attributes(&field_tokens, 0);
+            let (i, default, skip_if) = skip_field_attributes(&field_tokens, 0);
             let i = skip_visibility(&field_tokens, i);
             match field_tokens.get(i) {
                 Some(TokenTree::Ident(id)) => Some(Field {
                     name: id.to_string(),
                     default,
+                    skip_if,
                 }),
                 _ => None,
             }
@@ -267,11 +301,17 @@ fn gen_serialize(item: &Item) -> String {
         ItemKind::Struct(Fields::Named(fields)) => {
             let mut s = String::from("let mut __map = Vec::new();\n");
             for f in fields {
-                let f = &f.name;
-                s.push_str(&format!(
-                    "__map.push((\"{f}\".to_string(), {}));\n",
-                    ser_field(&format!("&self.{f}"))
-                ));
+                let name = &f.name;
+                let push = format!(
+                    "__map.push((\"{name}\".to_string(), {}));\n",
+                    ser_field(&format!("&self.{name}"))
+                );
+                match &f.skip_if {
+                    Some(path) => {
+                        s.push_str(&format!("if !{path}(&self.{name}) {{ {push} }}\n"));
+                    }
+                    None => s.push_str(&push),
+                }
             }
             s.push_str("serializer.serialize_content(serde::__private::Content::Map(__map))");
             s
@@ -309,11 +349,17 @@ fn gen_serialize(item: &Item) -> String {
                             .join(", ");
                         let mut inner = String::from("let mut __fields = Vec::new();\n");
                         for f in fields {
-                            let f = &f.name;
-                            inner.push_str(&format!(
-                                "__fields.push((\"{f}\".to_string(), {}));\n",
-                                ser_field(f)
-                            ));
+                            let fname = &f.name;
+                            let push = format!(
+                                "__fields.push((\"{fname}\".to_string(), {}));\n",
+                                ser_field(fname)
+                            );
+                            match &f.skip_if {
+                                Some(path) => {
+                                    inner.push_str(&format!("if !{path}({fname}) {{ {push} }}\n"))
+                                }
+                                None => inner.push_str(&push),
+                            }
                         }
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {binders} }} => {{ {inner} \
