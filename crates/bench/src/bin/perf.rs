@@ -16,10 +16,16 @@
 use botmeter_core::{BotMeter, BotMeterConfig, ChartRequest, Landscape};
 use botmeter_dga::DgaFamily;
 use botmeter_exec::ExecPolicy;
-use botmeter_obs::{MetricsSnapshot, Obs};
+use botmeter_obs::{AllocSnapshot, MetricsSnapshot, Obs};
 use botmeter_sim::{PipelineMode, ScenarioOutcome, ScenarioSpec, ScenarioSpecBuilder};
 use serde::Serialize;
 use std::time::Instant;
+
+/// Every heap allocation in this binary flows through the counting
+/// allocator, so each variant's simulate/chart stages can be charged their
+/// exact allocator traffic alongside their wall time.
+#[global_allocator]
+static ALLOC: botmeter_obs::CountingAlloc = botmeter_obs::CountingAlloc;
 
 #[derive(Serialize)]
 struct Report {
@@ -41,6 +47,13 @@ struct Report {
     /// Fused simulate→filter→fault pipeline (parallel policy): same
     /// outputs, bounded residency.
     streaming: Variant,
+    /// Heap allocations per raw lookup during the streaming simulate
+    /// stage — the zero-allocation hot-path figure the `perf_smoke`
+    /// alloc-budget gate holds future changes to. Covers everything the
+    /// stage allocates (interner build, shard buffers before the recycler
+    /// warms up, egress hydration), so "zero allocation" in the steady
+    /// state shows up as a small constant-per-run fraction, not literal 0.
+    allocs_per_raw_lookup: f64,
     speedup: f64,
     /// `parallel.peak_resident_records / streaming.peak_resident_records`.
     residency_reduction: f64,
@@ -76,6 +89,10 @@ struct Variant {
     chart_lookups_per_sec: f64,
     /// High-water mark of raw-trace records held in memory at once.
     peak_resident_records: u64,
+    /// Heap allocations during the simulate stage (counting allocator).
+    simulate_allocs: u64,
+    /// Bytes requested by those allocations.
+    simulate_alloc_bytes: u64,
 }
 
 #[derive(Serialize)]
@@ -97,6 +114,7 @@ struct Measurement {
     observed_lookups: usize,
     landscape_cells: usize,
     peak_resident_records: u64,
+    simulate_alloc: AllocSnapshot,
 }
 
 impl Measurement {
@@ -109,7 +127,13 @@ impl Measurement {
             raw_lookups_per_sec: self.raw_lookups as f64 / self.simulate_secs.max(1e-9),
             chart_lookups_per_sec: self.observed_lookups as f64 / self.chart_secs.max(1e-9),
             peak_resident_records: self.peak_resident_records,
+            simulate_allocs: self.simulate_alloc.count,
+            simulate_alloc_bytes: self.simulate_alloc.bytes,
         }
+    }
+
+    fn allocs_per_raw_lookup(&self) -> f64 {
+        self.simulate_alloc.count as f64 / (self.raw_lookups.max(1) as f64)
     }
 }
 
@@ -128,22 +152,33 @@ impl Bench {
             .pipeline(mode)
     }
 
+    #[allow(clippy::type_complexity)]
     fn pipeline(
         &self,
         policy: ExecPolicy,
         mode: PipelineMode,
         obs: Obs,
-    ) -> (ScenarioOutcome, Landscape, f64, f64) {
+    ) -> (
+        ScenarioOutcome,
+        Landscape,
+        f64,
+        f64,
+        AllocSnapshot,
+        AllocSnapshot,
+    ) {
         let spec = self
             .builder(mode)
             .obs(obs.clone())
             .build()
             .expect("valid scenario");
+        let alloc_start = AllocSnapshot::now();
         let started = Instant::now();
         let outcome = spec.run(policy);
         let simulate_secs = started.elapsed().as_secs_f64();
+        let simulate_alloc = AllocSnapshot::now().since(&alloc_start);
 
         let meter = BotMeter::new(BotMeterConfig::new(outcome.family().clone())).with_obs(obs);
+        let alloc_start = AllocSnapshot::now();
         let started = Instant::now();
         let landscape = meter.chart_with(
             &ChartRequest::new(outcome.observed())
@@ -151,11 +186,19 @@ impl Bench {
                 .policy(policy),
         );
         let chart_secs = started.elapsed().as_secs_f64();
-        (outcome, landscape, simulate_secs, chart_secs)
+        let chart_alloc = AllocSnapshot::now().since(&alloc_start);
+        (
+            outcome,
+            landscape,
+            simulate_secs,
+            chart_secs,
+            simulate_alloc,
+            chart_alloc,
+        )
     }
 
     fn measure(&self, policy: ExecPolicy, mode: PipelineMode) -> Measurement {
-        let (outcome, landscape, simulate_secs, chart_secs) =
+        let (outcome, landscape, simulate_secs, chart_secs, simulate_alloc, _) =
             self.pipeline(policy, mode, Obs::noop());
         Measurement {
             threads: policy.worker_threads(),
@@ -165,6 +208,7 @@ impl Bench {
             observed_lookups: outcome.observed().len(),
             landscape_cells: landscape.len(),
             peak_resident_records: outcome.peak_resident_records(),
+            simulate_alloc,
         }
     }
 }
@@ -272,6 +316,7 @@ fn main() {
         landscape_cells: par.landscape_cells,
         residency_reduction: par.peak_resident_records as f64
             / stream.peak_resident_records.max(1) as f64,
+        allocs_per_raw_lookup: stream.allocs_per_raw_lookup(),
         parallel: par.variant(),
         sequential: seq.variant(),
         streaming: stream.variant(),
@@ -287,7 +332,15 @@ fn main() {
     // the cache/matcher/estimator counters. Kept out of the timed variants
     // above so the reported wall times stay on the no-op hot path.
     let (observer, registry) = Obs::collecting();
-    let _ = bench.pipeline(parallel, streaming_mode, observer);
+    let (_, _, _, _, simulate_alloc, chart_alloc) =
+        bench.pipeline(parallel, streaming_mode, observer.clone());
+    // Allocation accounting rides along under the `alloc.` prefix, which
+    // `deterministic_counters()` excludes (allocator traffic depends on
+    // worker count and buffer-recycling timing, like `sched.`).
+    observer.counter_add("alloc.simulate.count", simulate_alloc.count);
+    observer.counter_add("alloc.simulate.bytes", simulate_alloc.bytes);
+    observer.counter_add("alloc.chart.count", chart_alloc.count);
+    observer.counter_add("alloc.chart.bytes", chart_alloc.bytes);
     let metrics = MetricsReport {
         benchmark: "pipeline",
         family: "newGoZ",

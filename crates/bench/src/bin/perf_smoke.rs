@@ -13,9 +13,15 @@
 use botmeter_core::{BotMeter, BotMeterConfig, ChartRequest};
 use botmeter_dga::DgaFamily;
 use botmeter_exec::ExecPolicy;
+use botmeter_obs::AllocSnapshot;
 use botmeter_sim::{PipelineMode, ScenarioSpec};
 use serde::Deserialize;
 use std::time::Instant;
+
+/// Counting allocator so the streaming smoke run can hold the hot path to
+/// its committed allocation budget (see the alloc-budget gate below).
+#[global_allocator]
+static ALLOC: botmeter_obs::CountingAlloc = botmeter_obs::CountingAlloc;
 
 /// The slice of `BENCH_pipeline.json` the gate needs (extra keys are
 /// ignored by the deserializer).
@@ -26,6 +32,10 @@ struct Baseline {
     /// still run against a pre-scaling baseline (it then only checks the
     /// core-count-derived floor).
     scaling: Option<BaselineScaling>,
+    /// Streaming simulate-stage heap allocations per raw lookup; optional
+    /// so the gate still runs against a pre-alloc-accounting baseline (it
+    /// then skips the alloc-budget check).
+    allocs_per_raw_lookup: Option<f64>,
 }
 
 #[derive(Deserialize)]
@@ -171,7 +181,9 @@ fn main() {
 
     // Streaming smoke: same scenario through the fused pipeline must keep
     // its residency bound (a few shards, not the whole trace).
+    let alloc_before = AllocSnapshot::now();
     let streaming = spec(PipelineMode::Streaming { shard: None }).run(ExecPolicy::parallel());
+    let streaming_alloc = AllocSnapshot::now().since(&alloc_before);
     eprintln!(
         "perf_smoke: streaming peak residency {} of {} raw lookups",
         streaming.peak_resident_records(),
@@ -183,6 +195,37 @@ fn main() {
             streaming.peak_resident_records(),
             streaming.raw_lookups()
         ));
+    }
+
+    // Alloc-budget gate: the streaming simulate stage must stay near its
+    // committed allocations-per-raw-lookup figure. The budget is generous
+    // — 4× the committed figure, with an absolute floor of 0.5 — because
+    // the smoke population is smaller than the benchmark's, so per-run
+    // fixed allocations (interner build, buffer-pool warmup) amortize over
+    // fewer lookups. A hot path that regresses to one allocation per
+    // record still lands an order of magnitude above the ceiling.
+    let measured_apl = streaming_alloc.count as f64 / (streaming.raw_lookups().max(1) as f64);
+    if let Some(committed_apl) = baseline.allocs_per_raw_lookup {
+        let budget = (4.0 * committed_apl).max(0.5);
+        eprintln!(
+            "perf_smoke: streaming allocs/raw lookup {measured_apl:.4} \
+             ({} allocs over {} lookups) vs budget {budget:.4} \
+             (committed {committed_apl:.4})",
+            streaming_alloc.count,
+            streaming.raw_lookups()
+        );
+        if measured_apl > budget {
+            fail(&format!(
+                "allocation regression: streaming simulate stage spent {measured_apl:.4} \
+                 allocs per raw lookup, above budget {budget:.4} \
+                 (4x committed {committed_apl:.4}, floor 0.5)"
+            ));
+        }
+    } else {
+        eprintln!(
+            "perf_smoke: streaming allocs/raw lookup {measured_apl:.4} \
+             (no committed figure in baseline; alloc-budget gate skipped)"
+        );
     }
 
     // Sketch residency smoke: fold the same observed traffic through the

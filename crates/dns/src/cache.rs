@@ -12,6 +12,7 @@ use crate::time::{SimDuration, SimInstant};
 use crate::ttl::TtlPolicy;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::hash::Hash;
 
 /// A cached answer together with its expiry time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,36 +62,58 @@ impl CacheStats {
     }
 }
 
-/// A resolver cache mapping domain names to answers with TTL-based expiry.
+/// A resolver cache mapping domain keys to answers with TTL-based expiry.
 ///
 /// Expiry is lazy: entries are dropped when a lookup finds them expired, or
 /// in bulk via [`purge_expired`](Self::purge_expired).
 ///
+/// The cache is generic over its key: the default `K = DomainName` keys by
+/// the full validated name (equality compares text, so a fingerprint
+/// collision can never conflate entries), while the id-resident hot path
+/// instantiates `DnsCache<DomainId>` and probes with the bare 64-bit
+/// fingerprint — no `Arc` clone per stored key, no text compare per hit.
+/// Expiry arithmetic depends only on timestamps, so the two instantiations
+/// filter identical streams identically for unbounded caches (the bounded
+/// eviction order breaks ties on key order, which differs between text and
+/// fingerprint keys).
+///
 /// # Example
 ///
 /// ```
-/// use botmeter_dns::{Answer, DnsCache, SimDuration, SimInstant, TtlPolicy};
+/// use botmeter_dns::{Answer, DnsCache, DomainName, SimDuration, SimInstant, TtlPolicy};
 /// let mut cache = DnsCache::new();
 /// let ttl = TtlPolicy::paper_default();
-/// let d = "nx.example".parse()?;
+/// let d: DomainName = "nx.example".parse()?;
 /// let t = SimInstant::ZERO;
 /// cache.store(t, d, Answer::NxDomain, &ttl);
 /// assert_eq!(cache.len(), 1);
 /// # Ok::<(), botmeter_dns::ParseDomainError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct DnsCache {
-    /// Domain-keyed entries behind the Fx hasher: `DomainName::hash` writes
-    /// its precomputed 64-bit fingerprint, so a probe costs one multiply.
-    entries: FxHashMap<DomainName, CachedAnswer>,
+#[derive(Debug, Clone)]
+pub struct DnsCache<K = DomainName> {
+    /// Key-indexed entries behind the Fx hasher: both `DomainName` and
+    /// `DomainId` hash as one precomputed `u64`, so a probe costs one
+    /// multiply.
+    entries: FxHashMap<K, CachedAnswer>,
     /// Expiry-ordered index, maintained only when a capacity bound is set
     /// (unbounded caches skip the bookkeeping entirely).
-    expiry_index: BTreeSet<(SimInstant, DomainName)>,
+    expiry_index: BTreeSet<(SimInstant, K)>,
     capacity: Option<usize>,
     stats: CacheStats,
 }
 
-impl DnsCache {
+impl<K> Default for DnsCache<K> {
+    fn default() -> Self {
+        DnsCache {
+            entries: FxHashMap::default(),
+            expiry_index: BTreeSet::new(),
+            capacity: None,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Ord + Clone> DnsCache<K> {
     /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         DnsCache::default()
@@ -118,7 +141,7 @@ impl DnsCache {
     /// Returns `Some` (a hit — the lookup would be absorbed and *not*
     /// forwarded) if a non-expired entry exists, `None` otherwise. Expired
     /// entries encountered here are evicted.
-    pub fn lookup(&mut self, t: SimInstant, domain: &DomainName) -> Option<CachedAnswer> {
+    pub fn lookup(&mut self, t: SimInstant, domain: &K) -> Option<CachedAnswer> {
         match self.entries.get(domain) {
             Some(entry) if t < entry.expires_at => {
                 match entry.answer {
@@ -147,7 +170,7 @@ impl DnsCache {
     /// Stores an answer obtained at time `t`, with the TTL chosen from
     /// `policy` according to the answer's polarity (positive vs negative
     /// caching). A zero TTL stores nothing.
-    pub fn store(&mut self, t: SimInstant, domain: DomainName, answer: Answer, policy: &TtlPolicy) {
+    pub fn store(&mut self, t: SimInstant, domain: K, answer: Answer, policy: &TtlPolicy) {
         let ttl = match answer {
             Answer::Address(_) => policy.positive(),
             Answer::NxDomain => policy.negative(),
@@ -156,13 +179,7 @@ impl DnsCache {
     }
 
     /// Stores an answer with an explicit TTL (a zero TTL stores nothing).
-    pub fn store_with_ttl(
-        &mut self,
-        t: SimInstant,
-        domain: DomainName,
-        answer: Answer,
-        ttl: SimDuration,
-    ) {
+    pub fn store_with_ttl(&mut self, t: SimInstant, domain: K, answer: Answer, ttl: SimDuration) {
         if ttl.is_zero() {
             return;
         }
@@ -255,9 +272,9 @@ impl DnsCache {
     /// Only meaningful for unbounded caches (sharding a capacity-bounded
     /// cache is not order-independent, and callers fall back to sequential
     /// processing there).
-    pub(crate) fn absorb_shard<F: Fn(&DomainName) -> bool>(
+    pub(crate) fn absorb_shard<F: Fn(&K) -> bool>(
         &mut self,
-        shard: DnsCache,
+        shard: DnsCache<K>,
         base: CacheStats,
         owned: F,
     ) {
@@ -501,7 +518,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
-        DnsCache::with_capacity(0);
+        DnsCache::<DomainName>::with_capacity(0);
     }
 
     #[test]

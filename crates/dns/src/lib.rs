@@ -63,8 +63,8 @@ pub use intern::{
     fx_hash64, DomainId, DomainInterner, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
 };
 pub use name::{DomainName, ParseDomainError};
-pub use record::{ClientId, ObservedLookup, RawLookup, ServerId};
+pub use record::{ClientId, CompactLookup, CompactObserved, ObservedLookup, RawLookup, ServerId};
 pub use resolver::LocalResolver;
 pub use time::{SimDuration, SimInstant};
-pub use topology::{Topology, TopologyBuilder, TopologyError};
+pub use topology::{CompactTopology, Topology, TopologyBuilder, TopologyError};
 pub use ttl::TtlPolicy;

@@ -62,6 +62,84 @@ impl RawLookup {
     pub fn domain_id(&self) -> crate::DomainId {
         self.domain.id()
     }
+
+    /// The id-resident form of this record (drops the `Arc`-backed text;
+    /// resolve it back through the [`DomainInterner`](crate::DomainInterner)
+    /// that interned the name).
+    pub fn compact(&self) -> CompactLookup {
+        CompactLookup {
+            t: self.t,
+            client: self.client,
+            domain: self.domain.id(),
+        }
+    }
+}
+
+/// The id-resident form of a [`RawLookup`]: a plain-old-data `Copy` record
+/// carrying the domain's [`DomainId`](crate::DomainId) instead of its
+/// `Arc<str>`-backed text.
+///
+/// This is the hot-path record: copying, sorting, partitioning and merging
+/// it touches no reference counts and frees no allocations, so shard
+/// buffers full of these recycle through a
+/// [`BufferPool`](https://docs.rs/botmeter-exec) without per-record cost.
+/// The text stays resolvable through the
+/// [`DomainInterner`](crate::DomainInterner) bytes arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompactLookup {
+    /// When the client issued the query.
+    pub t: SimInstant,
+    /// The issuing client.
+    pub client: ClientId,
+    /// The queried domain's content fingerprint.
+    pub domain: crate::DomainId,
+}
+
+impl CompactLookup {
+    /// Convenience constructor.
+    pub fn new(t: SimInstant, client: ClientId, domain: crate::DomainId) -> Self {
+        CompactLookup { t, client, domain }
+    }
+
+    /// Rehydrates the full record through the interner that interned the
+    /// domain; `None` if the id is unknown to it.
+    pub fn hydrate(&self, interner: &crate::DomainInterner) -> Option<RawLookup> {
+        interner.resolve(self.domain).map(|domain| RawLookup {
+            t: self.t,
+            client: self.client,
+            domain: domain.clone(),
+        })
+    }
+}
+
+/// The id-resident form of an [`ObservedLookup`] — same `Copy`/POD
+/// properties as [`CompactLookup`], for the border-visible
+/// `⟨t, server, domain⟩` shape the filter, fault and match stages stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompactObserved {
+    /// Arrival time at the border server.
+    pub t: SimInstant,
+    /// The forwarding server.
+    pub server: ServerId,
+    /// The queried domain's content fingerprint.
+    pub domain: crate::DomainId,
+}
+
+impl CompactObserved {
+    /// Convenience constructor.
+    pub fn new(t: SimInstant, server: ServerId, domain: crate::DomainId) -> Self {
+        CompactObserved { t, server, domain }
+    }
+
+    /// Rehydrates the full record through the interner that interned the
+    /// domain; `None` if the id is unknown to it.
+    pub fn hydrate(&self, interner: &crate::DomainInterner) -> Option<ObservedLookup> {
+        interner.resolve(self.domain).map(|domain| ObservedLookup {
+            t: self.t,
+            server: self.server,
+            domain: domain.clone(),
+        })
+    }
 }
 
 /// A DNS lookup as observed at the border vantage point, *after* cache
@@ -88,6 +166,15 @@ impl ObservedLookup {
     /// matcher's confirmed set probes instead of re-hashing the name.
     pub fn domain_id(&self) -> crate::DomainId {
         self.domain.id()
+    }
+
+    /// The id-resident form of this record.
+    pub fn compact(&self) -> CompactObserved {
+        CompactObserved {
+            t: self.t,
+            server: self.server,
+            domain: self.domain.id(),
+        }
     }
 }
 
@@ -136,5 +223,25 @@ mod tests {
         assert!(ClientId(1) < ClientId(2));
         assert!(ServerId(0) < ServerId(1));
         assert_eq!(ClientId::default(), ClientId(0));
+    }
+
+    #[test]
+    fn compact_round_trips_through_the_interner() {
+        let mut interner = crate::DomainInterner::new();
+        let domain = interner.intern(d("a.example"));
+        let raw = RawLookup::new(SimInstant::from_millis(5), ClientId(9), domain.clone());
+        let compact = raw.compact();
+        assert_eq!(compact.domain, domain.id());
+        assert_eq!(compact.hydrate(&interner), Some(raw));
+
+        let obs = ObservedLookup::new(SimInstant::from_millis(7), ServerId(2), domain);
+        let cobs = obs.compact();
+        assert_eq!(cobs.hydrate(&interner), Some(obs));
+
+        // Ids unknown to the interner cannot rehydrate.
+        let stranger = CompactLookup::new(SimInstant::ZERO, ClientId(0), crate::DomainId(42));
+        assert_eq!(stranger.hydrate(&interner), None);
+        let stranger = CompactObserved::new(SimInstant::ZERO, ServerId(0), crate::DomainId(42));
+        assert_eq!(stranger.hydrate(&interner), None);
     }
 }

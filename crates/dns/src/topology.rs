@@ -11,7 +11,9 @@
 use crate::authority::{Answer, Authority};
 use crate::cache::{CacheStats, DnsCache};
 use crate::name::DomainName;
-use crate::record::{ClientId, ObservedLookup, RawLookup, ServerId};
+use crate::record::{
+    ClientId, CompactLookup, CompactObserved, ObservedLookup, RawLookup, ServerId,
+};
 use crate::time::SimInstant;
 use crate::ttl::TtlPolicy;
 use botmeter_exec::ExecPolicy;
@@ -494,6 +496,337 @@ impl Topology {
     }
 }
 
+#[derive(Debug, Clone)]
+struct CompactNode {
+    parent: Option<ServerId>,
+    cache: DnsCache<crate::DomainId>,
+}
+
+/// The id-resident mirror of [`Topology`]: the same resolver tree and
+/// forwarding model, but caches are keyed by [`DomainId`](crate::DomainId)
+/// and traffic flows as [`CompactLookup`]/[`CompactObserved`] `Copy`
+/// records, so the per-lookup hot path touches no `Arc` refcounts and
+/// performs no heap allocation in steady state.
+///
+/// Every cache is unbounded, so filtering depends only on each domain's own
+/// history and id-keyed probes produce bit-identical visibility to the
+/// name-keyed [`Topology`] (id equality ≡ name equality; the interner
+/// panics at intern time on the astronomically unlikely fingerprint
+/// collision). The authority is consulted — and the name resolved through
+/// the interner's bytes arena — only on a border cache miss.
+#[derive(Debug, Clone)]
+pub struct CompactTopology {
+    ttl: TtlPolicy,
+    nodes: Vec<CompactNode>,
+    client_map: HashMap<ClientId, ServerId>,
+    default_leaf: Option<ServerId>,
+    obs: Obs,
+    scratch_path: Vec<ServerId>,
+}
+
+impl CompactTopology {
+    /// The simplest topology in the paper's evaluation: one local resolver
+    /// under the border, serving every client by default (the id-resident
+    /// counterpart of [`Topology::single_local`]).
+    pub fn single_local(ttl: TtlPolicy) -> CompactTopology {
+        let nodes = vec![
+            CompactNode {
+                parent: None,
+                cache: DnsCache::new(),
+            },
+            CompactNode {
+                parent: Some(BORDER),
+                cache: DnsCache::new(),
+            },
+        ];
+        CompactTopology {
+            ttl,
+            nodes,
+            client_map: HashMap::new(),
+            default_leaf: Some(ServerId(1)),
+            obs: Obs::noop(),
+            scratch_path: Vec::with_capacity(4),
+        }
+    }
+
+    /// The border server's id (always `ServerId(0)`).
+    pub fn border(&self) -> ServerId {
+        BORDER
+    }
+
+    /// Ids of all non-border resolvers.
+    pub fn local_servers(&self) -> Vec<ServerId> {
+        (1..self.nodes.len() as u32).map(ServerId).collect()
+    }
+
+    /// Attaches an observability handle; mirrors [`Topology::set_obs`].
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The resolver a client's lookups enter at.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnroutedClient`] if the client has no assignment
+    /// and no default leaf is set.
+    pub fn route(&self, client: ClientId) -> Result<ServerId, TopologyError> {
+        self.client_map
+            .get(&client)
+            .copied()
+            .or(self.default_leaf)
+            .ok_or(TopologyError::UnroutedClient(client))
+    }
+
+    /// Processes one compact raw lookup through the hierarchy. The interner
+    /// must be the one that interned the lookup's domain; it is consulted
+    /// only when the lookup reaches an authority-resolving border miss.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnroutedClient`] if the client cannot be routed.
+    pub fn process<A: Authority>(
+        &mut self,
+        raw: &CompactLookup,
+        interner: &crate::DomainInterner,
+        authority: A,
+    ) -> Result<Option<CompactObserved>, TopologyError> {
+        let entry = self.route(raw.client)?;
+        let t = raw.t;
+
+        // Walk up, collecting the path of caches below the border. The
+        // path scratch is owned by the topology so steady-state processing
+        // allocates nothing.
+        let mut path = std::mem::take(&mut self.scratch_path);
+        path.clear();
+        let mut current = entry;
+        loop {
+            if self.nodes[current.0 as usize]
+                .cache
+                .lookup(t, &raw.domain)
+                .is_some()
+            {
+                self.scratch_path = path;
+                return Ok(None); // absorbed below the vantage point
+            }
+            path.push(current);
+            match self.nodes[current.0 as usize].parent {
+                Some(parent) if parent == BORDER => break,
+                Some(parent) => current = parent,
+                None => break, // entry somehow was the border: defensive
+            }
+        }
+
+        let forwarder = *path.last().expect("path has at least the entry node");
+        let observed = CompactObserved::new(t, forwarder, raw.domain);
+
+        let answer = self.resolve_at_border(t, raw.domain, interner, authority);
+
+        // The response propagates back down; every node on the path caches it.
+        for node in &path {
+            self.nodes[node.0 as usize]
+                .cache
+                .store(t, raw.domain, answer, &self.ttl);
+        }
+        self.scratch_path = path;
+        Ok(Some(observed))
+    }
+
+    fn resolve_at_border<A: Authority>(
+        &mut self,
+        t: SimInstant,
+        domain: crate::DomainId,
+        interner: &crate::DomainInterner,
+        authority: A,
+    ) -> Answer {
+        let border = &mut self.nodes[BORDER.0 as usize];
+        if let Some(hit) = border.cache.lookup(t, &domain) {
+            return hit.answer;
+        }
+        let name = interner
+            .resolve(domain)
+            .expect("hot-path domains are interned before replay");
+        let answer = authority.resolve(t, name);
+        border.cache.store(t, domain, answer, &self.ttl);
+        answer
+    }
+
+    /// Runs a whole compact raw trace (assumed time-ordered) through the
+    /// hierarchy and appends the border-visible sub-trace to `out` —
+    /// the caller owns (and recycles) the output buffer, keeping the
+    /// sequential steady state allocation-free. Mirrors
+    /// [`Topology::process_trace`], including the domain-sharded parallel
+    /// path and its sequential fallbacks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any lookup's client is unroutable. (The parallel path
+    /// pre-routes and leaves the caches unchanged on error, whereas
+    /// sequential processing stops mid-trace.)
+    pub fn process_trace_into<A: Authority + Copy + Sync>(
+        &mut self,
+        raws: &[CompactLookup],
+        interner: &crate::DomainInterner,
+        authority: A,
+        policy: ExecPolicy,
+        out: &mut Vec<CompactObserved>,
+    ) -> Result<(), TopologyError> {
+        const MIN_PARALLEL_TRACE: usize = 2048;
+        let base_stats: Option<Vec<CacheStats>> = self
+            .obs
+            .enabled()
+            .then(|| self.nodes.iter().map(|n| n.cache.stats()).collect());
+        let admitted_before = out.len();
+
+        let shards = policy.worker_threads();
+        let bounded = self.nodes.iter().any(|n| n.cache.capacity().is_some());
+        if shards <= 1 || bounded || raws.len() < MIN_PARALLEL_TRACE {
+            for raw in raws {
+                if let Some(obs) = self.process(raw, interner, authority)? {
+                    out.push(obs);
+                }
+            }
+        } else {
+            self.process_trace_sharded(raws, interner, authority, shards, out)?;
+        }
+
+        if let Some(base) = base_stats {
+            self.push_cache_deltas(&base);
+            self.obs.counter_add("topology.lookups", raws.len() as u64);
+            let admitted = out.len() - admitted_before;
+            self.obs.counter_add("topology.admitted", admitted as u64);
+            self.obs
+                .counter_add("topology.filtered", (raws.len() - admitted) as u64);
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper over
+    /// [`process_trace_into`](Self::process_trace_into) returning a fresh
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`process_trace_into`](Self::process_trace_into).
+    pub fn process_trace<A: Authority + Copy + Sync>(
+        &mut self,
+        raws: &[CompactLookup],
+        interner: &crate::DomainInterner,
+        authority: A,
+        policy: ExecPolicy,
+    ) -> Result<Vec<CompactObserved>, TopologyError> {
+        let mut out = Vec::new();
+        self.process_trace_into(raws, interner, authority, policy, &mut out)?;
+        Ok(out)
+    }
+
+    fn process_trace_sharded<A: Authority + Copy + Sync>(
+        &mut self,
+        raws: &[CompactLookup],
+        interner: &crate::DomainInterner,
+        authority: A,
+        shards: usize,
+        out: &mut Vec<CompactObserved>,
+    ) -> Result<(), TopologyError> {
+        for raw in raws {
+            self.route(raw.client)?;
+        }
+
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, raw) in raws.iter().enumerate() {
+            parts[(raw.domain.0 % shards as u64) as usize].push(i);
+        }
+
+        let base_stats: Vec<CacheStats> = self.nodes.iter().map(|n| n.cache.stats()).collect();
+        let template: &CompactTopology = self;
+        let shard_results: Vec<(CompactTopology, Vec<(usize, CompactObserved)>)> =
+            botmeter_exec::run_indexed_with(
+                ExecPolicy::with_threads(shards),
+                &self.obs,
+                shards,
+                |s| {
+                    let mut topo = template.clone();
+                    let mut obs = Vec::new();
+                    for &i in &parts[s] {
+                        let visible = topo
+                            .process(&raws[i], interner, authority)
+                            .expect("every client pre-routed");
+                        if let Some(o) = visible {
+                            obs.push((i, o));
+                        }
+                    }
+                    (topo, obs)
+                },
+            );
+
+        // Stitch observations back into trace order (same scheme as the
+        // name-keyed topology: a sort by unique trace index).
+        let mut indexed: Vec<(usize, CompactObserved)> = shard_results
+            .iter()
+            .flat_map(|(_, obs)| obs.iter().copied())
+            .collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        out.extend(indexed.into_iter().map(|(_, o)| o));
+
+        for (s, (shard_topo, _)) in shard_results.into_iter().enumerate() {
+            for (n, shard_node) in shard_topo.nodes.into_iter().enumerate() {
+                let shards = shards as u64;
+                self.nodes[n].cache.absorb_shard(
+                    shard_node.cache,
+                    base_stats[n],
+                    move |d: &crate::DomainId| (d.0 % shards) as usize == s,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes the difference between the current per-node cache stats and
+    /// `base` into the recorder as `cache.s{id}.*` counters — the same
+    /// keys [`Topology`] pushes, so downstream metric consumers cannot
+    /// tell the record layouts apart.
+    fn push_cache_deltas(&self, base: &[CacheStats]) {
+        for (n, node) in self.nodes.iter().enumerate() {
+            let now = node.cache.stats();
+            let prev = base[n];
+            let fields = [
+                ("pos_hits", now.positive_hits - prev.positive_hits),
+                ("neg_hits", now.negative_hits - prev.negative_hits),
+                ("misses", now.misses - prev.misses),
+                (
+                    "expired_evictions",
+                    now.expired_evictions - prev.expired_evictions,
+                ),
+                (
+                    "capacity_evictions",
+                    now.capacity_evictions - prev.capacity_evictions,
+                ),
+            ];
+            for (field, delta) in fields {
+                if delta > 0 {
+                    self.obs.counter_add(&format!("cache.s{n}.{field}"), delta);
+                }
+            }
+        }
+    }
+
+    /// Cache statistics of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` does not exist.
+    pub fn cache_stats(&self, server: ServerId) -> CacheStats {
+        self.nodes[server.0 as usize].cache.stats()
+    }
+
+    /// Clears every cache in the hierarchy.
+    pub fn clear_caches(&mut self) {
+        for node in &mut self.nodes {
+            node.cache.clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,6 +1132,69 @@ mod tests {
         assert_eq!(stats.positive_hits, 1);
         assert_eq!(stats.negative_hits, 1);
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn compact_topology_matches_name_keyed_filtering_bit_for_bit() {
+        let mut interner = crate::DomainInterner::new();
+        let mut trace = Vec::new();
+        for i in 0..4000u64 {
+            let name = interner.intern(d(&format!("d{}.example", i % 97)));
+            trace.push(RawLookup::new(
+                SimInstant::from_millis(i * 10),
+                ClientId((i % 7) as u32),
+                name,
+            ));
+        }
+        let compact: Vec<CompactLookup> = trace.iter().map(|r| r.compact()).collect();
+        let auth = StaticAuthority::from_domains([d("d3.example"), d("d55.example")]);
+
+        for policy in [ExecPolicy::Sequential, ExecPolicy::with_threads(4)] {
+            let mut legacy = Topology::single_local(TtlPolicy::paper_default());
+            let expect = legacy.process_trace(&trace, &auth, policy).unwrap();
+
+            let mut fast = CompactTopology::single_local(TtlPolicy::paper_default());
+            let got = fast
+                .process_trace(&compact, &interner, &auth, policy)
+                .unwrap();
+
+            let hydrated: Vec<ObservedLookup> = got
+                .iter()
+                .map(|o| o.hydrate(&interner).expect("interned"))
+                .collect();
+            assert_eq!(hydrated, expect, "policy {policy:?}");
+            for s in [ServerId(0), ServerId(1)] {
+                assert_eq!(fast.cache_stats(s), legacy.cache_stats(s), "server {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_topology_pushes_the_same_counters() {
+        let mut interner = crate::DomainInterner::new();
+        let live = interner.intern(d("live.example"));
+        let nx = interner.intern(d("nx.example"));
+        let auth = StaticAuthority::from_domains([d("live.example")]);
+        let trace = [
+            CompactLookup::new(SimInstant::from_millis(0), ClientId(1), live.id()),
+            CompactLookup::new(SimInstant::from_millis(10), ClientId(2), live.id()),
+            CompactLookup::new(SimInstant::from_millis(20), ClientId(1), nx.id()),
+            CompactLookup::new(SimInstant::from_millis(30), ClientId(2), nx.id()),
+        ];
+        let (handle, registry) = Obs::collecting();
+        let mut topo = CompactTopology::single_local(TtlPolicy::paper_default());
+        topo.set_obs(handle);
+        let mut out = Vec::new();
+        topo.process_trace_into(&trace, &interner, &auth, ExecPolicy::Sequential, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("topology.lookups"), Some(4));
+        assert_eq!(snap.counter("topology.admitted"), Some(2));
+        assert_eq!(snap.counter("topology.filtered"), Some(2));
+        assert_eq!(snap.counter("cache.s1.pos_hits"), Some(1));
+        assert_eq!(snap.counter("cache.s1.neg_hits"), Some(1));
+        assert_eq!(snap.counter("cache.s1.misses"), Some(2));
     }
 
     #[test]

@@ -66,13 +66,56 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use botmeter_dns::{ObservedLookup, ServerId, SimDuration, SimInstant};
+use botmeter_dns::{CompactObserved, ObservedLookup, ServerId, SimDuration, SimInstant};
 use botmeter_stats::{mix64, SeedSequence};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+
+/// The record shape fault stages transform.
+///
+/// Every stage's decisions depend only on the record *count*, the
+/// timestamp and the forwarding server — never on the domain — so the same
+/// plan applied to an [`ObservedLookup`] stream and to its id-resident
+/// [`CompactObserved`] mirror draws identical random numbers and produces
+/// streams that hydrate to each other bit-for-bit. The streaming pipeline
+/// exploits exactly that: it faults `Copy` compact records (no `Arc`
+/// refcount traffic per retained record) and hydrates only at the egress
+/// boundary.
+pub trait FaultRecord: Clone {
+    /// The record's (arrival) timestamp.
+    fn t(&self) -> SimInstant;
+    /// Replaces the timestamp (jitter and clock-skew stages).
+    fn set_t(&mut self, t: SimInstant);
+    /// The forwarding server the record is attributed to.
+    fn server(&self) -> ServerId;
+}
+
+impl FaultRecord for ObservedLookup {
+    fn t(&self) -> SimInstant {
+        self.t
+    }
+    fn set_t(&mut self, t: SimInstant) {
+        self.t = t;
+    }
+    fn server(&self) -> ServerId {
+        self.server
+    }
+}
+
+impl FaultRecord for CompactObserved {
+    fn t(&self) -> SimInstant {
+        self.t
+    }
+    fn set_t(&mut self, t: SimInstant) {
+        self.t = t;
+    }
+    fn server(&self) -> ServerId {
+        self.server
+    }
+}
 
 /// One composable degradation of the observable trace.
 ///
@@ -233,7 +276,7 @@ impl FaultModel {
 /// `apply`-over-the-whole-trace call; carrying it across chunk boundaries
 /// is what makes chunked application bit-identical to batch application.
 #[derive(Debug, Clone)]
-enum Carry {
+enum Carry<R> {
     /// A per-record rng stream (drop, duplicate, jitter).
     Rng(ChaCha12Rng),
     /// Gilbert–Elliott channel: rng stream plus the burst flag.
@@ -243,7 +286,7 @@ enum Carry {
     Reorder {
         rng: ChaCha12Rng,
         next_index: u64,
-        pending: Vec<(u64, ObservedLookup)>,
+        pending: Vec<(u64, R)>,
     },
     /// Per-server 1-in-N sampling: each server's running record position.
     Sample { position: HashMap<ServerId, u64> },
@@ -254,13 +297,13 @@ enum Carry {
 
 /// One fault stage plus the state it carries across chunk boundaries.
 #[derive(Debug, Clone)]
-struct StageState {
+struct StageState<R> {
     model: FaultModel,
     stage_seed: u64,
-    carry: Carry,
+    carry: Carry<R>,
 }
 
-impl StageState {
+impl<R: FaultRecord> StageState<R> {
     fn new(model: FaultModel, stage_seed: u64) -> Self {
         let carry = match model {
             FaultModel::Drop { .. } | FaultModel::Duplicate { .. } | FaultModel::Jitter { .. } => {
@@ -291,7 +334,7 @@ impl StageState {
     /// state. The concatenation of the outputs over any chunking of a
     /// trace (plus a final [`flush`](Self::flush)) equals the batch
     /// transform of the whole trace.
-    fn push(&mut self, chunk: &mut Vec<ObservedLookup>, rep: &mut FaultReport) {
+    fn push(&mut self, chunk: &mut Vec<R>, rep: &mut FaultReport) {
         if chunk.is_empty() {
             return;
         }
@@ -382,9 +425,9 @@ impl StageState {
                 let span = max.as_millis();
                 for lookup in chunk.iter_mut() {
                     let offset = rng.gen_range(0..=2 * span) as i64 - span as i64;
-                    let shifted = shift(lookup.t, offset);
-                    rep.perturbed += u64::from(shifted != lookup.t);
-                    lookup.t = shifted;
+                    let shifted = shift(lookup.t(), offset);
+                    rep.perturbed += u64::from(shifted != lookup.t());
+                    lookup.set_t(shifted);
                 }
             }
             (&FaultModel::ClockSkew { max }, Carry::Stateless) => {
@@ -393,18 +436,19 @@ impl StageState {
                     // Per-server constant offset in [-max, +max], a pure
                     // function of (stage seed, server) — independent of
                     // record order.
-                    let r = mix64(self.stage_seed ^ mix64(u64::from(lookup.server.0)));
+                    let r = mix64(self.stage_seed ^ mix64(u64::from(lookup.server().0)));
                     let offset = (r % (2 * span as u64 + 1)) as i64 - span;
-                    let shifted = shift(lookup.t, offset);
-                    rep.perturbed += u64::from(shifted != lookup.t);
-                    lookup.t = shifted;
+                    let shifted = shift(lookup.t(), offset);
+                    rep.perturbed += u64::from(shifted != lookup.t());
+                    lookup.set_t(shifted);
                 }
             }
             (&FaultModel::Sample { keep_one_in }, Carry::Sample { position }) => {
                 let stage_seed = self.stage_seed;
                 chunk.retain(|lookup| {
-                    let pos = position.entry(lookup.server).or_insert(0);
-                    let phase = mix64(stage_seed ^ mix64(u64::from(lookup.server.0))) % keep_one_in;
+                    let pos = position.entry(lookup.server()).or_insert(0);
+                    let phase =
+                        mix64(stage_seed ^ mix64(u64::from(lookup.server().0))) % keep_one_in;
                     let keep = *pos % keep_one_in == phase;
                     *pos += 1;
                     rep.dropped += u64::from(!keep);
@@ -420,9 +464,9 @@ impl StageState {
                 Carry::Stateless,
             ) => {
                 chunk.retain(|lookup| {
-                    let affected = server.is_none_or(|s| s == lookup.server)
-                        && lookup.t >= from
-                        && lookup.t < until;
+                    let affected = server.is_none_or(|s| s == lookup.server())
+                        && lookup.t() >= from
+                        && lookup.t() < until;
                     rep.dropped += u64::from(affected);
                     !affected
                 });
@@ -434,7 +478,7 @@ impl StageState {
 
     /// Releases whatever the stage still holds at end of stream. Only
     /// reorder stages hold records (displaced past the last chunk edge).
-    fn flush(&mut self) -> Vec<ObservedLookup> {
+    fn flush(&mut self) -> Vec<R> {
         match &mut self.carry {
             Carry::Reorder { pending, .. } => {
                 let mut held = std::mem::take(pending);
@@ -515,7 +559,10 @@ impl FaultPlan {
     ///
     /// This is the one-chunk case of [`FaultPlan::stream`] — the batch and
     /// streaming paths share every drawn random number by construction.
-    pub fn apply(&self, trace: Vec<ObservedLookup>) -> (Vec<ObservedLookup>, FaultReport) {
+    /// Generic over the [`FaultRecord`] shape: the legacy
+    /// [`ObservedLookup`] stream and its [`CompactObserved`] mirror fault
+    /// identically (stage decisions never look at the domain).
+    pub fn apply<R: FaultRecord>(&self, trace: Vec<R>) -> (Vec<R>, FaultReport) {
         let mut stream = self.stream();
         let mut out = stream.push(trace);
         let (tail, report) = stream.finish();
@@ -531,7 +578,7 @@ impl FaultPlan {
     /// *any* chunking — every stage carries its rng stream and working
     /// state (burst flag, reorder buffer, per-server sampling positions)
     /// across chunk boundaries.
-    pub fn stream(&self) -> FaultStream {
+    pub fn stream<R: FaultRecord>(&self) -> FaultStream<R> {
         let seeds = SeedSequence::new(self.seed).fork_str("faults");
         let stages = self
             .stages
@@ -588,18 +635,18 @@ impl FaultPlan {
 /// assert_eq!(report, batch_report);
 /// ```
 #[derive(Debug, Clone)]
-pub struct FaultStream {
-    stages: Vec<StageState>,
+pub struct FaultStream<R = ObservedLookup> {
+    stages: Vec<StageState<R>>,
     report: FaultReport,
 }
 
-impl FaultStream {
+impl<R: FaultRecord> FaultStream<R> {
     /// Runs one arrival-order chunk through every stage and returns the
     /// records that are final — later chunks can no longer affect them.
     /// Reorder stages may hold a bounded number of records back (at most
     /// `max_displacement` per stage); [`finish`](Self::finish) releases
     /// them.
-    pub fn push(&mut self, chunk: Vec<ObservedLookup>) -> Vec<ObservedLookup> {
+    pub fn push(&mut self, chunk: Vec<R>) -> Vec<R> {
         self.report.input += chunk.len() as u64;
         let mut chunk = chunk;
         for stage in &mut self.stages {
@@ -612,7 +659,7 @@ impl FaultStream {
     /// Flushes every stage in order and returns the tail records plus the
     /// final report. Records a stage holds back pass through all later
     /// stages, exactly as they would have in the batch transform.
-    pub fn finish(mut self) -> (Vec<ObservedLookup>, FaultReport) {
+    pub fn finish(mut self) -> (Vec<R>, FaultReport) {
         let mut tail = Vec::new();
         for i in 0..self.stages.len() {
             let mut chunk = self.stages[i].flush();
@@ -1026,9 +1073,39 @@ mod tests {
         assert_eq!(out, batch);
         assert_eq!(report, batch_report);
         // A stream fed nothing at all reports an identity pass.
-        let (tail, report) = plan.stream().finish();
+        let (tail, report) = plan.stream::<ObservedLookup>().finish();
         assert!(tail.is_empty());
         assert_eq!(report, FaultReport::default());
+    }
+
+    #[test]
+    fn compact_records_fault_identically_to_observed_lookups() {
+        // Full stack of every model: the compact stream must draw the same
+        // random numbers and hydrate back to the legacy faulted stream.
+        let mut interner = botmeter_dns::DomainInterner::new();
+        let legacy: Vec<ObservedLookup> = (0..1200u64)
+            .map(|i| {
+                let name = interner.intern(format!("d{}.example", i % 37).parse().unwrap());
+                ObservedLookup::new(
+                    SimInstant::from_millis(i * 100),
+                    ServerId((i % 3) as u32 + 1),
+                    name,
+                )
+            })
+            .collect();
+        let compact: Vec<CompactObserved> = legacy.iter().map(|o| o.compact()).collect();
+        let mut plan = FaultPlan::new(99);
+        for model in every_model() {
+            plan = plan.with(model);
+        }
+        let (expect, expect_report) = plan.apply(legacy);
+        let (got, got_report) = plan.apply(compact);
+        assert_eq!(got_report, expect_report);
+        let hydrated: Vec<ObservedLookup> = got
+            .iter()
+            .map(|o| o.hydrate(&interner).expect("interned"))
+            .collect();
+        assert_eq!(hydrated, expect);
     }
 
     #[test]

@@ -50,12 +50,19 @@
 //! assert!(snapshot.histogram("stage.estimate_ns").is_some());
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden except under the `bench` feature, whose counting
+// global allocator must implement the inherently-unsafe `GlobalAlloc`
+// contract (it only forwards to `std::alloc::System`).
+#![cfg_attr(not(feature = "bench"), forbid(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "bench")]
+mod alloc;
 mod registry;
 mod snapshot;
 
+#[cfg(feature = "bench")]
+pub use alloc::{AllocSnapshot, CountingAlloc};
 pub use registry::{Histogram, MetricsRegistry};
 pub use snapshot::{BucketCount, CounterSnapshot, HistogramSnapshot, MetricsSnapshot};
 
@@ -65,6 +72,13 @@ use std::time::Instant;
 /// Prefix of scheduling-dependent counters (see the crate docs): the only
 /// counters exempt from the sequential-vs-parallel determinism contract.
 pub const SCHED_PREFIX: &str = "sched.";
+
+/// Prefix of allocation-accounting counters (`alloc.count`, `alloc.bytes`,
+/// and per-stage variants) reported by the perf harness under the `bench`
+/// feature. Allocator traffic depends on worker count and buffer-recycling
+/// timing, so these are exempt from the determinism contract exactly like
+/// [`SCHED_PREFIX`].
+pub const ALLOC_PREFIX: &str = "alloc.";
 
 /// A sink for pipeline metrics.
 ///

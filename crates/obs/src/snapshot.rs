@@ -1,6 +1,6 @@
 //! The JSON-serialisable export of a [`MetricsRegistry`](crate::MetricsRegistry).
 
-use crate::SCHED_PREFIX;
+use crate::{ALLOC_PREFIX, SCHED_PREFIX};
 use serde::{Deserialize, Serialize};
 
 /// One named counter value.
@@ -101,15 +101,22 @@ impl MetricsSnapshot {
 
     /// The counters covered by the determinism contract: everything except
     /// the [`sched.`](crate::SCHED_PREFIX) scheduling metrics (task, steal
-    /// and panic counts — `sched.exec.panics` included) and any wall-clock
-    /// key (a `_ns` suffix, the histogram naming convention — latency
-    /// totals leaking into a counter would differ between runs by nature).
-    /// Sequential and parallel runs of the same pipeline must agree on
-    /// these bit-for-bit, faulted runs included.
+    /// and panic counts — `sched.exec.panics` included), the
+    /// [`alloc.`](crate::ALLOC_PREFIX) allocation accounting the perf
+    /// harness reports (allocator traffic varies with worker count and
+    /// buffer-recycling timing), and any wall-clock key (a `_ns` suffix,
+    /// the histogram naming convention — latency totals leaking into a
+    /// counter would differ between runs by nature). Sequential and
+    /// parallel runs of the same pipeline must agree on these bit-for-bit,
+    /// faulted runs included.
     pub fn deterministic_counters(&self) -> Vec<CounterSnapshot> {
         self.counters
             .iter()
-            .filter(|c| !c.name.starts_with(SCHED_PREFIX) && !c.name.ends_with("_ns"))
+            .filter(|c| {
+                !c.name.starts_with(SCHED_PREFIX)
+                    && !c.name.starts_with(ALLOC_PREFIX)
+                    && !c.name.ends_with("_ns")
+            })
             .cloned()
             .collect()
     }
@@ -137,6 +144,10 @@ mod tests {
                 CounterSnapshot {
                     name: "pipeline.total_ns".into(),
                     value: 123_456,
+                },
+                CounterSnapshot {
+                    name: "alloc.count".into(),
+                    value: 7,
                 },
             ],
             histograms: vec![HistogramSnapshot {

@@ -76,7 +76,9 @@ pub fn replay_barrel<R: Rng + ?Sized>(
     out
 }
 
-fn query_gap<R: Rng + ?Sized>(timing: QueryTiming, rng: &mut R) -> SimDuration {
+/// One inter-query pause draw — shared with the id-resident replay twin in
+/// `compact.rs` so both paths consume identical rng streams.
+pub(crate) fn query_gap<R: Rng + ?Sized>(timing: QueryTiming, rng: &mut R) -> SimDuration {
     match timing {
         QueryTiming::Fixed(d) => d,
         QueryTiming::Irregular { min, max } => {

@@ -43,6 +43,7 @@
 mod activation;
 mod background;
 mod bot;
+mod compact;
 mod enterprise;
 mod evasion;
 mod scenario;

@@ -2,11 +2,13 @@
 
 use crate::activation::ActivationModel;
 use crate::bot::{replay_barrel, simulate_activation};
+use crate::compact::{self, CompactShardBatch};
 use crate::evasion::EvasionStrategy;
 use crate::sink::{FnSink, ShardSink};
 use botmeter_dga::DgaFamily;
 use botmeter_dns::{
-    ClientId, ObservedLookup, RawLookup, SimDuration, SimInstant, Topology, TtlPolicy,
+    ClientId, CompactLookup, CompactObserved, CompactTopology, DomainId, DomainInterner,
+    ObservedLookup, RawLookup, SimDuration, SimInstant, Topology, TtlPolicy,
 };
 use botmeter_exec::ExecPolicy;
 use botmeter_faults::{FaultPlan, FaultPlanError, FaultReport, FaultStream};
@@ -29,14 +31,11 @@ const DEFAULT_SHARDS_PER_EPOCH: u64 = 16;
 /// high-water mark is bit-identical under every [`ExecPolicy`].
 const STREAM_ACCOUNT_WINDOW: usize = botmeter_exec::PIPELINE_WINDOW + 1;
 
-/// One producer worker's output for a shard: the records that fall inside
-/// the shard's own time slice plus the runs that overshoot into later
-/// shards, every run stable-sorted by the global key `(t, client)`.
-struct ShardBatch {
-    own: Vec<RawLookup>,
-    overflow: Vec<(usize, Vec<RawLookup>)>,
-    generated: u64,
-}
+/// How many idle shard buffers the streaming pipeline's recycling
+/// [`BufferPool`](botmeter_exec::BufferPool) retains: enough to cover the
+/// producer ticket window plus overflow runs parked for later shards, while
+/// bounding how much capacity an overflow burst can pin after the run.
+const POOL_RETAIN: usize = 4 * STREAM_ACCOUNT_WINDOW;
 
 /// How a scenario run materialises its intermediate raw trace.
 ///
@@ -244,6 +243,53 @@ impl ScenarioSpec {
         };
         self.obs.observe_since("sim.bot_replay_ns", replay_start);
         lookups
+    }
+
+    /// The id-resident twin of [`replay_job`](Self::replay_job): appends
+    /// the job's lookups to `out` as [`CompactLookup`] records instead of
+    /// returning a fresh name-carrying vector. Draw-for-draw identical rng
+    /// consumption, so `job.compact()` of the legacy records equals this
+    /// output exactly.
+    fn replay_job_compact(
+        &self,
+        plans: &[EpochPlan],
+        pool_ids: &[Vec<DomainId>],
+        job: (usize, usize),
+        theta_q: usize,
+        out: &mut Vec<CompactLookup>,
+    ) {
+        let (p, b) = job;
+        let plan = &plans[p];
+        let ids = &pool_ids[p];
+        let (t, client, rng_seed) = plan.bots[b];
+        let replay_start = self.obs.clock();
+        let mut bot_rng = ChaCha12Rng::seed_from_u64(rng_seed);
+        match self
+            .evasion
+            .colluded_start(plan.epoch, ids.len(), &mut bot_rng)
+        {
+            Some(start) => compact::replay_barrel_into(
+                &self.family,
+                ids,
+                &plan.valid,
+                (0..theta_q.min(ids.len())).map(|k| (start + k) % ids.len()),
+                t,
+                client,
+                &mut bot_rng,
+                out,
+            ),
+            None => compact::simulate_activation_into(
+                &self.family,
+                plan.epoch,
+                ids,
+                &plan.valid,
+                t,
+                client,
+                &mut bot_rng,
+                out,
+            ),
+        }
+        self.obs.observe_since("sim.bot_replay_ns", replay_start);
     }
 
     /// Flattens the epoch plans into `(plan, bot)` jobs in (epoch asc, bot
@@ -461,6 +507,24 @@ impl ScenarioSpec {
         let jobs = Self::flatten_jobs(&plans);
         let theta_q = self.family.params().theta_q();
 
+        // Intern every pool domain once, up front: producers then work
+        // purely in ids (8-byte `Copy` records, no `Arc` traffic), and the
+        // interner's bytes arena resolves them back to text at the egress
+        // edge. Pool materialisation draws no rng, so planning streams are
+        // untouched; fingerprint collisions would panic here, which is what
+        // makes id equality stand in for name equality downstream.
+        let mut interner = DomainInterner::new();
+        for plan in &plans {
+            for domain in &plan.pool {
+                interner.intern(domain.clone());
+            }
+        }
+        let interner = interner;
+        let pool_ids: Vec<Vec<DomainId>> = plans
+            .iter()
+            .map(|p| p.pool.iter().map(botmeter_dns::DomainName::id).collect())
+            .collect();
+
         let epoch_len = self.family.epoch_len();
         let shard_len = shard.unwrap_or_else(|| {
             SimDuration::from_millis((epoch_len.as_millis() / DEFAULT_SHARDS_PER_EPOCH).max(1))
@@ -504,20 +568,28 @@ impl ScenarioSpec {
         }
 
         // Producer side: pure per shard. Replay the owned job range in job
-        // order, split the records by destination shard (membership is a
-        // function of the primary sort key `t`, so a record's shard never
-        // depends on which worker produced it) and stable-sort every
-        // partition by the global key.
-        let sort_key = |l: &RawLookup| (l.t, l.client);
-        let produce = |k: usize| -> ShardBatch {
+        // order into a recycled buffer, split the records by destination
+        // shard (membership is a function of the primary sort key `t`, so a
+        // record's shard never depends on which worker produced it) and
+        // stable-sort every partition by the global key. All record buffers
+        // are drawn from one shared recycling pool and returned by the
+        // consumer once merged, so steady-state production re-uses the same
+        // few allocations for the whole run.
+        let buffers: botmeter_exec::BufferPool<CompactLookup> =
+            botmeter_exec::BufferPool::new(POOL_RETAIN);
+        let sort_key = |l: &CompactLookup| (l.t, l.client);
+        let produce = |k: usize| -> CompactShardBatch {
             let (start, end) = shard_ranges[k];
             let last = k + 1 == num_shards;
-            let mut own: Vec<RawLookup> = Vec::new();
-            let mut overflow: BTreeMap<usize, Vec<RawLookup>> = BTreeMap::new();
+            let mut own = buffers.acquire();
+            let mut job_buf = buffers.acquire();
+            let mut overflow: BTreeMap<usize, Vec<CompactLookup>> = BTreeMap::new();
             let mut generated = 0u64;
             for &job in &jobs[start..end] {
-                for lookup in self.replay_job(&plans, job, theta_q) {
-                    generated += 1;
+                job_buf.clear();
+                self.replay_job_compact(&plans, &pool_ids, job, theta_q, &mut job_buf);
+                generated += job_buf.len() as u64;
+                for &lookup in job_buf.iter() {
                     let dest = if last {
                         k
                     } else {
@@ -526,36 +598,47 @@ impl ScenarioSpec {
                     if dest == k {
                         own.push(lookup);
                     } else {
-                        overflow.entry(dest).or_default().push(lookup);
+                        overflow
+                            .entry(dest)
+                            .or_insert_with(|| buffers.acquire())
+                            .push(lookup);
                     }
                 }
             }
+            buffers.recycle(job_buf);
             own.sort_by_key(sort_key);
-            let overflow: Vec<(usize, Vec<RawLookup>)> = overflow
+            let overflow: Vec<(usize, Vec<CompactLookup>)> = overflow
                 .into_iter()
                 .map(|(dest, mut run)| {
                     run.sort_by_key(sort_key);
                     (dest, run)
                 })
                 .collect();
-            ShardBatch {
+            CompactShardBatch {
                 own,
                 overflow,
                 generated,
             }
         };
 
-        // Consumer state: the carried cache topology, the incremental
-        // fault application, the accumulated observed trace, and the
+        // Consumer state: the carried id-keyed cache topology, the
+        // incremental fault application (over compact records — stage
+        // decisions depend only on count, time and server, so faulting
+        // commutes with hydration), the accumulated observed trace, and the
         // overflow runs awaiting their destination shard (keyed by shard,
         // each holding runs in ascending range order because shards are
-        // consumed in order).
-        let mut topology = Topology::single_local(self.ttl);
+        // consumed in order). Records stay id-resident through filter and
+        // fault; hydration through the interner happens once per *released*
+        // record at the egress edge — the cache-filtered stream is roughly
+        // an order of magnitude smaller than the raw one.
+        let mut topology = CompactTopology::single_local(self.ttl);
         topology.set_obs(self.obs.clone());
-        let mut fault_stream = self.faults.as_ref().map(FaultPlan::stream);
+        let mut fault_stream: Option<FaultStream<CompactObserved>> =
+            self.faults.as_ref().map(FaultPlan::stream);
         let mut observed: Vec<ObservedLookup> = Vec::new();
         let mut filtered_any = false;
-        let mut pending: BTreeMap<usize, Vec<Vec<RawLookup>>> = BTreeMap::new();
+        let mut pending: BTreeMap<usize, Vec<Vec<CompactLookup>>> = BTreeMap::new();
+        let mut in_shard: Vec<CompactLookup> = Vec::new();
         let mut raw_total = 0u64;
         // Deterministic residency accounting inputs: per-shard generated
         // counts, and a difference array charging each overflow run to the
@@ -568,7 +651,7 @@ impl ScenarioSpec {
             &self.obs,
             num_shards,
             produce,
-            |k, batch: ShardBatch| {
+            |k, batch: CompactShardBatch| {
                 raw_total += batch.generated;
                 gen_sizes[k] = batch.generated;
                 let mut runs = pending.remove(&k).unwrap_or_default();
@@ -578,32 +661,39 @@ impl ScenarioSpec {
                     pending.entry(dest).or_default().push(run);
                 }
                 runs.push(batch.own);
-                let in_shard = botmeter_exec::merge_sorted_runs(runs, sort_key);
+                in_shard.clear();
+                botmeter_exec::merge_sorted_runs_into(&runs, sort_key, &mut in_shard);
+                for run in runs {
+                    buffers.recycle(run);
+                }
                 if in_shard.is_empty() {
                     return;
                 }
                 filtered_any = true;
-                let chunk: Vec<ObservedLookup> = topology
-                    .process_trace(&in_shard, &authority, policy)
-                    .expect("single-local topology routes every client")
-                    .into_iter()
-                    .map(|mut o| {
-                        o.t = o.t.quantize(self.granularity);
-                        o
-                    })
-                    .collect();
+                let mut chunk: Vec<CompactObserved> = Vec::new();
+                topology
+                    .process_trace_into(&in_shard, &interner, &authority, policy, &mut chunk)
+                    .expect("single-local topology routes every client");
+                for o in &mut chunk {
+                    o.t = o.t.quantize(self.granularity);
+                }
                 let released = match &mut fault_stream {
                     Some(stream) => stream.push(chunk),
                     None => chunk,
                 };
                 if !released.is_empty() {
+                    let egress_from = observed.len();
+                    observed.extend(released.iter().map(|o| {
+                        o.hydrate(&interner)
+                            .expect("released records were interned at planning time")
+                    }));
                     if let Some(sink) = on_shard.as_deref_mut() {
-                        sink.on_shard(&released);
+                        sink.on_shard(&observed[egress_from..]);
                     }
-                    observed.extend(released);
                 }
             },
         );
+        buffers.record_metrics(&self.obs);
 
         // Deterministic resident high-water mark: while shard `s` is being
         // consumed, up to STREAM_ACCOUNT_WINDOW shards (the producer ticket
@@ -628,14 +718,18 @@ impl ScenarioSpec {
         if !filtered_any {
             // Mirror the materializing path's single (empty) filter call so
             // the topology counters agree even for an empty trace.
-            let _ = topology.process_trace(&[], &authority, policy);
+            let _ = topology.process_trace(&[], &interner, &authority, policy);
         }
         let fault_report = fault_stream.map(FaultStream::finish).map(|(tail, report)| {
             if !tail.is_empty() {
+                let egress_from = observed.len();
+                observed.extend(tail.iter().map(|o| {
+                    o.hydrate(&interner)
+                        .expect("released records were interned at planning time")
+                }));
                 if let Some(sink) = on_shard {
-                    sink.on_shard(&tail);
+                    sink.on_shard(&observed[egress_from..]);
                 }
-                observed.extend(tail);
             }
             report
         });

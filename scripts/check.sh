@@ -98,6 +98,19 @@ if [[ -n "$fswrite_offenders" ]]; then
   exit 1
 fi
 
+echo "==> compact hot-path grep gate (no DomainName in crates/sim compact module)"
+# The streaming shard producers replay bots as ID-resident CompactLookup
+# records; string-keyed DomainName handles (and their Arc clones) must stay
+# out of that hot path. The compact module is the enforcement surface: it
+# may only speak DomainId / CompactLookup.
+compact_offenders=$(grep -n 'DomainName' crates/sim/src/compact.rs || true)
+if [[ -n "$compact_offenders" ]]; then
+  echo "error: DomainName referenced in the compact hot-path module:" >&2
+  echo "$compact_offenders" >&2
+  echo "replay must stay ID-resident; hydrate at the egress boundary instead." >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -110,13 +123,16 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
-echo "==> perf smoke (throughput + charting + residency + scaling gate)"
+echo "==> perf smoke (throughput + charting + residency + scaling + alloc gate)"
 # Fails if raw simulation throughput or estimator-charting throughput
 # (chart_lookups_per_sec) drops more than 25% below the committed
 # BENCH_pipeline.json baseline, if the streaming pipeline loses its
-# bounded-memory property, or if the streaming N-thread/1-thread scaling
+# bounded-memory property, if the streaming N-thread/1-thread scaling
 # ratio falls below the core-count-aware floor derived from the committed
-# scaling block. Best-of-N to absorb scheduler noise.
+# scaling block, or if the streaming simulate stage exceeds its committed
+# allocations-per-raw-lookup budget (counting global allocator; 4x the
+# committed allocs_per_raw_lookup figure with a 0.5 absolute floor).
+# Best-of-N to absorb scheduler noise.
 ./target/release/perf_smoke
 
 echo "==> sketch accuracy smoke (ARE floors + constant-memory ceiling)"
